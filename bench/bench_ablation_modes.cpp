@@ -1,0 +1,36 @@
+// Ablation: granularity of POI360's compression-mode table (the paper uses
+// K = 8 modes with C in {1.1..1.8} and a 200 ms mismatch bucket).
+//
+// One mode degenerates into a fixed scheme (no adaptivity); few modes make
+// coarse jumps; many modes adapt smoothly but switch more often (each switch
+// pays an intra refresh).
+
+#include <cstdio>
+
+#include "poi360/common/table.h"
+#include "util/experiment.h"
+
+using namespace poi360;
+
+int main() {
+  Table t({"modes", "bucket (ms)", "mean PSNR (dB)", "freeze ratio",
+           "ROI level std (mean)"});
+  for (int modes : {1, 2, 4, 8, 16}) {
+    auto config = bench::micro_config(core::CompressionScheme::kPoi360,
+                                      core::NetworkType::kCellular, sec(150));
+    config.adaptive.num_modes = modes;
+    // Keep the M range covered by the table constant (~1.6 s).
+    config.adaptive.bucket = msec(1600 / modes);
+    const auto runs = bench::run_sessions(config, 4);
+    const auto merged = metrics::merge(runs);
+    const auto var = bench::pooled_level_variation(runs);
+    t.add_row({std::to_string(modes),
+               fmt(to_millis(config.adaptive.bucket), 0),
+               fmt(merged.mean_roi_psnr(), 1),
+               fmt_pct(merged.freeze_ratio()), fmt(var.mean(), 2)});
+  }
+  std::printf("=== Ablation: mode table granularity (paper: 8 modes, 200 ms "
+              "bucket) ===\n%s",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation: FBCC's target firmware-buffer level B* (Eq. 7 steers the pacer
+// so the buffer converges to B*). The paper learns B* from previous
+// transmissions; this sweep shows why the knee matters: too low starves the
+// proportional-fair scheduler (underutilization), too high only adds
+// queueing delay.
+
+#include <cstdio>
+
+#include "poi360/common/table.h"
+#include "util/experiment.h"
+
+using namespace poi360;
+
+int main() {
+  Table t({"B* (KB)", "learned?", "thpt (Mbps)", "freeze ratio",
+           "mean PSNR (dB)"});
+  for (int kb : {2, 5, 9, 14, 24}) {
+    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
+    config.fbcc.learn_sweet_spot = false;
+    config.fbcc.sweet_spot.prior_bytes = kb * 1024;
+    const auto merged = bench::run_merged(config, 4);
+    t.add_row({std::to_string(kb), "no",
+               fmt(to_mbps(merged.mean_throughput()), 2),
+               fmt_pct(merged.freeze_ratio()),
+               fmt(merged.mean_roi_psnr(), 1)});
+  }
+  {
+    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
+    config.fbcc.learn_sweet_spot = true;
+    const auto merged = bench::run_merged(config, 4);
+    t.add_row({"-", "yes", fmt(to_mbps(merged.mean_throughput()), 2),
+               fmt_pct(merged.freeze_ratio()),
+               fmt(merged.mean_roi_psnr(), 1)});
+  }
+  std::printf("=== Ablation: FBCC sweet-spot target B* ===\n%s",
+              t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces paper Fig. 11: user-perceived video quality in the ROI for
+// POI360 vs. Conduit vs. Pyramid compression, over wireline and cellular.
+//   (a)/(b) mean ROI PSNR with std, per network;
+//   (c)/(d) PDF of the Mean Opinion Score (Table 1 buckets), per network.
+//
+// Paper shapes to check: all three comparable over wireline; over cellular
+// POI360 leads Conduit/Pyramid by ~11-13 dB; Conduit has no good/excellent
+// frames over cellular, Pyramid only a few percent good.
+
+#include <cstdio>
+
+#include "poi360/common/table.h"
+#include "util/experiment.h"
+
+using namespace poi360;
+
+int main() {
+  constexpr int kRuns = 10;
+  const core::CompressionScheme schemes[] = {
+      core::CompressionScheme::kPoi360, core::CompressionScheme::kConduit,
+      core::CompressionScheme::kPyramid};
+  const core::NetworkType networks[] = {core::NetworkType::kWireline,
+                                        core::NetworkType::kCellular};
+
+  std::printf("=== Fig. 11(a)/(b): ROI PSNR (dB) ===\n");
+  Table psnr({"network", "scheme", "mean PSNR (dB)", "std (dB)"});
+  std::vector<std::vector<double>> mos_rows;
+  std::vector<std::string> mos_labels;
+
+  for (auto network : networks) {
+    for (auto scheme : schemes) {
+      const auto runs =
+          bench::run_sessions(bench::micro_config(scheme, network), kRuns);
+      const auto merged = metrics::merge(runs);
+      psnr.add_row({core::to_string(network), core::to_string(scheme),
+                    fmt(merged.mean_roi_psnr(), 1),
+                    fmt(merged.std_roi_psnr(), 1)});
+      mos_labels.push_back(core::to_string(network) + " / " +
+                           core::to_string(scheme));
+      mos_rows.push_back(merged.mos_pdf());
+    }
+  }
+  std::printf("%s\n", psnr.to_string().c_str());
+
+  std::printf("=== Fig. 11(c)/(d): MOS PDF ===\n");
+  for (std::size_t i = 0; i < mos_rows.size(); ++i) {
+    bench::print_mos_row(mos_labels[i], mos_rows[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces paper Fig. 13: CDF of end-to-end 360° video frame delay for
+// each compression scheme over wireline and cellular.
+//
+// Paper shapes to check: POI360 lowest delay on both networks; over cellular
+// its median is ~460 ms, ~15% below Conduit; Pyramid highest (its
+// conservative falloff carries a quality-floor bitrate that queues up).
+
+#include <cstdio>
+
+#include "poi360/common/table.h"
+#include "util/experiment.h"
+
+using namespace poi360;
+
+int main() {
+  constexpr int kRuns = 10;
+  const core::CompressionScheme schemes[] = {
+      core::CompressionScheme::kPoi360, core::CompressionScheme::kConduit,
+      core::CompressionScheme::kPyramid};
+  const core::NetworkType networks[] = {core::NetworkType::kWireline,
+                                        core::NetworkType::kCellular};
+
+  for (auto network : networks) {
+    std::printf("=== Fig. 13 (%s): frame delay ===\n",
+                core::to_string(network).c_str());
+    Table t({"scheme", "median (ms)", "p90 (ms)", "p99 (ms)"});
+    for (auto scheme : schemes) {
+      const auto runs =
+          bench::run_sessions(bench::micro_config(scheme, network), kRuns);
+      const auto delays = bench::pooled_delays_ms(runs);
+      t.add_row({core::to_string(scheme), fmt(delays.median(), 0),
+                 fmt(delays.percentile(0.9), 0),
+                 fmt(delays.percentile(0.99), 0)});
+      bench::print_cdf("CDF: " + core::to_string(scheme), delays, "ms", 10);
+    }
+    std::printf("%s\n", t.to_string().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the hot paths: per-frame compression
+// matrix construction, encoding, quality evaluation, the congestion
+// controllers, head-motion sampling, and raw simulator event throughput.
+// These guard against performance regressions in the components every
+// session executes tens of thousands of times.
+
+#include <benchmark/benchmark.h>
+
+#include "poi360/core/adaptive_compression.h"
+#include "poi360/core/fbcc.h"
+#include "poi360/core/mismatch.h"
+#include "poi360/gcc/trendline.h"
+#include "poi360/roi/head_motion.h"
+#include "poi360/sim/simulator.h"
+#include "poi360/video/encoder.h"
+#include "poi360/video/quality.h"
+
+using namespace poi360;
+
+static void BM_CompressionMatrix(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  const video::GeometricMode mode(1.4);
+  int i = 0;
+  for (auto _ : state) {
+    auto m = mode.matrix_for(grid, {i++ % grid.cols(), 4});
+    benchmark::DoNotOptimize(m.effective_tiles());
+  }
+}
+BENCHMARK(BM_CompressionMatrix);
+
+static void BM_EncodeFrame(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  video::PanoramicEncoder encoder(grid, {});
+  const video::GeometricMode mode(1.4);
+  const auto matrix = mode.matrix_for(grid, {6, 4});
+  for (auto _ : state) {
+    auto frame = encoder.encode(0, {6, 4}, 3, matrix, mbps(3));
+    benchmark::DoNotOptimize(frame.bytes);
+  }
+}
+BENCHMARK(BM_EncodeFrame);
+
+static void BM_RoiRegionPsnr(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  const video::GeometricMode mode(1.4);
+  const auto matrix = mode.matrix_for(grid, {6, 4});
+  const video::QualityModel model;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::roi_region_psnr(
+        model, grid, matrix, {i++ % grid.cols(), 4}, 0.06));
+  }
+}
+BENCHMARK(BM_RoiRegionPsnr);
+
+static void BM_TrendlineUpdate(benchmark::State& state) {
+  gcc::TrendlineEstimator trendline;
+  SimTime send = 0, arrival = msec(40);
+  for (auto _ : state) {
+    send += msec(28);
+    arrival += msec(28) + (send % msec(3));
+    benchmark::DoNotOptimize(trendline.update(send, arrival));
+  }
+}
+BENCHMARK(BM_TrendlineUpdate);
+
+static void BM_FbccOnDiag(benchmark::State& state) {
+  core::FbccController fbcc(mbps(3));
+  lte::DiagReport report{.time = 0,
+                         .buffer_bytes = 8000,
+                         .tbs_bytes = 15000,
+                         .interval = msec(40)};
+  for (auto _ : state) {
+    report.time += msec(40);
+    report.buffer_bytes = 6000 + (report.time / msec(40)) % 4000;
+    fbcc.on_diag(report);
+    benchmark::DoNotOptimize(fbcc.rtp_rate());
+  }
+}
+BENCHMARK(BM_FbccOnDiag);
+
+static void BM_HeadMotionSample(benchmark::State& state) {
+  roi::StochasticHeadMotion motion({}, 42);
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += msec(28);
+    benchmark::DoNotOptimize(motion.orientation_at(t % sec(600)));
+  }
+}
+BENCHMARK(BM_HeadMotionSample);
+
+static void BM_MismatchTracker(benchmark::State& state) {
+  core::MismatchTracker tracker;
+  SimTime t = 0;
+  int i = 0;
+  for (auto _ : state) {
+    t += msec(28);
+    const double level = (i++ % 40 < 10) ? 1.6 : 1.0;
+    benchmark::DoNotOptimize(
+        tracker.on_frame(t, msec(420), level, 1.0, {i % 12, 4}));
+  }
+}
+BENCHMARK(BM_MismatchTracker);
+
+static void BM_SimulatorEvents(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    long counter = 0;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_at(msec(i), [&counter]() { ++counter; });
+    }
+    simulator.run_until(sec(2));
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEvents);
+
+BENCHMARK_MAIN();

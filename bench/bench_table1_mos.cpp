@@ -1,0 +1,39 @@
+// Reproduces paper Table 1: the PSNR -> Mean Opinion Score mapping used
+// throughout the evaluation. Trivially a lookup table — printed here so
+// every table in the paper has a regenerating binary.
+
+#include <cstdio>
+
+#include "poi360/common/table.h"
+#include "poi360/video/quality.h"
+
+using namespace poi360;
+
+int main() {
+  Table t({"MOS", "PSNR range (dB)"});
+  t.add_row({"Excellent", "> 37"});
+  t.add_row({"Good", "31 - 37"});
+  t.add_row({"Fair", "25 - 31"});
+  t.add_row({"Poor", "20 - 25"});
+  t.add_row({"Bad", "< 20"});
+  std::printf("=== Table 1: PSNR to MOS mapping ===\n%s\n",
+              t.to_string().c_str());
+
+  // Cross-check the implementation at the bucket edges.
+  struct Probe {
+    double psnr;
+    video::Mos expect;
+  } probes[] = {
+      {38.0, video::Mos::kExcellent}, {37.0, video::Mos::kGood},
+      {31.5, video::Mos::kGood},      {31.0, video::Mos::kFair},
+      {25.5, video::Mos::kFair},      {25.0, video::Mos::kPoor},
+      {20.5, video::Mos::kPoor},      {20.0, video::Mos::kBad},
+      {10.0, video::Mos::kBad},
+  };
+  bool ok = true;
+  for (const auto& p : probes) {
+    if (video::mos_from_psnr(p.psnr) != p.expect) ok = false;
+  }
+  std::printf("implementation matches table: %s\n", ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

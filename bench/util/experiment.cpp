@@ -1,0 +1,85 @@
+#include "util/experiment.h"
+
+#include <cstdio>
+
+#include "poi360/common/table.h"
+
+namespace poi360::bench {
+
+std::vector<metrics::SessionMetrics> run_sessions(
+    const core::SessionConfig& base, int runs, std::uint64_t seed0) {
+  std::vector<metrics::SessionMetrics> out;
+  out.reserve(static_cast<std::size_t>(runs));
+  for (int r = 0; r < runs; ++r) {
+    core::SessionConfig config = base;
+    config.seed = seed0 + static_cast<std::uint64_t>(r) * 7919;
+    core::Session session(config);
+    session.run();
+    out.push_back(session.metrics());
+  }
+  return out;
+}
+
+metrics::SessionMetrics run_merged(const core::SessionConfig& base, int runs,
+                                   std::uint64_t seed0) {
+  return metrics::merge(run_sessions(base, runs, seed0));
+}
+
+SampleSet pooled_level_variation(
+    const std::vector<metrics::SessionMetrics>& runs, SimDuration window) {
+  SampleSet pooled;
+  for (const auto& run : runs) {
+    const SampleSet variation = run.roi_level_variation(window);
+    for (double v : variation.samples()) pooled.add(v);
+  }
+  return pooled;
+}
+
+SampleSet pooled_delays_ms(const std::vector<metrics::SessionMetrics>& runs) {
+  SampleSet pooled;
+  for (const auto& run : runs) {
+    const SampleSet delays = run.frame_delays_ms();
+    for (double v : delays.samples()) pooled.add(v);
+  }
+  return pooled;
+}
+
+void print_cdf(const std::string& title, const SampleSet& samples,
+               const std::string& unit, int bins) {
+  std::printf("%s  (n=%zu)\n", title.c_str(), samples.count());
+  Table t({unit, "CDF"});
+  for (const auto& [x, p] : samples.cdf_points(bins)) {
+    t.add_row({fmt(x, 2), fmt(p, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+core::SessionConfig micro_config(core::CompressionScheme scheme,
+                                 core::NetworkType network,
+                                 SimDuration duration) {
+  core::SessionConfig config = network == core::NetworkType::kWireline
+                                   ? core::presets::wireline()
+                                   : core::presets::cellular_static();
+  config.compression = scheme;
+  config.rate_control = core::RateControl::kGcc;
+  config.duration = duration;
+  return config;
+}
+
+core::SessionConfig transport_config(core::RateControl rate_control,
+                                     SimDuration duration) {
+  core::SessionConfig config = core::presets::cellular_static();
+  config.compression = core::CompressionScheme::kPoi360;
+  config.rate_control = rate_control;
+  config.duration = duration;
+  return config;
+}
+
+void print_mos_row(const std::string& label, const std::vector<double>& pdf) {
+  std::printf("%-28s Bad=%5.1f%%  Poor=%5.1f%%  Fair=%5.1f%%  Good=%5.1f%%  "
+              "Excellent=%5.1f%%\n",
+              label.c_str(), pdf[0] * 100.0, pdf[1] * 100.0, pdf[2] * 100.0,
+              pdf[3] * 100.0, pdf[4] * 100.0);
+}
+
+}  // namespace poi360::bench

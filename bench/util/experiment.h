@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poi360/common/stats.h"
+#include "poi360/core/config.h"
+#include "poi360/core/session.h"
+#include "poi360/metrics/session_metrics.h"
+
+// Shared harness for the paper-reproduction benchmarks: runs batches of
+// sessions (the paper repeats each condition with 5 users x 10 runs; we use
+// several seeds per condition) and prints the rows/series each figure
+// reports.
+
+namespace poi360::bench {
+
+/// Runs `runs` sessions of `base` with distinct seeds; returns each run's
+/// metrics. Seeds are derived deterministically from `seed0`.
+std::vector<metrics::SessionMetrics> run_sessions(
+    const core::SessionConfig& base, int runs, std::uint64_t seed0 = 1000);
+
+/// Runs and pools everything into one metrics object (distribution metrics
+/// that need per-run time continuity are computed per run by callers).
+metrics::SessionMetrics run_merged(const core::SessionConfig& base, int runs,
+                                   std::uint64_t seed0 = 1000);
+
+/// Pools the per-run ROI-compression-level sliding-window variation samples
+/// (Fig. 12) — must be computed per run, then pooled.
+SampleSet pooled_level_variation(
+    const std::vector<metrics::SessionMetrics>& runs,
+    SimDuration window = sec(2));
+
+/// Pools per-run frame-delay samples (ms).
+SampleSet pooled_delays_ms(const std::vector<metrics::SessionMetrics>& runs);
+
+/// Prints an evenly spaced CDF of `samples` ("value unit -> cdf").
+void print_cdf(const std::string& title, const SampleSet& samples,
+               const std::string& unit, int bins = 12);
+
+/// Prints a 5-bucket MOS PDF row (Bad..Excellent).
+void print_mos_row(const std::string& label, const std::vector<double>& pdf);
+
+/// §6.1.1 microbenchmark setup: the given compression scheme over the given
+/// network, with GCC as the transport for both (the paper isolates the
+/// compression algorithms by fixing the rate control to WebRTC's default).
+core::SessionConfig micro_config(core::CompressionScheme scheme,
+                                 core::NetworkType network,
+                                 SimDuration duration = sec(150));
+
+/// §6.1.2 microbenchmark setup: POI360 compression over cellular with the
+/// given transport.
+core::SessionConfig transport_config(core::RateControl rate_control,
+                                     SimDuration duration = sec(200));
+
+}  // namespace poi360::bench

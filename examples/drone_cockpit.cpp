@@ -1,0 +1,62 @@
+// Virtual 360° cockpit (Fig. 1 of the paper): a drone / vehicle-mounted
+// panoramic camera streams over LTE while moving; the remote pilot looks
+// around freely in the live sphere. Mobility stresses exactly what POI360
+// was built for — fast-fading channels and handover outages — so this
+// example sweeps the three driving profiles of §6.2 and prints how the
+// experience degrades with speed.
+//
+//   $ ./example_drone_cockpit [seconds-per-speed] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "poi360/common/table.h"
+#include "poi360/core/config.h"
+#include "poi360/core/session.h"
+
+using namespace poi360;
+
+int main(int argc, char** argv) {
+  const SimDuration duration = sec(argc > 1 ? std::atoll(argv[1]) : 120);
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+
+  std::printf("=== Virtual 360° cockpit over LTE ===\n\n");
+  Table t({"profile", "speed", "RSS", "PSNR (dB)", "freeze", "Mbps",
+           "MOS good+"});
+  struct Profile {
+    const char* name;
+    double mph;
+  } profiles[] = {{"hovering / parked", 0.0},
+                  {"residential cruise", 15.0},
+                  {"urban transit", 30.0},
+                  {"highway chase", 50.0}};
+
+  for (const auto& p : profiles) {
+    core::SessionConfig config = p.mph == 0.0
+                                     ? core::presets::cellular_static()
+                                     : core::presets::cellular_driving(p.mph);
+    config.duration = duration;
+    config.seed = seed;
+    // The pilot scans actively — a cockpit viewer tracks the horizon and
+    // checks surroundings far more than a chat user.
+    config.head_motion.pursuit_prob = 0.6;
+    config.head_motion.mean_fixation_s = 0.6;
+
+    core::Session session(config);
+    session.run();
+    const auto& m = session.metrics();
+    const auto pdf = m.mos_pdf();
+    char speed[16], rss[16];
+    std::snprintf(speed, sizeof(speed), "%.0f mph", p.mph);
+    std::snprintf(rss, sizeof(rss), "%.0f dBm", config.channel.rss_dbm);
+    t.add_row({p.name, speed, rss, fmt(m.mean_roi_psnr(), 1),
+               fmt_pct(m.freeze_ratio()), fmt(to_mbps(m.mean_throughput()), 2),
+               fmt_pct(pdf[3] + pdf[4], 0)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Expected shape (paper Fig. 17e/f): freezes grow with speed\n"
+              "as handovers interrupt the uplink, while the highway's open-\n"
+              "sky signal keeps the delivered quality high.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: run one POI360 360° telephony session over a simulated LTE
+// uplink and print the headline quality metrics.
+//
+//   $ ./example_quickstart [seconds] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "poi360/core/config.h"
+#include "poi360/core/session.h"
+
+int main(int argc, char** argv) {
+  using namespace poi360;
+
+  core::SessionConfig config = core::presets::cellular_static();
+  config.duration = sec(argc > 1 ? std::atoll(argv[1]) : 60);
+  config.seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  std::printf("POI360 quickstart: %s compression, %s rate control, %s "
+              "network, %.0f s\n",
+              core::to_string(config.compression).c_str(),
+              core::to_string(config.rate_control).c_str(),
+              core::to_string(config.network).c_str(),
+              to_seconds(config.duration));
+
+  core::Session session(config);
+  session.run();
+
+  const auto& m = session.metrics();
+  std::printf("\nDisplayed frames : %lld (skipped at sender: %lld)\n",
+              static_cast<long long>(m.displayed_frames()),
+              static_cast<long long>(m.skipped_frames()));
+  std::printf("ROI PSNR         : %.1f dB (std %.1f)\n", m.mean_roi_psnr(),
+              m.std_roi_psnr());
+  const auto delays = m.frame_delays_ms();
+  std::printf("Frame delay      : median %.0f ms, p90 %.0f ms, p99 %.0f ms, "
+              "max %.0f ms\n",
+              delays.median(), delays.percentile(0.9),
+              delays.percentile(0.99), delays.max());
+  std::printf("Freeze ratio     : %.1f%%\n", m.freeze_ratio() * 100.0);
+  std::printf("Mean throughput  : %.2f Mbps (std %.2f)\n",
+              to_mbps(m.mean_throughput()), to_mbps(m.std_throughput()));
+
+  const auto pdf = m.mos_pdf();
+  std::printf("MOS              : Bad %.0f%% | Poor %.0f%% | Fair %.0f%% | "
+              "Good %.0f%% | Excellent %.0f%%\n",
+              pdf[0] * 100, pdf[1] * 100, pdf[2] * 100, pdf[3] * 100,
+              pdf[4] * 100);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// 360° video chat: the paper's headline application (§1). Two parties each
+// stream their panoramic camera to the other, so each direction runs a full
+// POI360 sender/viewer pair. Party A is on LTE (their uplink is the
+// bottleneck), party B is at home on wireline — the asymmetric setup of a
+// typical "call grandma from the festival" session.
+//
+//   $ ./example_video_chat [seconds] [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "poi360/core/config.h"
+#include "poi360/core/session.h"
+
+using namespace poi360;
+
+namespace {
+
+void report(const char* direction, const metrics::SessionMetrics& m) {
+  const auto pdf = m.mos_pdf();
+  std::printf("%s\n", direction);
+  std::printf("  frames   : %lld displayed, %lld skipped\n",
+              static_cast<long long>(m.displayed_frames()),
+              static_cast<long long>(m.skipped_frames()));
+  std::printf("  quality  : %.1f dB ROI PSNR | MOS good+excellent %.0f%%\n",
+              m.mean_roi_psnr(), (pdf[3] + pdf[4]) * 100.0);
+  std::printf("  latency  : median %.0f ms | freeze %.1f%%\n",
+              m.frame_delays_ms().median(), m.freeze_ratio() * 100.0);
+  std::printf("  bitrate  : %.2f Mbps received\n\n",
+              to_mbps(m.mean_throughput()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const SimDuration duration = sec(argc > 1 ? std::atoll(argv[1]) : 90);
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 2024;
+
+  std::printf("=== 360° video chat: A (LTE, outdoors) <-> B (wireline) ===\n\n");
+
+  // Direction A -> B: A's cellular uplink carries the panorama; FBCC reads
+  // A's modem diagnostics, B's head motion drives the ROI feedback.
+  core::SessionConfig a_to_b = core::presets::cellular_static();
+  a_to_b.duration = duration;
+  a_to_b.seed = seed;
+  core::Session uplink_session(a_to_b);
+  uplink_session.run();
+  report("A -> B (panorama over A's LTE uplink, FBCC)",
+         uplink_session.metrics());
+
+  // Direction B -> A: B's wireline uplink is plentiful; the legacy GCC
+  // transport is all that is needed (and all that is possible: there is no
+  // modem to read diagnostics from).
+  core::SessionConfig b_to_a = core::presets::wireline();
+  b_to_a.duration = duration;
+  b_to_a.seed = seed + 1;
+  core::Session downlink_session(b_to_a);
+  downlink_session.run();
+  report("B -> A (panorama over B's wireline, GCC)",
+         downlink_session.metrics());
+
+  std::printf("The asymmetry is the paper's point: the LTE direction needs\n"
+              "both adaptive spatial compression and cellular-aware rate\n"
+              "control to stay watchable; the wireline direction is easy.\n");
+  return 0;
+}

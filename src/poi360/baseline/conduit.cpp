@@ -1,0 +1,20 @@
+#include "poi360/baseline/conduit.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace poi360::baseline {
+
+ConduitMode::ConduitMode(int fov_radius_tiles, double non_roi_level)
+    : fov_radius_(fov_radius_tiles), non_roi_level_(non_roi_level) {
+  if (fov_radius_tiles < 0 || non_roi_level < 1.0) {
+    throw std::invalid_argument("bad ConduitMode");
+  }
+}
+
+double ConduitMode::level(int dx, int dy) const {
+  if (dx < 0 || dy < 0) throw std::invalid_argument("negative tile distance");
+  return std::max(dx, dy) <= fov_radius_ ? 1.0 : non_roi_level_;
+}
+
+}  // namespace poi360::baseline

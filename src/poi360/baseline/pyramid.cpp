@@ -1,0 +1,21 @@
+#include "poi360/baseline/pyramid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace poi360::baseline {
+
+PyramidMode::PyramidMode(double c, double max_level)
+    : c_(c), max_level_(max_level) {
+  if (c < 1.0 || max_level < 1.0) throw std::invalid_argument("bad Pyramid");
+}
+
+double PyramidMode::level(int dx, int dy) const {
+  if (dx < 0 || dy < 0) throw std::invalid_argument("negative tile distance");
+  const double dist = std::hypot(static_cast<double>(dx),
+                                 static_cast<double>(dy));
+  return std::min(max_level_, std::pow(c_, dist));
+}
+
+}  // namespace poi360::baseline

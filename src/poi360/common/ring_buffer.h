@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace poi360 {
+
+/// Fixed-capacity FIFO that overwrites the oldest element when full.
+///
+/// Used for the bounded histories the POI360 controllers keep: the last K
+/// firmware-buffer samples for the congestion detector (Eq. 3) and the
+/// per-subframe TBS window for the bandwidth estimator (Eq. 4).
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : data_(capacity), capacity_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity 0");
+  }
+
+  void push(const T& value) {
+    data_[(head_ + size_) % capacity_] = value;
+    if (size_ == capacity_) {
+      head_ = (head_ + 1) % capacity_;
+    } else {
+      ++size_;
+    }
+  }
+
+  /// Element `i` counted from the oldest retained element.
+  const T& operator[](std::size_t i) const { return data_[(head_ + i) % capacity_]; }
+
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace poi360

@@ -1,0 +1,151 @@
+#include "poi360/common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace poi360 {
+
+void RunningStats::add(double x) {
+  ++n_;
+  if (n_ == 1) {
+    mean_ = x;
+    m2_ = 0.0;
+    min_ = x;
+    max_ = x;
+    return;
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::ensure_sorted() const {
+  if (sorted_) return;
+  auto& mut = const_cast<std::vector<double>&>(samples_);
+  std::sort(mut.begin(), mut.end());
+  sorted_ = true;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size()));
+}
+
+double SampleSet::min() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.front();
+}
+
+double SampleSet::max() const {
+  ensure_sorted();
+  return samples_.empty() ? 0.0 : samples_.back();
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_points(int bins) const {
+  std::vector<std::pair<double, double>> pts;
+  if (samples_.empty() || bins <= 0) return pts;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  const double step = (hi - lo) / static_cast<double>(bins);
+  pts.reserve(static_cast<std::size_t>(bins) + 1);
+  for (int i = 0; i <= bins; ++i) {
+    const double x = (step > 0.0) ? lo + step * i : lo;
+    pts.emplace_back(x, cdf_at(x));
+    if (step == 0.0) break;
+  }
+  return pts;
+}
+
+void SlidingWindowStats::add(SimTime t, double value) {
+  samples_.emplace_back(t, value);
+  evict(t);
+}
+
+void SlidingWindowStats::evict(SimTime now) {
+  while (!samples_.empty() && samples_.front().first < now - window_) {
+    samples_.pop_front();
+  }
+}
+
+double SlidingWindowStats::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& [t, v] : samples_) s += v;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SlidingWindowStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (const auto& [t, v] : samples_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(samples_.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument("bad histogram");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(i)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(i) + 0.5);
+}
+
+}  // namespace poi360

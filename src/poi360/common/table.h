@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+// Console table / CSV emitters used by the benchmark harnesses to print the
+// rows and series reported by each table and figure in the paper.
+
+namespace poi360 {
+
+/// Collects rows of strings and renders them as an aligned console table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Renders with padded columns, a header separator, no trailing spaces.
+  std::string to_string() const;
+
+  /// Renders as CSV (no escaping needed for our numeric content).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string fmt(double v, int decimals = 2);
+
+/// Formats a fraction as a percentage string, e.g. 0.0473 -> "4.7%".
+std::string fmt_pct(double fraction, int decimals = 1);
+
+}  // namespace poi360

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+
+// Simulation time base.
+//
+// The whole simulator runs on a single integral clock with microsecond
+// resolution. LTE subframes are 1 ms, video frames arrive every ~27.8 ms
+// (36 FPS), and diagnostic reports every 40 ms, so microseconds give exact
+// arithmetic for every period used in the paper while staying far away from
+// int64 overflow (2^63 us ~ 292k years).
+
+namespace poi360 {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A span of simulated time, in microseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kMicrosecond = 1;
+constexpr SimDuration kMillisecond = 1000;
+constexpr SimDuration kSecond = 1000 * kMillisecond;
+
+/// Builds a duration from integral microseconds.
+constexpr SimDuration usec(std::int64_t n) { return n * kMicrosecond; }
+/// Builds a duration from integral milliseconds.
+constexpr SimDuration msec(std::int64_t n) { return n * kMillisecond; }
+/// Builds a duration from integral seconds.
+constexpr SimDuration sec(std::int64_t n) { return n * kSecond; }
+
+/// Builds a duration from fractional seconds (rounded to microseconds).
+constexpr SimDuration sec_f(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+/// Builds a duration from fractional milliseconds (rounded to microseconds).
+constexpr SimDuration msec_f(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond) +
+                                  0.5);
+}
+
+/// Converts a duration to fractional seconds.
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+/// Converts a duration to fractional milliseconds.
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace poi360

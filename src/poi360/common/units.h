@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+
+#include "poi360/common/time.h"
+
+// Bitrate and byte-count helpers.
+//
+// Rates are plain doubles in bits per second: they are continuously adjusted
+// by controllers (GCC AIMD, FBCC Eq. 7) and a strong type would add friction
+// without catching real bugs here. Byte counts in queues are int64.
+
+namespace poi360 {
+
+/// Bits per second.
+using Bitrate = double;
+
+constexpr Bitrate kbps(double v) { return v * 1e3; }
+constexpr Bitrate mbps(double v) { return v * 1e6; }
+
+constexpr double to_kbps(Bitrate r) { return r / 1e3; }
+constexpr double to_mbps(Bitrate r) { return r / 1e6; }
+
+/// Number of whole bytes transferred at rate `r` over duration `d`.
+constexpr std::int64_t bytes_at_rate(Bitrate r, SimDuration d) {
+  return static_cast<std::int64_t>(r * to_seconds(d) / 8.0);
+}
+
+/// Rate that transfers `bytes` over duration `d` (d must be > 0).
+constexpr Bitrate rate_of(std::int64_t bytes, SimDuration d) {
+  return static_cast<double>(bytes) * 8.0 / to_seconds(d);
+}
+
+/// Time needed to transfer `bytes` at rate `r` (r must be > 0).
+constexpr SimDuration transfer_time(std::int64_t bytes, Bitrate r) {
+  return static_cast<SimDuration>(static_cast<double>(bytes) * 8.0 / r *
+                                  static_cast<double>(kSecond));
+}
+
+}  // namespace poi360

@@ -1,0 +1,56 @@
+#include "poi360/core/adaptive_compression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poi360::core {
+
+AdaptiveCompressionController::AdaptiveCompressionController(Config config)
+    : config_(config),
+      table_(config.num_modes, config.c_aggressive, config.c_conservative,
+             config.max_level),
+      mode_index_((config.num_modes + 1) / 2) {
+  // Start mid-table: the sender has no mismatch evidence yet, and the most
+  // conservative modes carry a quality-floor bitrate that could flood the
+  // uplink before the first feedback arrives.
+}
+
+void AdaptiveCompressionController::on_feedback(SimDuration mismatch_avg,
+                                                Bitrate current_rate,
+                                                SimTime now) {
+  const auto bucket = static_cast<double>(config_.bucket);
+  const int raw = static_cast<int>(
+      std::ceil(static_cast<double>(mismatch_avg) / bucket));
+  int mode = std::clamp(raw, 1, config_.num_modes);
+
+  // Walk back toward the aggressive end while the candidate mode's quality
+  // floor does not fit the encoding budget.
+  if (current_rate > 0.0 && !mode_floor_rates_.empty()) {
+    while (mode > 1 &&
+           static_cast<std::size_t>(mode) < mode_floor_rates_.size() &&
+           mode_floor_rates_[static_cast<std::size_t>(mode)] >
+               config_.floor_budget_fraction * current_rate) {
+      --mode;
+    }
+  }
+  if (mode == mode_index_) return;
+
+  // Dwell-time hysteresis against chatter at a bucket boundary.
+  if (now >= 0 && last_switch_ >= 0 &&
+      now - last_switch_ < config_.min_dwell) {
+    return;
+  }
+  if (now >= 0) last_switch_ = now;
+  mode_index_ = mode;
+}
+
+void AdaptiveCompressionController::set_mode_floor_rates(
+    std::vector<Bitrate> floors) {
+  mode_floor_rates_ = std::move(floors);
+}
+
+
+AdaptiveCompressionController::AdaptiveCompressionController()
+    : AdaptiveCompressionController(Config{}) {}
+
+}  // namespace poi360::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/video/compression.h"
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::core {
+
+/// Sender-side adaptive spatial compression (paper §4.2).
+///
+/// Holds the table of K pre-defined geometric modes F_1..F_K, ordered from
+/// most aggressive (sharp quality falloff, C = 1.8) to most conservative
+/// (smooth falloff, C = 1.1). On every ROI feedback, the reported average
+/// mismatch time M selects the mode:
+///
+///   i_m = clamp(ceil(M / bucket), 1, K)      with bucket = 200 ms.
+///
+/// (The paper prints max(8, ceil(M/200ms)); that must be min/clamp — the
+/// index is capped at K and larger M must pick a *more conservative* mode,
+/// see DESIGN.md.) Swift ROI updates therefore buy aggressive traffic
+/// reduction; laggy updates buy a smooth falloff so freshly entered regions
+/// are never terrible.
+///
+/// A second input bounds the choice from the rate side: conservative modes
+/// keep many more pixels alive and therefore carry a higher quality-floor
+/// bitrate (the encoder's maximum quantizer). The controller never selects a
+/// mode whose floor exceeds the current encoding budget — under a congested
+/// uplink it falls back toward the aggressive end, which is the behaviour
+/// the paper describes ("switch to more aggressive compression modes than
+/// Conduit under bad network condition", §6.1.1).
+class AdaptiveCompressionController {
+ public:
+  struct Config {
+    int num_modes = 8;
+    SimDuration bucket = msec(200);
+    double c_aggressive = 1.8;
+    double c_conservative = 1.1;
+    double max_level = 64.0;
+    /// A mode is eligible only while its quality-floor bitrate fits within
+    /// this fraction of the current encoding budget. Without this guard a
+    /// congestion-induced delay spike raises M, M selects a conservative
+    /// mode, and the conservative mode's floor deepens the congestion — a
+    /// positive feedback loop the real encoder pipeline cannot enter.
+    double floor_budget_fraction = 0.5;
+    /// Hysteresis: hold a newly selected mode at least this long. Every
+    /// mode switch re-shapes the whole compression matrix and forces an
+    /// intra refresh of the upgraded tiles, so chattering across a bucket
+    /// boundary is pure overhead.
+    SimDuration min_dwell = msec(800);
+  };
+
+  AdaptiveCompressionController();
+  explicit AdaptiveCompressionController(Config config);
+
+  /// Applies an ROI-mismatch feedback sample. `current_rate` (R_v) bounds
+  /// how conservative the selected mode may be; pass 0 to skip the bound
+  /// (it is also skipped until set_mode_floor_rates is called). `now` drives
+  /// the dwell-time hysteresis; pass monotone times (default disables it).
+  void on_feedback(SimDuration mismatch_avg, Bitrate current_rate = 0.0,
+                   SimTime now = -1);
+
+  /// Installs the per-mode quality-floor bitrates (index 0 unused, 1..K
+  /// matching mode ids), typically computed by the session from the
+  /// encoder's floor_bpp and the grid geometry.
+  void set_mode_floor_rates(std::vector<Bitrate> floors);
+
+  /// Currently selected mode index, 1-based (1 = most aggressive).
+  int mode_index() const { return mode_index_; }
+
+  const video::GeometricMode& current_mode() const {
+    return table_.mode(mode_index_);
+  }
+
+  /// Convenience: full compression matrix for the sender's ROI knowledge.
+  video::CompressionMatrix matrix_for(const video::TileGrid& grid,
+                                      video::TileIndex sender_roi) const {
+    return current_mode().matrix_for(grid, sender_roi);
+  }
+
+  const Config& config() const { return config_; }
+  const video::ModeTable& table() const { return table_; }
+
+ private:
+  Config config_;
+  video::ModeTable table_;
+  int mode_index_;
+  std::vector<Bitrate> mode_floor_rates_;
+  SimTime last_switch_ = -1;
+};
+
+}  // namespace poi360::core

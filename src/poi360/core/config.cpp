@@ -1,0 +1,117 @@
+#include "poi360/core/config.h"
+
+namespace poi360::core {
+
+std::string to_string(CompressionScheme s) {
+  switch (s) {
+    case CompressionScheme::kPoi360: return "POI360";
+    case CompressionScheme::kConduit: return "Conduit";
+    case CompressionScheme::kPyramid: return "Pyramid";
+  }
+  return "?";
+}
+
+std::string to_string(RateControl r) {
+  switch (r) {
+    case RateControl::kFbcc: return "FBCC";
+    case RateControl::kGcc: return "GCC";
+  }
+  return "?";
+}
+
+std::string to_string(NetworkType n) {
+  switch (n) {
+    case NetworkType::kCellular: return "cellular";
+    case NetworkType::kWireline: return "wireline";
+  }
+  return "?";
+}
+
+namespace presets {
+
+SessionConfig cellular_static() {
+  SessionConfig config;
+  config.network = NetworkType::kCellular;
+  config.channel.rss_dbm = -73.0;
+  config.channel.mean_cell_load = 0.15;
+  config.channel.speed_mph = 0.0;
+  return config;
+}
+
+SessionConfig wireline() {
+  SessionConfig config;
+  config.network = NetworkType::kWireline;
+  // FBCC needs the modem diagnostics; over wireline the paper (and we)
+  // always run GCC as the transport.
+  config.rate_control = RateControl::kGcc;
+  return config;
+}
+
+SessionConfig cellular_idle_cell() {
+  SessionConfig config = cellular_static();
+  config.channel.mean_cell_load = 0.10;
+  config.channel.load_std = 0.05;
+  return config;
+}
+
+SessionConfig cellular_busy_cell() {
+  SessionConfig config = cellular_static();
+  config.channel.mean_cell_load = 0.45;
+  config.channel.load_std = 0.16;
+  config.channel.load_tau_s = 2.0;
+  return config;
+}
+
+SessionConfig cellular_rss(double rss_dbm) {
+  SessionConfig config = cellular_static();
+  config.channel.rss_dbm = rss_dbm;
+  // Weekend runs at fixed locations: the cell is mostly idle and the static
+  // channel barely moves (§6.2 — "as long as the RSS does not fluctuate,
+  // POI360's rate control can always converge"). Competing-traffic grant
+  // events are correspondingly rare.
+  config.channel.mean_cell_load = 0.08;
+  config.channel.load_std = 0.04;
+  config.channel.fading_std = 0.15;
+  config.channel.fading_tau_s = 2.5;
+  config.channel.outage_per_min = 0.15;
+  config.uplink.famine_mean_interval = sec(25);
+  config.uplink.surge_mean_interval = sec(6);
+  return config;
+}
+
+SessionConfig cellular_driving(double speed_mph) {
+  SessionConfig config = cellular_static();
+  config.channel.speed_mph = speed_mph;
+  // The highway route enjoys less building blockage (§6.2: ~-60 dBm);
+  // urban and residential routes sit at moderate signal.
+  if (speed_mph >= 45.0) {
+    config.channel.rss_dbm = -60.0;
+  } else if (speed_mph >= 25.0) {
+    config.channel.rss_dbm = -76.0;
+  } else {
+    config.channel.rss_dbm = -75.0;
+  }
+  config.channel.mean_cell_load = 0.2;
+  // Handover interruptions scale with speed: more frequent cell changes and
+  // longer interruptions on fast roads.
+  config.channel.outage_per_min = 0.35 + speed_mph / 8.0;
+  config.channel.outage_mean_duration =
+      msec(400) + msec_f(speed_mph * 8.0);
+  return config;
+}
+
+SessionConfig cellular_mec() {
+  SessionConfig config = cellular_static();
+  // Relaying at the eNodeB removes the Internet segment in both directions:
+  // only the air interface and the edge relay remain.
+  config.core_delay = msec(4);
+  config.core_jitter = msec(1);
+  config.core_loss = 0.0001;
+  config.feedback_delay = msec(22);
+  config.feedback_jitter = msec(5);
+  return config;
+}
+
+}  // namespace presets
+
+}  // namespace poi360::core

@@ -1,0 +1,161 @@
+#include "poi360/core/fbcc.h"
+
+#include <algorithm>
+
+namespace poi360::core {
+
+CongestionDetector::CongestionDetector(Config config)
+    : config_(config),
+      history_(static_cast<std::size_t>(config.k) + 1),
+      gamma_(config.gamma_alpha) {}
+
+bool CongestionDetector::on_report(std::int64_t buffer_bytes) {
+  history_.push(buffer_bytes);
+  gamma_.add(static_cast<double>(buffer_bytes));
+
+  last_signal_ = false;
+  if (history_.full()) {
+    int decreases = 0;
+    for (std::size_t n = 1; n < history_.size(); ++n) {
+      if (history_[n] <= history_[n - 1]) ++decreases;
+    }
+    const bool increasing = decreases <= config_.allowed_decreases &&
+                            history_.back() > history_.front();
+    last_signal_ = increasing &&
+                   static_cast<double>(buffer_bytes) > gamma_.value();
+  }
+  return last_signal_;
+}
+
+TbsWindowEstimator::TbsWindowEstimator(Config config) : config_(config) {}
+
+void TbsWindowEstimator::on_report(const lte::DiagReport& report) {
+  reports_.push_back(report);
+  while (!reports_.empty() &&
+         reports_.front().time < report.time - config_.window) {
+    reports_.pop_front();
+  }
+}
+
+Bitrate TbsWindowEstimator::rphy() const {
+  if (reports_.empty()) return 0.0;
+  std::int64_t bytes = 0;
+  SimDuration span = 0;
+  for (const auto& r : reports_) {
+    bytes += r.tbs_bytes;
+    span += r.interval;
+  }
+  if (span <= 0) return 0.0;
+  return rate_of(bytes, span);
+}
+
+SweetSpotEstimator::SweetSpotEstimator(Config config)
+    : config_(config), slope_(config.slope_alpha) {}
+
+void SweetSpotEstimator::on_sample(std::int64_t buffer_bytes, Bitrate rphy) {
+  if (rphy <= 0.0) return;
+  ++samples_;
+  // Below the knee the grant curve is linear: rphy ≈ k·B; samples with
+  // modest occupancy estimate k.
+  if (buffer_bytes >= 512 && buffer_bytes <= 6 * 1024) {
+    slope_.add(rphy / static_cast<double>(buffer_bytes));
+  }
+  // Decaying max of R_phy approximates the saturation rate: the headroom
+  // probe regularly pushes the buffer past the believed knee, so whenever
+  // capacity is higher than believed the tracker ratchets upward.
+  sat_rate_ = std::max(rphy, sat_rate_ * config_.sat_decay);
+}
+
+std::int64_t SweetSpotEstimator::target_bytes() const {
+  if (samples_ < config_.min_samples || !slope_.initialized() ||
+      slope_.value() <= 0.0 || sat_rate_ <= 0.0) {
+    return config_.prior_bytes;
+  }
+  const double knee = sat_rate_ / slope_.value();
+  const auto target = static_cast<std::int64_t>(config_.headroom * knee);
+  return std::clamp(target, config_.min_bytes, config_.max_bytes);
+}
+
+FbccController::FbccController(Bitrate initial_rate, Config config)
+    : config_(config),
+      detector_(config.detector),
+      tbs_(config.tbs),
+      sweet_spot_(config.sweet_spot),
+      gcc_rate_(initial_rate),
+      video_rate_(initial_rate),
+      rtp_rate_(initial_rate),
+      rtt_(config.initial_rtt) {}
+
+void FbccController::on_diag(const lte::DiagReport& report) {
+  tbs_.on_report(report);
+  if (config_.learn_sweet_spot) {
+    sweet_spot_.on_sample(report.buffer_bytes, tbs_.rphy());
+  }
+
+  const bool j = detector_.on_report(report.buffer_bytes);
+  congested_ = j;
+  if (j) {
+    // Eq. 5/6: on a saturated uplink the windowed TBS rate *is* the
+    // available bandwidth; clamp the encoder to it for 2 RTTs so the
+    // slower GCC feedback cannot trigger a second cut for the same event.
+    held_rate_ = std::clamp(tbs_.rphy(), config_.min_rate, config_.max_rate);
+    hold_until_ = report.time + 2 * rtt_;
+  }
+  refresh_video_rate(report.time);
+
+  // Eq. 7: steer the pacer so the buffer reaches B* by the next epoch.
+  const SimDuration dp = report.interval > 0 ? report.interval : msec(40);
+  const double target =
+      static_cast<double>(sweet_spot_bytes());
+  const double correction_bytes_per_s =
+      (target - static_cast<double>(report.buffer_bytes)) / to_seconds(dp);
+  rtp_rate_ = rtp_rate_ + correction_bytes_per_s * 8.0;
+  // Eq. 7 presumes pending application-layer traffic; when the app buffer is
+  // shallow the integrator would otherwise wind up without bound. Keep the
+  // pacer within a pull-forward band around the encoder rate. The band's
+  // floor is R_v itself: throttling the transport below the source rate
+  // would merely move the queue into the application layer (§4.3.1) — and
+  // would hide a genuine overload from the Eq. 3 detector by capping the
+  // firmware buffer's inflow.
+  const Bitrate ceiling =
+      std::max(config_.rtp_over_video_cap * video_rate_, config_.min_rate);
+  rtp_rate_ = std::clamp(rtp_rate_, std::max(config_.min_rate, video_rate_),
+                         std::max(std::min(ceiling, 2.0 * config_.max_rate),
+                                  video_rate_));
+}
+
+void FbccController::on_gcc_rate(Bitrate rgcc) {
+  gcc_rate_ = std::clamp(rgcc, config_.min_rate, config_.max_rate);
+}
+
+void FbccController::set_rtt(SimDuration rtt) {
+  if (rtt > 0) rtt_ = rtt;
+}
+
+std::int64_t FbccController::sweet_spot_bytes() const {
+  return config_.learn_sweet_spot ? sweet_spot_.target_bytes()
+                                  : config_.sweet_spot.prior_bytes;
+}
+
+void FbccController::refresh_video_rate(SimTime now) {
+  if (hold_until_ >= 0 && now <= hold_until_) {
+    video_rate_ = held_rate_;
+  } else {
+    video_rate_ = gcc_rate_;
+  }
+}
+
+
+CongestionDetector::CongestionDetector()
+    : CongestionDetector(Config{}) {}
+
+TbsWindowEstimator::TbsWindowEstimator()
+    : TbsWindowEstimator(Config{}) {}
+
+SweetSpotEstimator::SweetSpotEstimator()
+    : SweetSpotEstimator(Config{}) {}
+
+FbccController::FbccController(Bitrate initial_rate)
+    : FbccController(initial_rate, Config{}) {}
+
+}  // namespace poi360::core

@@ -1,0 +1,169 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "poi360/common/ring_buffer.h"
+#include "poi360/common/stats.h"
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/lte/diag.h"
+
+namespace poi360::core {
+
+/// Uplink congestion detector (paper Eq. 3).
+///
+/// J = 1 iff the firmware buffer level increased for K consecutive
+/// diagnostic reports AND the current level exceeds Γ(t), the long-term
+/// average buffer level (updated online as an EWMA).
+class CongestionDetector {
+ public:
+  struct Config {
+    int k = 10;                 // consecutive increases required
+    double gamma_alpha = 0.02;  // EWMA weight for Γ(t)
+    /// Eq. 3 asks for K strictly increasing reports; on real diag feeds the
+    /// per-report TBS quantization makes occasional down-ticks inevitable
+    /// even while the buffer is filling, so we tolerate a few, as long as
+    /// the level grew over the whole K-report span.
+    int allowed_decreases = 2;
+  };
+
+  CongestionDetector();
+  explicit CongestionDetector(Config config);
+
+  /// Feeds one buffer-level report; returns the congestion indicator J.
+  bool on_report(std::int64_t buffer_bytes);
+
+  double gamma() const { return gamma_.value(); }
+  bool last_signal() const { return last_signal_; }
+
+ private:
+  Config config_;
+  RingBuffer<std::int64_t> history_;
+  Ewma gamma_;
+  bool last_signal_ = false;
+};
+
+/// Windowed uplink bandwidth estimator (paper Eq. 4/5).
+///
+/// R_phy = (sum of TBS over the trailing window) / window duration. When the
+/// uplink is saturated (J = 1) this *is* the available bandwidth R_bw; when
+/// not saturated it is only a lower bound — which is why FBCC uses it solely
+/// on congestion.
+class TbsWindowEstimator {
+ public:
+  struct Config {
+    SimDuration window = msec(480);  // W = 480 subframes
+  };
+
+  TbsWindowEstimator();
+  explicit TbsWindowEstimator(Config config);
+
+  void on_report(const lte::DiagReport& report);
+
+  /// Trailing-window PHY throughput; 0 until any report arrives.
+  Bitrate rphy() const;
+
+ private:
+  Config config_;
+  std::deque<lte::DiagReport> reports_;
+};
+
+/// Learns the "sweet spot" firmware buffer level B* (paper §4.3.2): high
+/// enough that the proportional-fair scheduler grants the full bandwidth,
+/// low enough to avoid queueing delay. The paper notes B* "can be learnt
+/// from previous transmissions"; we estimate the grant-curve slope k from
+/// unsaturated samples (R_phy ≈ k·B below the knee) and the saturation rate
+/// from the largest sustained R_phy, giving B* = headroom · R_sat / k.
+class SweetSpotEstimator {
+ public:
+  struct Config {
+    std::int64_t prior_bytes = 9 * 1024;  // until enough samples are seen
+    std::int64_t min_bytes = 2 * 1024;
+    std::int64_t max_bytes = 30 * 1024;
+    /// Target sits this factor above the estimated knee. Also the probe
+    /// that lets the decaying-max saturation estimate ratchet up to the
+    /// true capacity: pushing B slightly past the believed knee reveals
+    /// whether R_phy keeps growing.
+    double headroom = 1.15;
+    double slope_alpha = 0.05;   // EWMA for the grant-curve slope
+    double sat_decay = 0.9995;   // per-sample decay of the max-rate tracker
+    int min_samples = 50;
+  };
+
+  SweetSpotEstimator();
+  explicit SweetSpotEstimator(Config config);
+
+  /// One observation of (buffer level, trailing PHY rate).
+  void on_sample(std::int64_t buffer_bytes, Bitrate rphy);
+
+  std::int64_t target_bytes() const;
+
+ private:
+  Config config_;
+  Ewma slope_;          // bits/s per byte, from low-occupancy samples
+  double sat_rate_ = 0.0;  // decaying max of observed R_phy
+  int samples_ = 0;
+};
+
+/// Firmware-Buffer-aware Congestion Control (paper §4.3) — the sender-side
+/// controller combining:
+///  * video bitrate control (Eq. 6): on J = 1 clamp R_v to the windowed TBS
+///    bandwidth for 2 RTTs, otherwise follow the legacy GCC rate;
+///  * RTP rate control (Eq. 7): every diagnostic epoch D_p steer the pacer
+///    rate so the firmware buffer converges to the sweet spot B*.
+class FbccController {
+ public:
+  struct Config {
+    CongestionDetector::Config detector{};
+    TbsWindowEstimator::Config tbs{};
+    SweetSpotEstimator::Config sweet_spot{};
+    bool learn_sweet_spot = true;
+    Bitrate min_rate = kbps(200);
+    Bitrate max_rate = mbps(12);
+    /// Anti-windup ceiling for Eq. 7: R_rtp <= this factor x R_v.
+    double rtp_over_video_cap = 3.0;
+    /// Fallback RTT before the first measurement.
+    SimDuration initial_rtt = msec(120);
+  };
+
+  explicit FbccController(Bitrate initial_rate);
+  FbccController(Bitrate initial_rate, Config config);
+
+  /// One diagnostic report from the modem (every D_p = 40 ms).
+  void on_diag(const lte::DiagReport& report);
+
+  /// Latest R_gcc from the legacy end-to-end controller (Eq. 6 fallback).
+  void on_gcc_rate(Bitrate rgcc);
+
+  /// RTT estimate from the session's feedback loop (for the 2·RTT hold).
+  void set_rtt(SimDuration rtt);
+
+  /// R_v per Eq. 6.
+  Bitrate video_rate() const { return video_rate_; }
+  /// R_rtp per Eq. 7.
+  Bitrate rtp_rate() const { return rtp_rate_; }
+  /// Current congestion indicator J.
+  bool congested() const { return congested_; }
+  Bitrate rphy() const { return tbs_.rphy(); }
+  std::int64_t sweet_spot_bytes() const;
+
+ private:
+  void refresh_video_rate(SimTime now);
+
+  Config config_;
+  CongestionDetector detector_;
+  TbsWindowEstimator tbs_;
+  SweetSpotEstimator sweet_spot_;
+
+  Bitrate gcc_rate_;
+  Bitrate video_rate_;
+  Bitrate rtp_rate_;
+  bool congested_ = false;
+
+  SimDuration rtt_;
+  SimTime hold_until_ = -1;
+  Bitrate held_rate_ = 0.0;
+};
+
+}  // namespace poi360::core

@@ -1,0 +1,415 @@
+#include "poi360/core/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace poi360::core {
+
+namespace {
+constexpr SimDuration kThroughputSamplePeriod = sec(1);
+constexpr SimDuration kRetxDedupWindow = msec(150);
+}  // namespace
+
+Session::Session(SessionConfig config)
+    : config_(config),
+      grid_(config.grid_cols, config.grid_rows, config.frame_width_px,
+            config.frame_height_px),
+      rng_(config.seed),
+      encoder_(grid_, config.encoder),
+      packetizer_(),
+      adaptive_(config.adaptive),
+      conduit_(config.conduit_fov_radius, config.conduit_non_roi_level),
+      pyramid_(config.pyramid_c, config.baseline_max_level),
+      gcc_sender_(config.initial_rate, config.gcc_loss),
+      sender_roi_{config.grid_cols / 2, config.grid_rows / 2},
+      roi_predictor_(config.roi_predictor),
+      mismatch_tracker_(config.mismatch),
+      gcc_receiver_(config.initial_rate, config.gcc_receiver),
+      playout_(config.playout) {
+  const bool cellular = config_.network == NetworkType::kCellular;
+  if (!cellular && config_.rate_control == RateControl::kFbcc) {
+    throw std::invalid_argument(
+        "FBCC requires the cellular network: it reads modem diagnostics");
+  }
+
+  if (config_.motion_trace && !config_.motion_trace->empty()) {
+    head_motion_ =
+        std::make_unique<roi::MotionTrace>(*config_.motion_trace);
+  } else {
+    head_motion_ = std::make_unique<roi::StochasticHeadMotion>(
+        config_.head_motion, rng_.fork(0xA11CE).engine()());
+  }
+
+  // Per-mode quality-floor bitrates for the adaptive controller: the least
+  // bits each mode's surviving pixels can cost at the encoder's maximum
+  // quantizer (evaluated with the ROI on the equator; the row position only
+  // changes the clamped pitch distances marginally).
+  {
+    std::vector<Bitrate> floors(
+        static_cast<std::size_t>(config_.adaptive.num_modes) + 1, 0.0);
+    const video::TileIndex center{grid_.cols() / 2, grid_.rows() / 2};
+    for (int m = 1; m <= config_.adaptive.num_modes; ++m) {
+      const auto matrix = adaptive_.table().mode(m).matrix_for(grid_, center);
+      floors[static_cast<std::size_t>(m)] =
+          config_.encoder.floor_bpp * matrix.effective_tiles() *
+          static_cast<double>(grid_.tile_pixels()) * config_.encoder.fps;
+    }
+    adaptive_.set_mode_floor_rates(std::move(floors));
+  }
+
+  if (config_.rate_control == RateControl::kFbcc) {
+    fbcc_ = std::make_unique<FbccController>(config_.initial_rate,
+                                             config_.fbcc);
+  }
+
+  // Media path, back to front: receiver <- core/wireline <- pacer.
+  receiver_ = std::make_unique<rtp::RtpReceiver>(
+      sim_,
+      [this](const rtp::RtpReceiver::CompletedFrame& f) {
+        on_frame_complete(f);
+      },
+      [this](const std::vector<std::int64_t>& seqs) {
+        nack_link_->send(NackMsg{seqs});
+      });
+
+  if (cellular) {
+    core_link_ = std::make_unique<net::DelayLink<rtp::RtpPacket>>(
+        sim_,
+        net::DelayLinkConfig{config_.core_delay, config_.core_jitter,
+                             config_.core_loss},
+        rng_.fork(0xC0DE).engine()(),
+        [this](rtp::RtpPacket p, SimTime at) { receiver_->on_packet(p, at); });
+    uplink_ = std::make_unique<lte::LteUplink<rtp::RtpPacket>>(
+        sim_, config_.channel, config_.uplink, rng_.fork(0x17E).engine()(),
+        [this](rtp::RtpPacket p, SimTime) { core_link_->send(std::move(p)); });
+    uplink_->set_diag_sink(
+        [this](const lte::DiagReport& r) { on_diag(r); });
+  } else {
+    wireline_link_ = std::make_unique<net::DelayLink<rtp::RtpPacket>>(
+        sim_,
+        net::DelayLinkConfig{config_.wireline_delay, config_.wireline_jitter,
+                             config_.wireline_loss},
+        rng_.fork(0xC0DE).engine()(),
+        [this](rtp::RtpPacket p, SimTime at) { receiver_->on_packet(p, at); });
+    wireline_queue_ = std::make_unique<net::DrainQueue<rtp::RtpPacket>>(
+        sim_, config_.wireline_rate, config_.wireline_buffer_bytes,
+        [this](rtp::RtpPacket p, SimTime) {
+          wireline_link_->send(std::move(p));
+        });
+  }
+
+  pacer_ = std::make_unique<rtp::Pacer>(
+      sim_, config_.initial_rate,
+      [this](rtp::RtpPacket p) { on_packet_paced(std::move(p)); });
+
+  // Reverse path (feedback + NACK) shares the downlink/back-channel delays.
+  const bool wl = !cellular;
+  net::DelayLinkConfig reverse{
+      wl ? config_.wireline_feedback_delay : config_.feedback_delay,
+      wl ? config_.wireline_feedback_jitter : config_.feedback_jitter,
+      wl ? config_.wireline_loss : config_.feedback_loss};
+  feedback_link_ = std::make_unique<net::DelayLink<FeedbackMsg>>(
+      sim_, reverse, rng_.fork(0xFEED).engine()(),
+      [this](FeedbackMsg m, SimTime at) { on_feedback(m, at); });
+  nack_link_ = std::make_unique<net::DelayLink<NackMsg>>(
+      sim_, reverse, rng_.fork(0x7ACC).engine()(),
+      [this](NackMsg m, SimTime) { on_nack(m); });
+}
+
+Session::~Session() = default;
+
+void Session::run() {
+  if (ran_) throw std::logic_error("Session::run may be called once");
+  ran_ = true;
+
+  if (uplink_) uplink_->start();
+  pacer_->start();
+  receiver_->start();
+
+  const SimDuration frame_interval = encoder_.frame_interval();
+  sim_.schedule_periodic(msec(5), frame_interval, [this]() { on_capture(); });
+  sim_.schedule_periodic(msec(5) + frame_interval / 2, frame_interval,
+                         [this]() { on_feedback_timer(); });
+  sim_.schedule_periodic(kThroughputSamplePeriod, kThroughputSamplePeriod,
+                         [this]() { on_throughput_second(); });
+  if (!uplink_) {
+    // No diagnostics over wireline: sample rate telemetry on a timer.
+    sim_.schedule_periodic(msec(40), msec(40), [this]() {
+      record_rate_sample(sim_.now(), 0, 0.0, false);
+    });
+  }
+
+  sim_.run_until(config_.duration);
+}
+
+// ---------------------------------------------------------------- sender --
+
+Bitrate Session::current_video_rate() const {
+  return fbcc_ ? fbcc_->video_rate() : gcc_sender_.target();
+}
+
+video::CompressionMatrix Session::current_matrix_for(
+    video::TileIndex roi) const {
+  switch (config_.compression) {
+    case CompressionScheme::kPoi360:
+      return adaptive_.matrix_for(grid_, roi);
+    case CompressionScheme::kConduit:
+      return conduit_.matrix_for(grid_, roi);
+    case CompressionScheme::kPyramid:
+      return pyramid_.matrix_for(grid_, roi);
+  }
+  throw std::logic_error("unknown compression scheme");
+}
+
+int Session::current_mode_id() const {
+  switch (config_.compression) {
+    case CompressionScheme::kPoi360:
+      return adaptive_.mode_index();
+    case CompressionScheme::kConduit:
+      return baseline::ConduitMode::kModeId;
+    case CompressionScheme::kPyramid:
+      return baseline::PyramidMode::kModeId;
+  }
+  throw std::logic_error("unknown compression scheme");
+}
+
+void Session::on_capture() {
+  const Bitrate rv = current_video_rate();
+  // Encoder backpressure: when the app buffer holds more than the allowed
+  // backlog of playtime, skip this frame (it would only rot in the queue).
+  const std::int64_t backlog_limit =
+      bytes_at_rate(rv, config_.max_app_backlog);
+  if (pacer_->queued_bytes() > backlog_limit) {
+    metrics_.note_sender_skipped_frame();
+    return;
+  }
+
+  // With prediction enabled, compress for where the viewer is heading
+  // rather than where the last feedback saw them (§8).
+  video::TileIndex roi = sender_roi_;
+  if (config_.roi_prediction_horizon > 0 && roi_predictor_.has_estimate()) {
+    const roi::Orientation predicted =
+        roi_predictor_.predict(sim_.now() + config_.roi_prediction_horizon);
+    roi = grid_.tile_at(predicted.yaw_deg, predicted.pitch_deg);
+  }
+  video::EncodedFrame frame = encoder_.encode(
+      sim_.now(), roi, current_mode_id(),
+      current_matrix_for(roi), rv);
+
+  // Content-complexity churn: per-frame size varies lognormally around the
+  // target while the encoder holds quality (it spends what the scene needs).
+  // The -sigma^2/2 shift keeps the multiplier's mean at 1 so the noise does
+  // not inflate the average bitrate.
+  if (config_.frame_size_noise_std > 0.0) {
+    const double sigma = config_.frame_size_noise_std;
+    const double f = std::exp(rng_.normal(-0.5 * sigma * sigma, sigma));
+    frame.bytes = std::max<std::int64_t>(
+        config_.encoder.overhead_bytes,
+        static_cast<std::int64_t>(static_cast<double>(frame.bytes) *
+                                  std::clamp(f, 0.5, 2.0)));
+  }
+
+  const std::int64_t id = frame.id;
+  in_flight_.emplace(id, std::move(frame));
+  sim_.schedule_in(config_.capture_encode_delay,
+                   [this, id]() { hand_frame_to_pacer(id); });
+}
+
+void Session::hand_frame_to_pacer(std::int64_t frame_id) {
+  const auto it = in_flight_.find(frame_id);
+  if (it == in_flight_.end()) return;
+  const video::EncodedFrame& frame = it->second;
+  for (rtp::RtpPacket& p :
+       packetizer_.packetize(frame.id, frame.capture_time, frame.bytes)) {
+    pacer_->enqueue(std::move(p));
+  }
+}
+
+void Session::on_packet_paced(rtp::RtpPacket packet) {
+  sent_cache_.insert(packet);
+  if (uplink_) {
+    uplink_->push(std::move(packet));
+  } else {
+    wireline_queue_->push(std::move(packet));
+  }
+}
+
+void Session::on_feedback(const FeedbackMsg& msg, SimTime arrival) {
+  sender_roi_ = msg.roi;
+  if (config_.roi_prediction_horizon > 0) {
+    roi_predictor_.add_sample(msg.sent_at, msg.gaze);
+  }
+  adaptive_.on_feedback(msg.mismatch_avg, current_video_rate(), sim_.now());
+  const Bitrate rgcc = gcc_sender_.on_feedback(msg.gcc);
+  rtt_estimator_.on_report(msg.rtcp, arrival);
+  if (fbcc_) {
+    fbcc_->on_gcc_rate(rgcc);
+    fbcc_->set_rtt(rtt_estimator_.has_estimate()
+                       ? rtt_estimator_.smoothed_rtt()
+                       : (arrival - msg.sent_at) + msg.last_net_delay);
+  } else {
+    // Legacy WebRTC behaviour (§3.3): the RTP sending rate simply follows
+    // the video encoding rate (plus the pacer's small burst headroom).
+    pacer_->set_rate(rgcc * config_.gcc_pacing_factor);
+  }
+}
+
+void Session::on_nack(const NackMsg& msg) {
+  const SimTime now = sim_.now();
+  for (std::int64_t seq : msg.seqs) {
+    const auto recent = recent_retx_.find(seq);
+    if (recent != recent_retx_.end() &&
+        now - recent->second < kRetxDedupWindow) {
+      continue;  // retransmission already in flight
+    }
+    if (auto packet = sent_cache_.lookup(seq)) {
+      packet->is_retransmission = true;
+      recent_retx_[seq] = now;
+      pacer_->enqueue_front(*packet);
+    }
+  }
+}
+
+void Session::on_diag(const lte::DiagReport& report) {
+  diag_history_.push_back(report);
+  while (!diag_history_.empty() &&
+         diag_history_.front().time < report.time - sec(1)) {
+    diag_history_.pop_front();
+  }
+
+  if (fbcc_) {
+    fbcc_->on_diag(report);
+    pacer_->set_rate(fbcc_->rtp_rate());
+  }
+
+  const Bitrate rphy1s = trailing_rphy(sec(1));
+  record_rate_sample(report.time, report.buffer_bytes, rphy1s,
+                     fbcc_ && fbcc_->congested());
+  metrics_.add_buffer_tbs_point(
+      {report.time, report.buffer_bytes, rphy1s});
+}
+
+Bitrate Session::trailing_rphy(SimDuration window) const {
+  if (diag_history_.empty()) return 0.0;
+  std::int64_t bytes = 0;
+  SimDuration span = 0;
+  for (auto it = diag_history_.rbegin(); it != diag_history_.rend(); ++it) {
+    if (span >= window) break;
+    bytes += it->tbs_bytes;
+    span += it->interval;
+  }
+  return span > 0 ? rate_of(bytes, span) : 0.0;
+}
+
+// ---------------------------------------------------------------- viewer --
+
+void Session::on_frame_complete(const rtp::RtpReceiver::CompletedFrame& f) {
+  // GCC bases its multiplicative decrease on the incoming-rate estimate;
+  // WebRTC measures it over a trailing window long enough to lag transient
+  // famines (which is precisely why its cuts land off-target).
+  gcc_receiver_.on_frame(f.last_send_time, f.completion,
+                         receiver_->incoming_rate(sec(1)));
+  last_net_delay_ = f.completion - f.first_send_time;
+
+  // RTCP bookkeeping: the media stream acts as the "sender report"; the
+  // next feedback message echoes it as LSR/DLSR so the sender can compute
+  // the true control-loop RTT.
+  last_sr_timestamp_ = f.first_send_time;
+  last_sr_received_ = f.completion;
+
+  // The playout buffer always observes arrivals (its jitter estimate rides
+  // the RTCP reports); its schedule only governs display when enabled.
+  const SimTime playout_at =
+      playout_.schedule(f.capture_time, f.completion) + config_.render_delay;
+  const SimTime display_at = config_.use_adaptive_playout
+                                 ? playout_at
+                                 : f.completion + config_.render_delay;
+  sim_.schedule_at(display_at, [this, f]() { on_display(f); });
+}
+
+void Session::on_display(const rtp::RtpReceiver::CompletedFrame& f) {
+  const auto it = in_flight_.find(f.frame_id);
+  if (it == in_flight_.end()) return;
+  const video::EncodedFrame& frame = it->second;
+
+  const SimTime now = sim_.now();
+  const roi::Orientation gaze = head_motion_->orientation_at(now);
+  const video::TileIndex actual_roi =
+      grid_.tile_at(gaze.yaw_deg, gaze.pitch_deg);
+
+  const double roi_level = frame.levels.at(actual_roi);
+  const double min_level = frame.levels.min_level();
+  const SimDuration delay = now - frame.capture_time;
+
+  mismatch_tracker_.on_frame(now, delay, roi_level, min_level, actual_roi);
+
+  const double psnr = video::roi_region_psnr(config_.quality, grid_,
+                                              frame.levels, actual_roi,
+                                              frame.bpp);
+  metrics_.add_frame(metrics::FrameRecord{
+      .frame_id = f.frame_id,
+      .capture_time = frame.capture_time,
+      .display_time = now,
+      .delay = delay,
+      .roi_level = roi_level,
+      .min_level = min_level,
+      .roi_psnr_db = psnr,
+      .mos = video::mos_from_psnr(psnr),
+      .mode_id = frame.mode_id,
+      .roi_mismatch = roi_level > min_level * config_.mismatch.level_tolerance,
+  });
+
+  in_flight_.erase(it);
+}
+
+void Session::on_feedback_timer() {
+  const SimTime now = sim_.now();
+  const roi::Orientation gaze = head_motion_->orientation_at(now);
+  FeedbackMsg msg;
+  msg.roi = grid_.tile_at(gaze.yaw_deg, gaze.pitch_deg);
+  msg.gaze = gaze;
+  msg.mismatch_avg = mismatch_tracker_.average();
+  msg.gcc = gcc::GccFeedback{
+      .delay_based_rate = gcc_receiver_.delay_based_rate(),
+      .loss_fraction = receiver_->take_loss_fraction(),
+      .incoming_rate = receiver_->incoming_rate(),
+      .sent_at = now,
+  };
+  msg.rtcp = rtp::ReceiverReport{
+      .last_sr_timestamp = last_sr_timestamp_,
+      .delay_since_last_sr =
+          last_sr_timestamp_ > 0 ? now - last_sr_received_ : 0,
+      .jitter = playout_.measured_jitter(),
+      .fraction_lost = 0.0,  // carried in msg.gcc.loss_fraction
+  };
+  msg.sent_at = now;
+  msg.last_net_delay = last_net_delay_;
+  feedback_link_->send(msg);
+}
+
+// ------------------------------------------------------------- telemetry --
+
+void Session::on_throughput_second() {
+  const std::int64_t total = receiver_->total_media_bytes();
+  metrics_.add_throughput_second(
+      rate_of(total - last_second_bytes_, kThroughputSamplePeriod));
+  last_second_bytes_ = total;
+}
+
+void Session::record_rate_sample(SimTime now, std::int64_t buffer_bytes,
+                                 Bitrate rphy, bool congested) {
+  const metrics::RateSample sample{
+      .time = now,
+      .video_rate = current_video_rate(),
+      .rtp_rate = pacer_->rate(),
+      .fw_buffer_bytes = buffer_bytes,
+      .app_buffer_bytes = pacer_->queued_bytes(),
+      .rphy = rphy,
+      .congested = congested,
+  };
+  metrics_.add_rate_sample(sample);
+  if (trace_hook_) trace_hook_(sample);
+}
+
+}  // namespace poi360::core

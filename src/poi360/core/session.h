@@ -1,0 +1,150 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "poi360/baseline/conduit.h"
+#include "poi360/baseline/pyramid.h"
+#include "poi360/common/rng.h"
+#include "poi360/core/adaptive_compression.h"
+#include "poi360/core/config.h"
+#include "poi360/core/fbcc.h"
+#include "poi360/core/mismatch.h"
+#include "poi360/gcc/gcc.h"
+#include "poi360/lte/uplink.h"
+#include "poi360/metrics/session_metrics.h"
+#include "poi360/net/link.h"
+#include "poi360/net/queue.h"
+#include "poi360/roi/head_motion.h"
+#include "poi360/roi/prediction.h"
+#include "poi360/rtp/pacer.h"
+#include "poi360/rtp/packetizer.h"
+#include "poi360/rtp/receiver.h"
+#include "poi360/rtp/jitter_buffer.h"
+#include "poi360/rtp/retx.h"
+#include "poi360/rtp/rtcp.h"
+#include "poi360/sim/simulator.h"
+#include "poi360/video/encoder.h"
+
+namespace poi360::core {
+
+/// ROI + congestion feedback message on the viewer -> sender path
+/// (WebRTC data channel in the prototype, §5).
+struct FeedbackMsg {
+  video::TileIndex roi;
+  roi::Orientation gaze;          // raw sensor angles (enables prediction)
+  SimDuration mismatch_avg = 0;   // windowed M (Eq. 2)
+  gcc::GccFeedback gcc;
+  rtp::ReceiverReport rtcp;       // LSR/DLSR echo + jitter (RFC 3550 style)
+  SimTime sent_at = 0;
+  SimDuration last_net_delay = 0;  // network part of the last frame's delay
+};
+
+/// NACK batch on the reverse path.
+struct NackMsg {
+  std::vector<std::int64_t> seqs;
+};
+
+/// One end-to-end 360° telephony session: sender (camera -> adaptive
+/// compression -> encoder -> packetizer -> pacer), access network (LTE
+/// uplink + core, or wireline), viewer (reassembly -> display -> ROI &
+/// congestion feedback), and the configured rate control closing the loop.
+///
+/// Construct, `run()`, then read `metrics()`. Each (config, seed) pair is a
+/// fully deterministic replayable run.
+class Session {
+ public:
+  explicit Session(SessionConfig config);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs the full session; call exactly once.
+  void run();
+
+  const metrics::SessionMetrics& metrics() const { return metrics_; }
+  const SessionConfig& config() const { return config_; }
+
+  /// Optional observer invoked on every rate-control telemetry sample
+  /// (used by the rate_control_trace example).
+  using TraceHook = std::function<void(const metrics::RateSample&)>;
+  void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
+
+ private:
+  // Sender side.
+  void on_capture();
+  void hand_frame_to_pacer(std::int64_t frame_id);
+  void on_packet_paced(rtp::RtpPacket packet);
+  void on_feedback(const FeedbackMsg& msg, SimTime arrival);
+  void on_nack(const NackMsg& msg);
+  void on_diag(const lte::DiagReport& report);
+  Bitrate current_video_rate() const;
+  video::CompressionMatrix current_matrix_for(video::TileIndex roi) const;
+  int current_mode_id() const;
+
+  // Viewer side.
+  void on_frame_complete(const rtp::RtpReceiver::CompletedFrame& frame);
+  void on_display(const rtp::RtpReceiver::CompletedFrame& frame);
+  void on_feedback_timer();
+
+  // Telemetry.
+  void on_throughput_second();
+  void record_rate_sample(SimTime now, std::int64_t buffer_bytes,
+                          Bitrate rphy, bool congested);
+  Bitrate trailing_rphy(SimDuration window) const;
+
+  SessionConfig config_;
+  video::TileGrid grid_;
+  sim::Simulator sim_;
+  Rng rng_;
+
+  // Sender.
+  video::PanoramicEncoder encoder_;
+  rtp::Packetizer packetizer_;
+  rtp::SentPacketCache sent_cache_;
+  std::unique_ptr<rtp::Pacer> pacer_;
+  AdaptiveCompressionController adaptive_;
+  baseline::ConduitMode conduit_;
+  baseline::PyramidMode pyramid_;
+  gcc::GccSender gcc_sender_;
+  std::unique_ptr<FbccController> fbcc_;
+  video::TileIndex sender_roi_;
+  roi::RoiPredictor roi_predictor_;
+  std::unordered_map<std::int64_t, video::EncodedFrame> in_flight_;
+  std::unordered_map<std::int64_t, SimTime> recent_retx_;
+
+  // Network.
+  std::unique_ptr<lte::LteUplink<rtp::RtpPacket>> uplink_;
+  std::unique_ptr<net::DelayLink<rtp::RtpPacket>> core_link_;
+  std::unique_ptr<net::DrainQueue<rtp::RtpPacket>> wireline_queue_;
+  std::unique_ptr<net::DelayLink<rtp::RtpPacket>> wireline_link_;
+  std::unique_ptr<net::DelayLink<FeedbackMsg>> feedback_link_;
+  std::unique_ptr<net::DelayLink<NackMsg>> nack_link_;
+
+  // Viewer.
+  std::unique_ptr<rtp::RtpReceiver> receiver_;
+  std::unique_ptr<roi::HeadMotionModel> head_motion_;
+  MismatchTracker mismatch_tracker_;
+  gcc::GccReceiver gcc_receiver_;
+  rtp::JitterBuffer playout_;
+  SimDuration last_net_delay_ = 0;
+  SimTime last_sr_timestamp_ = 0;   // first_send_time of last completed frame
+  SimTime last_sr_received_ = 0;    // when that frame completed
+
+  // Sender-side RTT bookkeeping (RFC 3550 LSR/DLSR).
+  rtp::RttEstimator rtt_estimator_;
+
+  // Telemetry.
+  metrics::SessionMetrics metrics_;
+  TraceHook trace_hook_;
+  std::deque<lte::DiagReport> diag_history_;
+  std::int64_t last_second_bytes_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace poi360::core

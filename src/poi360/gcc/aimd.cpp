@@ -1,0 +1,82 @@
+#include "poi360/gcc/aimd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poi360::gcc {
+
+AimdController::AimdController(Bitrate initial_rate, Config config)
+    : config_(config), target_(initial_rate) {}
+
+Bitrate AimdController::update(BandwidthUsage usage, Bitrate incoming_rate,
+                               SimTime now) {
+  const double dt_s =
+      last_update_ < 0 ? 0.0 : to_seconds(now - last_update_);
+  last_update_ = now;
+
+  // State machine from the RMCAT draft: overuse always decreases, underuse
+  // holds (the queues are draining; don't push), normal resumes probing.
+  switch (usage) {
+    case BandwidthUsage::kOveruse:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthUsage::kUnderuse:
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal:
+      if (state_ != State::kIncrease) state_ = State::kIncrease;
+      break;
+  }
+
+  switch (state_) {
+    case State::kDecrease: {
+      const Bitrate base = incoming_rate > 0.0 ? incoming_rate : target_;
+      target_ = std::min(target_, config_.beta * base);
+      capacity_estimate_.add(base);
+      state_ = State::kHold;
+      break;
+    }
+    case State::kHold:
+      break;
+    case State::kIncrease: {
+      const bool near_capacity =
+          capacity_estimate_.initialized() &&
+          target_ > capacity_estimate_.value() / config_.near_capacity_factor;
+      if (near_capacity) {
+        target_ += config_.additive_per_s * dt_s;
+      } else {
+        target_ *= std::pow(config_.eta_per_s, std::min(dt_s, 1.0));
+      }
+      // Never run far ahead of what actually arrives.
+      if (incoming_rate > 0.0) {
+        target_ = std::min(target_, 1.5 * incoming_rate + kbps(10));
+      }
+      break;
+    }
+  }
+
+  target_ = std::clamp(target_, config_.min_rate, config_.max_rate);
+  return target_;
+}
+
+LossBasedController::LossBasedController(Bitrate initial_rate, Config config)
+    : config_(config), target_(initial_rate) {}
+
+Bitrate LossBasedController::update(double loss_fraction) {
+  if (loss_fraction > config_.high_loss) {
+    target_ *= (1.0 - 0.5 * loss_fraction);
+  } else if (loss_fraction < config_.low_loss) {
+    target_ *= 1.05;
+  }
+  target_ = std::clamp(target_, config_.min_rate, config_.max_rate);
+  return target_;
+}
+
+
+AimdController::AimdController(Bitrate initial_rate)
+    : AimdController(initial_rate, Config{}) {}
+
+LossBasedController::LossBasedController(Bitrate initial_rate)
+    : LossBasedController(initial_rate, Config{}) {}
+
+}  // namespace poi360::gcc

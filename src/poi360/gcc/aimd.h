@@ -1,0 +1,72 @@
+#pragma once
+
+#include "poi360/common/stats.h"
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/gcc/trendline.h"
+
+namespace poi360::gcc {
+
+/// AIMD rate controller of GCC's delay-based path (receiver side).
+///
+/// Overuse multiplicatively backs the rate off to beta x the measured
+/// incoming rate; normal operation probes upward — multiplicatively while
+/// far from the last known capacity, additively near it. This slow-probe /
+/// sharp-cut cycle is the source of the throughput oscillation the paper
+/// measures for GCC (Fig. 16a: 57% higher rate std than FBCC).
+class AimdController {
+ public:
+  struct Config {
+    Bitrate min_rate = kbps(200);
+    Bitrate max_rate = mbps(12);
+    double beta = 0.85;                // multiplicative decrease factor
+    double eta_per_s = 1.08;           // multiplicative increase per second
+    Bitrate additive_per_s = kbps(350);  // near-capacity additive ramp
+    double near_capacity_factor = 1.5; // "near" = within 1.5x of estimate
+  };
+
+  explicit AimdController(Bitrate initial_rate);
+  AimdController(Bitrate initial_rate, Config config);
+
+  /// Updates the target with the detector signal and the measured incoming
+  /// rate; `now` spaces the increase steps.
+  Bitrate update(BandwidthUsage usage, Bitrate incoming_rate, SimTime now);
+
+  Bitrate target() const { return target_; }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+
+  Config config_;
+  Bitrate target_;
+  State state_ = State::kIncrease;
+  SimTime last_update_ = -1;
+
+  // EWMA of the incoming rate at decrease moments: the last known capacity.
+  Ewma capacity_estimate_{0.3};
+};
+
+/// Loss-based controller of GCC (sender side), per the RMCAT draft:
+/// loss > 10% cuts the rate, loss < 2% probes up 5%, otherwise hold.
+class LossBasedController {
+ public:
+  struct Config {
+    Bitrate min_rate = kbps(200);
+    Bitrate max_rate = mbps(12);
+    double high_loss = 0.10;
+    double low_loss = 0.02;
+  };
+
+  explicit LossBasedController(Bitrate initial_rate);
+  LossBasedController(Bitrate initial_rate, Config config);
+
+  Bitrate update(double loss_fraction);
+
+  Bitrate target() const { return target_; }
+
+ private:
+  Config config_;
+  Bitrate target_;
+};
+
+}  // namespace poi360::gcc

@@ -1,0 +1,43 @@
+#include "poi360/gcc/gcc.h"
+
+#include <algorithm>
+
+namespace poi360::gcc {
+
+GccReceiver::GccReceiver(Bitrate initial_rate, Config config)
+    : trendline_(config.trendline), aimd_(initial_rate, config.aimd) {}
+
+void GccReceiver::on_frame(SimTime last_send_time, SimTime completion_time,
+                           Bitrate incoming_rate) {
+  const BandwidthUsage usage =
+      trendline_.update(last_send_time, completion_time);
+  aimd_.update(usage, incoming_rate, completion_time);
+}
+
+GccSender::GccSender(Bitrate initial_rate,
+                     LossBasedController::Config loss_config)
+    : loss_config_(loss_config),
+      loss_based_(initial_rate, loss_config),
+      latest_delay_based_(initial_rate),
+      target_(initial_rate) {}
+
+Bitrate GccSender::on_feedback(const GccFeedback& feedback) {
+  loss_based_.update(feedback.loss_fraction);
+  if (feedback.delay_based_rate > 0.0) {
+    latest_delay_based_ = feedback.delay_based_rate;
+  }
+  // The published rate is min(loss-based, delay-based), clamped: a remote
+  // estimate below the configured floor must not drag the encoder to zero.
+  target_ = std::clamp(std::min(loss_based_.target(), latest_delay_based_),
+                       loss_config_.min_rate, loss_config_.max_rate);
+  return target_;
+}
+
+
+GccReceiver::GccReceiver(Bitrate initial_rate)
+    : GccReceiver(initial_rate, Config{}) {}
+
+GccSender::GccSender(Bitrate initial_rate)
+    : GccSender(initial_rate, LossBasedController::Config{}) {}
+
+}  // namespace poi360::gcc

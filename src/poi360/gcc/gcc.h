@@ -1,0 +1,63 @@
+#pragma once
+
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/gcc/aimd.h"
+#include "poi360/gcc/trendline.h"
+
+namespace poi360::gcc {
+
+/// Receiver report carried back to the sender (REMB-style, piggybacked on
+/// the same feedback cadence as the ROI updates).
+struct GccFeedback {
+  Bitrate delay_based_rate = 0.0;  // receiver-side estimate A_r
+  double loss_fraction = 0.0;      // since previous report
+  Bitrate incoming_rate = 0.0;     // measured at the receiver
+  SimTime sent_at = 0;
+};
+
+/// Receiver half of GCC: one delay-gradient sample per completed frame
+/// (frames are our packet groups), AIMD on the detector signal.
+class GccReceiver {
+ public:
+  struct Config {
+    TrendlineEstimator::Config trendline{};
+    AimdController::Config aimd{};
+  };
+
+  explicit GccReceiver(Bitrate initial_rate);
+  GccReceiver(Bitrate initial_rate, Config config);
+
+  /// Feed one completed frame's (send completion, arrival completion) pair
+  /// plus the currently measured incoming rate.
+  void on_frame(SimTime last_send_time, SimTime completion_time,
+                Bitrate incoming_rate);
+
+  Bitrate delay_based_rate() const { return aimd_.target(); }
+  BandwidthUsage usage() const { return trendline_.state(); }
+
+ private:
+  TrendlineEstimator trendline_;
+  AimdController aimd_;
+};
+
+/// Sender half of GCC: combines the receiver's delay-based estimate with the
+/// local loss-based controller; the published rate is the minimum of both.
+class GccSender {
+ public:
+  explicit GccSender(Bitrate initial_rate);
+  GccSender(Bitrate initial_rate, LossBasedController::Config loss_config);
+
+  /// Apply one receiver report. Returns the updated target rate R_gcc.
+  Bitrate on_feedback(const GccFeedback& feedback);
+
+  Bitrate target() const { return target_; }
+
+ private:
+  LossBasedController::Config loss_config_;
+  LossBasedController loss_based_;
+  Bitrate latest_delay_based_;
+  Bitrate target_;
+};
+
+}  // namespace poi360::gcc

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+
+#include <memory>
+#include <optional>
+
+#include "poi360/common/rng.h"
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/lte/multi_user.h"
+#include "poi360/lte/trace.h"
+
+namespace poi360::lte {
+
+/// Configuration of the LTE uplink radio channel seen by one UE.
+///
+/// The knobs map one-to-one onto the field conditions of the paper's §6.2
+/// system evaluation: received signal strength (parking garage -115 dBm /
+/// shadowed lot -82 dBm / open lot -73 dBm / highway -60 dBm), cell
+/// background load (early-morning idle vs. after-class busy), and mobility
+/// (15/30/50 mph driving, which speeds up fading and adds handover outages).
+struct ChannelConfig {
+  double rss_dbm = -73.0;
+
+  /// Mean fraction of uplink cell resources consumed by other users.
+  /// (Used by the abstract OU load process; ignored when `explicit_users`
+  /// enables the multi-user cell below.)
+  double mean_cell_load = 0.15;
+  /// Std of the load process (Ornstein-Uhlenbeck around the mean).
+  double load_std = 0.08;
+  /// Load process time constant.
+  double load_tau_s = 4.0;
+
+  /// Std of the multiplicative (log-domain) fast-fading process at rest.
+  double fading_std = 0.32;
+  /// Fading time constant at rest; shrinks with speed (Doppler).
+  double fading_tau_s = 1.5;
+
+  /// UE speed; drives fading rate and outage frequency.
+  double speed_mph = 0.0;
+
+  /// Handover / deep-fade outages per minute. Negative = derive from speed
+  /// (even a static UE sees occasional deep fades / cell-breathing events;
+  /// driving adds handovers on top).
+  double outage_per_min = -1.0;
+  /// Mean outage duration.
+  SimDuration outage_mean_duration = msec(400);
+  /// Capacity multiplier during an outage.
+  double outage_depth = 0.05;
+
+  /// When set, the channel replays this capacity trace verbatim (looping)
+  /// instead of evolving its stochastic processes — identical conditions
+  /// for every algorithm under comparison.
+  std::shared_ptr<const CapacityTrace> capacity_trace;
+
+  /// >= 0: replace the abstract load process with an explicit multi-user
+  /// proportional-fair cell of this many background UEs (see MultiUserCell);
+  /// -1 keeps the abstract Ornstein-Uhlenbeck load model.
+  int explicit_users = -1;
+  MultiUserCell::Config multi_user{};
+};
+
+/// Maps RSS to the uplink capacity available to a lone UE in an idle cell.
+/// Piecewise-linear between anchors calibrated so the paper's operating
+/// points are reproduced (-73 dBm saturates around 5.5 Mbps, Fig. 5).
+Bitrate capacity_for_rss(double rss_dbm);
+
+/// Per-subframe uplink channel process.
+///
+/// `advance(now)` must be called once per 1 ms subframe, in order; it steps
+/// the load/fading/outage processes and returns the cell capacity (bits per
+/// second) this UE could be granted at most during that subframe.
+class UplinkChannel {
+ public:
+  UplinkChannel(ChannelConfig config, std::uint64_t seed);
+
+  Bitrate advance(SimTime now);
+
+  /// Last capacity returned by advance().
+  Bitrate current_capacity() const { return current_capacity_; }
+  bool in_outage() const { return in_outage_; }
+  double current_load() const { return load_; }
+  /// Present only when `explicit_users >= 0`.
+  const std::optional<MultiUserCell>& multi_user_cell() const {
+    return cell_;
+  }
+
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  void schedule_next_outage(SimTime now);
+
+  ChannelConfig config_;
+  Rng rng_;
+  Bitrate base_capacity_;
+  std::optional<MultiUserCell> cell_;
+
+  double load_;         // OU state
+  double log_fading_ = 0.0;  // OU state in log domain
+  double fading_tau_eff_s_;
+
+  bool in_outage_ = false;
+  SimTime outage_until_ = 0;
+  SimTime next_outage_at_ = 0;
+  double outage_rate_per_min_;
+
+  SimTime last_advance_ = -1;
+  Bitrate current_capacity_ = 0.0;
+};
+
+}  // namespace poi360::lte

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+#include "poi360/common/time.h"
+
+namespace poi360::lte {
+
+/// One report from the modem diagnostic interface.
+///
+/// The POI360 prototype reads the phone's diag port with a MobileInsight-
+/// style decoder and obtains "the LTE uplink TBS and the uplink firmware
+/// buffer level for every 40 ms" (§5). FBCC consumes exactly these reports —
+/// it never peeks at simulator internals, so the information boundary of the
+/// real system is preserved.
+struct DiagReport {
+  SimTime time = 0;
+  /// Instantaneous firmware buffer occupancy B(t), bytes.
+  std::int64_t buffer_bytes = 0;
+  /// Sum of uplink transport block sizes granted since the previous report.
+  std::int64_t tbs_bytes = 0;
+  /// Time covered by `tbs_bytes` (the report interval Δt).
+  SimDuration interval = 0;
+};
+
+}  // namespace poi360::lte

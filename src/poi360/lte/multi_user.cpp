@@ -1,0 +1,52 @@
+#include "poi360/lte/multi_user.h"
+
+#include <algorithm>
+
+namespace poi360::lte {
+
+MultiUserCell::MultiUserCell(Config config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  users_.resize(static_cast<std::size_t>(std::max(0, config.background_users)));
+  // Start each user in a random phase of its on/off cycle so the cell does
+  // not begin synchronized.
+  const double duty =
+      to_seconds(config_.mean_on) /
+      (to_seconds(config_.mean_on) + to_seconds(config_.mean_off));
+  for (auto& user : users_) {
+    user.active = rng_.bernoulli(duty);
+    const SimDuration mean =
+        user.active ? config_.mean_on : config_.mean_off;
+    user.toggle_at = sec_f(rng_.exponential(to_seconds(mean)));
+  }
+}
+
+void MultiUserCell::advance_user(User& user, SimTime now) {
+  while (user.toggle_at <= now) {
+    user.active = !user.active;
+    const SimDuration mean =
+        user.active ? config_.mean_on : config_.mean_off;
+    user.toggle_at += std::max<SimDuration>(
+        msec(10), sec_f(rng_.exponential(to_seconds(mean))));
+  }
+}
+
+double MultiUserCell::foreground_share(SimTime now) {
+  int active = 0;
+  for (auto& user : users_) {
+    advance_user(user, now);
+    if (user.active) ++active;
+  }
+  const double competing_weight =
+      config_.background_weight * static_cast<double>(active);
+  return 1.0 / (1.0 + competing_weight);
+}
+
+int MultiUserCell::active_users() const {
+  int active = 0;
+  for (const auto& user : users_) {
+    if (user.active) ++active;
+  }
+  return active;
+}
+
+}  // namespace poi360::lte

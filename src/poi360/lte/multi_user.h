@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi360/common/rng.h"
+#include "poi360/common/time.h"
+
+namespace poi360::lte {
+
+/// Explicit multi-user proportional-fair uplink cell.
+///
+/// Instead of the abstract Ornstein-Uhlenbeck cell-load process, this models
+/// each competing UE as an on/off (bursty) traffic source; the scheduler
+/// splits each subframe's resources equally among the UEs with backlog
+/// (proportional fairness converges to equal time-shares for backlogged
+/// users at similar channel quality). The foreground UE's capacity share
+/// then fluctuates *organically*: it surges to 1.0 when everyone else goes
+/// quiet and collapses to 1/(1+n) when n competitors burst — the same
+/// surge/famine phenomenology of §3.3, but emerging from first principles.
+class MultiUserCell {
+ public:
+  struct Config {
+    int background_users = 6;
+    /// Mean duration of a user's active (uploading) burst.
+    SimDuration mean_on = msec(1500);
+    /// Mean idle gap between a user's bursts.
+    SimDuration mean_off = sec(6);
+    /// Weight of a background user relative to the (heavily backlogged)
+    /// foreground video UE; < 1 models their smaller buffers/QoS class.
+    double background_weight = 1.0;
+  };
+
+  MultiUserCell(Config config, std::uint64_t seed);
+
+  /// Advances the on/off processes to `now` and returns the fraction of the
+  /// cell's uplink resources available to the foreground UE in (0, 1].
+  double foreground_share(SimTime now);
+
+  int active_users() const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct User {
+    bool active = false;
+    SimTime toggle_at = 0;
+  };
+
+  void advance_user(User& user, SimTime now);
+
+  Config config_;
+  Rng rng_;
+  std::vector<User> users_;
+};
+
+}  // namespace poi360::lte

@@ -1,0 +1,258 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <utility>
+
+#include "poi360/common/ring_buffer.h"
+#include "poi360/common/rng.h"
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/lte/channel.h"
+#include "poi360/lte/diag.h"
+#include "poi360/lte/tbs.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::lte {
+
+/// Uplink scheduling and modem-buffer parameters.
+struct UplinkConfig {
+  /// Slope of the proportional-fair grant curve: the eNodeB serves a UE at
+  /// R_phy = min(capacity, k · B_reported)  [bits/s per byte of backlog].
+  /// 540 reproduces Fig. 5: saturation (~5.5 Mbps) near a 10 kB buffer.
+  double grant_bps_per_byte = 540.0;
+
+  /// Buffer-status-report latency: the grant at time t reflects the buffer
+  /// level at t - bsr_delay (SR/BSR + scheduling round trip).
+  SimDuration bsr_delay = msec(8);
+
+  /// Probability a subframe's transport block is not granted/decoded; the
+  /// HARQ retransmission shows up as the grant simply not draining bytes.
+  double bler = 0.03;
+
+  /// The PF scheduler time-multiplexes UEs: this UE receives a grant every
+  /// `grant_period` subframes, sized for the whole period. Service is
+  /// therefore bursty at millisecond scale, which (together with the grant
+  /// surges below) is what lets a buffer run dry under naive rate control
+  /// (Fig. 6).
+  int grant_period = 4;
+
+  /// Occasionally competing users go idle and the scheduler showers this UE
+  /// with PRBs: the grant-curve slope k multiplies by `surge_gain` for a
+  /// short burst — the paper's "temporary uplink bandwidth surge" (§3.3).
+  SimDuration surge_mean_interval = msec(1500);
+  SimDuration surge_mean_duration = msec(250);
+  double surge_gain = 4.0;
+
+  /// The opposite also happens: bursts of competing traffic starve this UE
+  /// of PRBs for a while. Famines inflate the firmware buffer into the
+  /// 20-50 kB range seen in the paper's Fig. 5/6, which is what end-to-end
+  /// delay-gradient controllers (GCC) react to — and over-react to, causing
+  /// the underutilization FBCC fixes.
+  SimDuration famine_mean_interval = msec(7000);
+  SimDuration famine_mean_duration = msec(400);
+  double famine_gain = 0.3;
+
+  /// Firmware buffer capacity (drop-tail beyond this).
+  std::int64_t buffer_limit_bytes = 3'000'000;
+
+  /// Diagnostic report period (MobileInsight cadence, §5).
+  SimDuration diag_interval = msec(40);
+
+  SimDuration subframe = msec(1);
+};
+
+/// The cellular uplink as seen from the device: a firmware (modem) buffer
+/// drained by per-subframe grants from the base station's proportional-fair
+/// scheduler.
+///
+/// This is the substrate both POI360 findings rest on: the service rate
+/// depends on the buffer's own occupancy (Fig. 5), so an empty buffer earns
+/// no grants (the underutilization of §3.3) and a deep buffer earns nothing
+/// extra but queueing delay (the congestion FBCC detects).
+///
+/// `T` is the packet type (must expose an `std::int64_t bytes` member).
+/// Fully drained packets are handed to `sink` at the draining subframe; the
+/// caller appends core-network delay behind it.
+template <typename T>
+class LteUplink {
+ public:
+  using Sink = std::function<void(T, SimTime)>;
+  using DiagSink = std::function<void(const DiagReport&)>;
+  /// (time, buffer_bytes_before_grant, tbs_bytes) once per subframe.
+  using SubframeProbe =
+      std::function<void(SimTime, std::int64_t, std::int64_t)>;
+
+  LteUplink(sim::Simulator& simulator, ChannelConfig channel_config,
+            UplinkConfig config, std::uint64_t seed, Sink sink)
+      : sim_(simulator),
+        config_(config),
+        channel_(channel_config, seed),
+        rng_(Rng(seed).fork(0x1f7)),
+        sink_(std::move(sink)),
+        bsr_history_(static_cast<std::size_t>(
+            std::max<SimDuration>(1, config.bsr_delay / config.subframe))) {}
+
+  /// Begins the subframe and diagnostic schedules. Call once.
+  void start() {
+    next_surge_at_ = sim_.now() + sec_f(rng_.exponential(to_seconds(
+                                       config_.surge_mean_interval)));
+    next_famine_at_ = sim_.now() + sec_f(rng_.exponential(to_seconds(
+                                        config_.famine_mean_interval)));
+    sim_.schedule_periodic(sim_.now() + config_.subframe, config_.subframe,
+                           [this]() { on_subframe(); });
+    last_diag_time_ = sim_.now();
+    sim_.schedule_periodic(sim_.now() + config_.diag_interval,
+                           config_.diag_interval, [this]() { on_diag(); });
+  }
+
+  /// Enqueues a packet into the firmware buffer (drop-tail).
+  void push(T packet) {
+    if (buffer_bytes_ + packet.bytes > config_.buffer_limit_bytes) {
+      ++dropped_;
+      return;
+    }
+    buffer_bytes_ += packet.bytes;
+    queue_.emplace_back(std::move(packet), 0);
+    queue_.back().second = queue_.back().first.bytes;
+  }
+
+  std::int64_t buffer_bytes() const { return buffer_bytes_; }
+  std::int64_t dropped() const { return dropped_; }
+  std::int64_t total_tbs_bytes() const { return total_tbs_bytes_; }
+
+  void set_diag_sink(DiagSink sink) { diag_sink_ = std::move(sink); }
+  void set_subframe_probe(SubframeProbe probe) { probe_ = std::move(probe); }
+
+  const UplinkChannel& channel() const { return channel_; }
+  const UplinkConfig& config() const { return config_; }
+
+ private:
+  void on_subframe() {
+    const SimTime now = sim_.now();
+    const Bitrate capacity = channel_.advance(now);
+
+    // The scheduler sees the stale buffer level from the BSR round trip.
+    const std::int64_t reported =
+        bsr_history_.full() ? bsr_history_.front() : 0;
+    bsr_history_.push(buffer_bytes_);
+
+    // Grant-slope surge and famine processes (random telegraphs).
+    if (surging_ && now >= surge_until_) surging_ = false;
+    if (!surging_ && now >= next_surge_at_) {
+      surging_ = true;
+      surge_until_ =
+          now + std::max<SimDuration>(
+                    msec(20), sec_f(rng_.exponential(to_seconds(
+                                  config_.surge_mean_duration))));
+      next_surge_at_ =
+          surge_until_ + std::max<SimDuration>(
+                             msec(100), sec_f(rng_.exponential(to_seconds(
+                                            config_.surge_mean_interval))));
+    }
+    if (famine_ && now >= famine_until_) famine_ = false;
+    if (!famine_ && now >= next_famine_at_) {
+      famine_ = true;
+      famine_until_ =
+          now + std::max<SimDuration>(
+                    msec(30), sec_f(rng_.exponential(to_seconds(
+                                  config_.famine_mean_duration))));
+      next_famine_at_ =
+          famine_until_ + std::max<SimDuration>(
+                              msec(150), sec_f(rng_.exponential(to_seconds(
+                                             config_.famine_mean_interval))));
+    }
+
+    // Time-multiplexed scheduling: one grant per period, period-sized.
+    ++subframe_index_;
+    const int period = std::max(1, config_.grant_period);
+    const std::int64_t before = buffer_bytes_;
+    if (subframe_index_ % period != 0) {
+      if (probe_) probe_(now, before, 0);
+      return;
+    }
+
+    double k = config_.grant_bps_per_byte;
+    double cap = capacity;
+    if (surging_) k *= config_.surge_gain;
+    if (famine_) {
+      // PRB starvation hits both the slope and the ceiling: no matter how
+      // much backlog the BSR advertises, the competing burst owns the PRBs.
+      k *= config_.famine_gain;
+      cap *= config_.famine_gain;
+    }
+    const double grant_bps = std::min(cap, k * static_cast<double>(reported));
+    const std::int64_t grant_bytes = static_cast<std::int64_t>(
+        grant_bps * to_seconds(config_.subframe) / 8.0 * period);
+
+    std::int64_t tbs = quantizer_.quantize(grant_bytes);
+
+    // HARQ: a failed transport block drains nothing this subframe.
+    if (tbs > 0 && rng_.bernoulli(config_.bler)) tbs = 0;
+
+    std::int64_t budget = std::min(tbs, buffer_bytes_);
+    const std::int64_t drained = budget;
+    while (budget > 0 && !queue_.empty()) {
+      auto& [packet, remaining] = queue_.front();
+      const std::int64_t take = std::min(budget, remaining);
+      remaining -= take;
+      budget -= take;
+      buffer_bytes_ -= take;
+      if (remaining == 0) {
+        T done = std::move(packet);
+        queue_.pop_front();
+        sink_(std::move(done), now);
+      }
+    }
+
+    tbs_since_diag_ += drained;
+    total_tbs_bytes_ += drained;
+    if (probe_) probe_(now, before, drained);
+  }
+
+  void on_diag() {
+    if (!diag_sink_) {
+      tbs_since_diag_ = 0;
+      last_diag_time_ = sim_.now();
+      return;
+    }
+    DiagReport report{
+        .time = sim_.now(),
+        .buffer_bytes = buffer_bytes_,
+        .tbs_bytes = tbs_since_diag_,
+        .interval = sim_.now() - last_diag_time_,
+    };
+    tbs_since_diag_ = 0;
+    last_diag_time_ = sim_.now();
+    diag_sink_(report);
+  }
+
+  sim::Simulator& sim_;
+  UplinkConfig config_;
+  UplinkChannel channel_;
+  Rng rng_;
+  Sink sink_;
+  DiagSink diag_sink_;
+  SubframeProbe probe_;
+  TbsQuantizer quantizer_;
+
+  std::deque<std::pair<T, std::int64_t>> queue_;  // (packet, bytes left)
+  std::int64_t buffer_bytes_ = 0;
+  std::int64_t dropped_ = 0;
+
+  RingBuffer<std::int64_t> bsr_history_;
+  std::int64_t subframe_index_ = 0;
+  bool surging_ = false;
+  SimTime surge_until_ = 0;
+  SimTime next_surge_at_ = 0;
+  bool famine_ = false;
+  SimTime famine_until_ = 0;
+  SimTime next_famine_at_ = 0;
+  std::int64_t tbs_since_diag_ = 0;
+  std::int64_t total_tbs_bytes_ = 0;
+  SimTime last_diag_time_ = 0;
+};
+
+}  // namespace poi360::lte

@@ -1,0 +1,116 @@
+#include "poi360/metrics/session_metrics.h"
+
+namespace poi360::metrics {
+
+void SessionMetrics::add_frame(const FrameRecord& record) {
+  frames_.push_back(record);
+}
+
+void SessionMetrics::add_rate_sample(const RateSample& sample) {
+  rate_samples_.push_back(sample);
+}
+
+void SessionMetrics::add_buffer_tbs_point(const BufferTbsPoint& point) {
+  buffer_tbs_.push_back(point);
+}
+
+void SessionMetrics::add_throughput_second(Bitrate received_rate) {
+  throughput_bps_.push_back(received_rate);
+}
+
+double SessionMetrics::mean_roi_psnr() const {
+  RunningStats s;
+  for (const auto& f : frames_) s.add(f.roi_psnr_db);
+  return s.mean();
+}
+
+double SessionMetrics::std_roi_psnr() const {
+  RunningStats s;
+  for (const auto& f : frames_) s.add(f.roi_psnr_db);
+  return s.stddev();
+}
+
+std::vector<double> SessionMetrics::mos_pdf() const {
+  std::vector<double> pdf(5, 0.0);
+  if (frames_.empty()) return pdf;
+  for (const auto& f : frames_) {
+    pdf[static_cast<std::size_t>(f.mos)] += 1.0;
+  }
+  for (double& p : pdf) p /= static_cast<double>(frames_.size());
+  return pdf;
+}
+
+double SessionMetrics::freeze_ratio(SimDuration threshold) const {
+  const std::int64_t total =
+      static_cast<std::int64_t>(frames_.size()) + skipped_frames_;
+  if (total == 0) return 0.0;
+  std::int64_t frozen = skipped_frames_;
+  for (const auto& f : frames_) {
+    if (f.delay > threshold) ++frozen;
+  }
+  return static_cast<double>(frozen) / static_cast<double>(total);
+}
+
+SampleSet SessionMetrics::frame_delays_ms() const {
+  SampleSet s;
+  for (const auto& f : frames_) s.add(to_millis(f.delay));
+  return s;
+}
+
+SampleSet SessionMetrics::roi_level_variation(SimDuration window) const {
+  SampleSet out;
+  SlidingWindowStats w(window);
+  for (const auto& f : frames_) {
+    w.add(f.display_time, f.roi_level);
+    out.add(w.stddev());
+  }
+  return out;
+}
+
+SampleSet SessionMetrics::buffer_levels_kb() const {
+  SampleSet s;
+  for (const auto& r : rate_samples_) {
+    s.add(static_cast<double>(r.fw_buffer_bytes) / 1024.0);
+  }
+  return s;
+}
+
+double SessionMetrics::mean_throughput() const {
+  RunningStats s;
+  for (double r : throughput_bps_) s.add(r);
+  return s.mean();
+}
+
+double SessionMetrics::std_throughput() const {
+  RunningStats s;
+  for (double r : throughput_bps_) s.add(r);
+  return s.stddev();
+}
+
+double SessionMetrics::mean_video_rate() const {
+  RunningStats s;
+  for (const auto& r : rate_samples_) s.add(r.video_rate);
+  return s.mean();
+}
+
+double SessionMetrics::std_video_rate() const {
+  RunningStats s;
+  for (const auto& r : rate_samples_) s.add(r.video_rate);
+  return s.stddev();
+}
+
+SessionMetrics merge(const std::vector<SessionMetrics>& runs) {
+  SessionMetrics all;
+  for (const auto& run : runs) {
+    for (const auto& f : run.frames()) all.add_frame(f);
+    for (const auto& r : run.rate_samples()) all.add_rate_sample(r);
+    for (const auto& p : run.buffer_tbs()) all.add_buffer_tbs_point(p);
+    for (double t : run.throughput_samples()) all.add_throughput_second(t);
+    for (std::int64_t s = 0; s < run.skipped_frames(); ++s) {
+      all.note_sender_skipped_frame();
+    }
+  }
+  return all;
+}
+
+}  // namespace poi360::metrics

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi360/common/stats.h"
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/video/quality.h"
+
+namespace poi360::metrics {
+
+/// Everything measured about one displayed 360° frame at the viewer.
+struct FrameRecord {
+  std::int64_t frame_id = 0;
+  SimTime capture_time = 0;
+  SimTime display_time = 0;
+  SimDuration delay = 0;          // display - capture (end-to-end, §5)
+  double roi_level = 1.0;         // compression level of the viewed tile
+  double min_level = 1.0;         // best level anywhere in the frame
+  double roi_psnr_db = 0.0;       // displayed quality in the actual ROI
+  video::Mos mos = video::Mos::kBad;
+  int mode_id = 0;                // compression mode the sender used
+  bool roi_mismatch = false;      // viewed tile not at the frame's best level
+};
+
+/// Periodic rate-control telemetry (one sample per diagnostic report).
+struct RateSample {
+  SimTime time = 0;
+  Bitrate video_rate = 0.0;       // R_v
+  Bitrate rtp_rate = 0.0;         // R_rtp
+  std::int64_t fw_buffer_bytes = 0;
+  std::int64_t app_buffer_bytes = 0;  // pacer (video buffer) backlog
+  Bitrate rphy = 0.0;             // trailing TBS-derived PHY throughput
+  bool congested = false;         // FBCC's J signal (always false for GCC)
+};
+
+/// Point for the Fig. 15-style scatter: buffer occupancy vs. trailing
+/// one-second uplink TBS throughput.
+struct BufferTbsPoint {
+  SimTime time = 0;
+  std::int64_t buffer_bytes = 0;
+  Bitrate ul_tbs_per_s = 0.0;
+};
+
+/// Collects per-session measurements and computes the aggregates each paper
+/// figure reports. Populated by core::Session; consumed by tests, examples
+/// and the bench harnesses.
+class SessionMetrics {
+ public:
+  // -- ingestion ----------------------------------------------------------
+  void add_frame(const FrameRecord& record);
+  void add_rate_sample(const RateSample& sample);
+  void add_buffer_tbs_point(const BufferTbsPoint& point);
+  void add_throughput_second(Bitrate received_rate);
+  void note_sender_skipped_frame() { ++skipped_frames_; }
+
+  // -- raw access ---------------------------------------------------------
+  const std::vector<FrameRecord>& frames() const { return frames_; }
+  const std::vector<RateSample>& rate_samples() const { return rate_samples_; }
+  const std::vector<BufferTbsPoint>& buffer_tbs() const { return buffer_tbs_; }
+  const std::vector<double>& throughput_samples() const {
+    return throughput_bps_;
+  }
+
+  // -- aggregates (one per paper metric) -----------------------------------
+  /// Mean / std of ROI PSNR across displayed frames (Fig. 11a/b bars).
+  double mean_roi_psnr() const;
+  double std_roi_psnr() const;
+
+  /// MOS bucket PDF over displayed frames (Fig. 11c/d, 16b, 17b/d/f).
+  std::vector<double> mos_pdf() const;  // indexed by video::Mos
+
+  /// Freeze ratio: frames delayed beyond the threshold, plus frames the
+  /// sender had to skip under backlog (they were never shown on time).
+  double freeze_ratio(SimDuration threshold = msec(600)) const;
+
+  /// Distribution of end-to-end frame delay in ms (Fig. 13 CDFs).
+  SampleSet frame_delays_ms() const;
+
+  /// Distribution of the 2 s sliding-window std of the displayed ROI
+  /// compression level (Fig. 12 CDFs).
+  SampleSet roi_level_variation(SimDuration window = sec(2)) const;
+
+  /// Distribution of firmware buffer levels in kB (Fig. 6 CDF).
+  SampleSet buffer_levels_kb() const;
+
+  /// Mean / std of per-second received throughput (Fig. 16a).
+  double mean_throughput() const;
+  double std_throughput() const;
+
+  /// Mean / std of the video encoding rate across rate samples.
+  double mean_video_rate() const;
+  double std_video_rate() const;
+
+  std::int64_t displayed_frames() const {
+    return static_cast<std::int64_t>(frames_.size());
+  }
+  std::int64_t skipped_frames() const { return skipped_frames_; }
+
+ private:
+  std::vector<FrameRecord> frames_;
+  std::vector<RateSample> rate_samples_;
+  std::vector<BufferTbsPoint> buffer_tbs_;
+  std::vector<double> throughput_bps_;
+  std::int64_t skipped_frames_ = 0;
+};
+
+/// Merges the per-figure aggregates of several runs (the paper repeats each
+/// experiment 10 times per user and reports pooled distributions).
+SessionMetrics merge(const std::vector<SessionMetrics>& runs);
+
+}  // namespace poi360::metrics

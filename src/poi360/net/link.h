@@ -1,0 +1,69 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "poi360/common/rng.h"
+#include "poi360/common/time.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::net {
+
+/// Propagation segment: delivers messages after a (jittered) delay, with
+/// optional random loss, preserving order.
+///
+/// Used for the wireline access path, the Internet/core segment behind the
+/// LTE base station, and the viewer->sender feedback path (ROI updates, GCC
+/// receiver reports travel here). In-order delivery matches what a single
+/// path without reordering produces; jitter therefore stretches or bunches
+/// deliveries but never swaps them.
+struct DelayLinkConfig {
+  SimDuration propagation = 0;  // one-way base delay
+  SimDuration jitter_std = 0;   // Gaussian jitter (truncated at 0)
+  double loss_prob = 0.0;       // independent per-message loss
+};
+
+template <typename T>
+class DelayLink {
+ public:
+  using Sink = std::function<void(T, SimTime delivered_at)>;
+
+  DelayLink(sim::Simulator& simulator, DelayLinkConfig config,
+            std::uint64_t seed, Sink sink)
+      : sim_(simulator), config_(config), rng_(seed),
+        sink_(std::move(sink)) {}
+
+  /// Sends one message; it may be dropped, otherwise it arrives after
+  /// propagation + jitter, never before a previously sent message.
+  void send(T message) {
+    if (rng_.bernoulli(config_.loss_prob)) {
+      ++dropped_;
+      return;
+    }
+    SimDuration delay = config_.propagation;
+    if (config_.jitter_std > 0) {
+      const double j = rng_.normal(
+          0.0, static_cast<double>(config_.jitter_std));
+      delay += static_cast<SimDuration>(j);
+      if (delay < 0) delay = 0;
+    }
+    SimTime at = sim_.now() + delay;
+    if (at < last_delivery_) at = last_delivery_;  // keep FIFO order
+    last_delivery_ = at;
+    sim_.schedule_at(at, [this, msg = std::move(message), at]() mutable {
+      sink_(std::move(msg), at);
+    });
+  }
+
+  std::int64_t dropped() const { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  DelayLinkConfig config_;
+  Rng rng_;
+  Sink sink_;
+  SimTime last_delivery_ = 0;
+  std::int64_t dropped_ = 0;
+};
+
+}  // namespace poi360::net

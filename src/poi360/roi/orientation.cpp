@@ -1,0 +1,26 @@
+#include "poi360/roi/orientation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poi360::roi {
+
+double wrap_yaw(double yaw_deg) {
+  double y = std::fmod(yaw_deg + 180.0, 360.0);
+  if (y < 0.0) y += 360.0;
+  return y - 180.0;
+}
+
+double yaw_diff(double a_deg, double b_deg) {
+  double d = std::fmod(a_deg - b_deg, 360.0);
+  if (d > 180.0) d -= 360.0;
+  if (d <= -180.0) d += 360.0;
+  return d;
+}
+
+double angular_distance(const Orientation& a, const Orientation& b) {
+  return std::max(std::fabs(yaw_diff(a.yaw_deg, b.yaw_deg)),
+                  std::fabs(a.pitch_deg - b.pitch_deg));
+}
+
+}  // namespace poi360::roi

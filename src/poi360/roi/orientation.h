@@ -1,0 +1,21 @@
+#pragma once
+
+namespace poi360::roi {
+
+/// Head orientation in degrees. Yaw wraps in [-180, 180); pitch is clamped
+/// to [-90, 90]. Roll is irrelevant for tile selection and omitted.
+struct Orientation {
+  double yaw_deg = 0.0;
+  double pitch_deg = 0.0;
+};
+
+/// Wraps an arbitrary yaw into [-180, 180).
+double wrap_yaw(double yaw_deg);
+
+/// Signed shortest angular difference a - b, in (-180, 180].
+double yaw_diff(double a_deg, double b_deg);
+
+/// Angular distance between two orientations (max of |yaw|, |pitch| deltas).
+double angular_distance(const Orientation& a, const Orientation& b);
+
+}  // namespace poi360::roi

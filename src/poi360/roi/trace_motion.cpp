@@ -1,0 +1,83 @@
+#include "poi360/roi/trace_motion.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace poi360::roi {
+
+void MotionTrace::add(SimTime t, Orientation orientation) {
+  if (times_.empty() && t != 0) {
+    throw std::invalid_argument("motion trace must start at t = 0");
+  }
+  if (!times_.empty() && t <= times_.back()) {
+    throw std::invalid_argument("motion trace times must increase");
+  }
+  times_.push_back(t);
+  orientations_.push_back(orientation);
+}
+
+Orientation MotionTrace::orientation_at(SimTime t) {
+  if (times_.empty()) throw std::logic_error("empty motion trace");
+  if (t <= times_.front()) return orientations_.front();
+  if (t >= times_.back()) return orientations_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const auto lo = hi - 1;
+  const double f = static_cast<double>(t - times_[lo]) /
+                   static_cast<double>(times_[hi] - times_[lo]);
+  Orientation out;
+  out.yaw_deg = wrap_yaw(orientations_[lo].yaw_deg +
+                         f * yaw_diff(orientations_[hi].yaw_deg,
+                                      orientations_[lo].yaw_deg));
+  out.pitch_deg = orientations_[lo].pitch_deg +
+                  f * (orientations_[hi].pitch_deg -
+                       orientations_[lo].pitch_deg);
+  return out;
+}
+
+MotionTrace MotionTrace::record(HeadMotionModel& model, SimDuration duration,
+                                SimDuration step) {
+  if (duration <= 0 || step <= 0) throw std::invalid_argument("bad record");
+  MotionTrace trace;
+  for (SimTime t = 0; t < duration; t += step) {
+    trace.add(t, model.orientation_at(t));
+  }
+  return trace;
+}
+
+std::string MotionTrace::to_csv() const {
+  std::ostringstream out;
+  out.precision(12);  // sensor angles survive the round-trip losslessly
+  out << "time_us,yaw_deg,pitch_deg\n";
+  for (std::size_t i = 0; i < times_.size(); ++i) {
+    out << times_[i] << ',' << orientations_[i].yaw_deg << ','
+        << orientations_[i].pitch_deg << '\n';
+  }
+  return out.str();
+}
+
+MotionTrace MotionTrace::from_csv(const std::string& csv) {
+  MotionTrace trace;
+  std::istringstream in(csv);
+  std::string line;
+  bool header = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      if (line.rfind("time_us", 0) == 0) continue;
+    }
+    const auto c1 = line.find(',');
+    const auto c2 = line.find(',', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw std::invalid_argument("malformed motion row: " + line);
+    }
+    trace.add(std::stoll(line.substr(0, c1)),
+              {std::stod(line.substr(c1 + 1, c2 - c1 - 1)),
+               std::stod(line.substr(c2 + 1))});
+  }
+  return trace;
+}
+
+}  // namespace poi360::roi

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poi360/roi/head_motion.h"
+
+namespace poi360::roi {
+
+/// Head-motion trace: replay a recorded viewer (e.g. an exported HMD sensor
+/// log or a trajectory captured from the stochastic model) so that every
+/// algorithm under comparison faces the *same* viewer. The counterpart of
+/// lte::CapacityTrace on the human side of the loop.
+class MotionTrace : public HeadMotionModel {
+ public:
+  /// Samples must have strictly increasing timestamps starting at 0.
+  void add(SimTime t, Orientation orientation);
+
+  bool empty() const { return times_.empty(); }
+  std::size_t size() const { return times_.size(); }
+
+  /// Linear interpolation between samples (shortest-path in yaw); clamps at
+  /// the ends. Throws when empty.
+  Orientation orientation_at(SimTime t) override;
+
+  /// Records `duration` of another model at `step` granularity.
+  static MotionTrace record(HeadMotionModel& model, SimDuration duration,
+                            SimDuration step = msec(10));
+
+  /// CSV round-trip ("time_us,yaw_deg,pitch_deg" rows).
+  std::string to_csv() const;
+  static MotionTrace from_csv(const std::string& csv);
+
+ private:
+  std::vector<SimTime> times_;
+  std::vector<Orientation> orientations_;
+};
+
+}  // namespace poi360::roi

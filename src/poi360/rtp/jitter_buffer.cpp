@@ -1,0 +1,37 @@
+#include "poi360/rtp/jitter_buffer.h"
+
+#include <algorithm>
+
+namespace poi360::rtp {
+
+JitterBuffer::JitterBuffer() : JitterBuffer(Config{}) {}
+
+JitterBuffer::JitterBuffer(Config config) : config_(config) {}
+
+SimDuration JitterBuffer::target_delay() const {
+  const auto from_jitter = static_cast<SimDuration>(
+      config_.jitter_multiplier * static_cast<double>(jitter_.jitter()));
+  return std::clamp(from_jitter, config_.min_delay, config_.max_delay);
+}
+
+SimTime JitterBuffer::schedule(SimTime capture_time, SimTime completion) {
+  jitter_.on_packet(capture_time, completion);
+
+  const SimDuration network_delay = completion - capture_time;
+  if (!base_delay_ || network_delay < *base_delay_) {
+    base_delay_ = network_delay;
+  }
+
+  // The deadline smooths playout: frames aim for capture + (minimum
+  // observed path delay + playout target), but can never display before
+  // they exist nor out of order.
+  const SimTime deadline = capture_time + *base_delay_ + target_delay();
+  SimTime display = std::max(completion, deadline);
+  if (last_display_) {
+    display = std::max(display, *last_display_ + config_.min_spacing);
+  }
+  last_display_ = display;
+  return display;
+}
+
+}  // namespace poi360::rtp

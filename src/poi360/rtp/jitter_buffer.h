@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+
+#include "poi360/common/time.h"
+#include "poi360/rtp/rtcp.h"
+
+namespace poi360::rtp {
+
+/// Adaptive playout (jitter) buffer for the viewer side.
+///
+/// A real-time video receiver cannot display frames the instant they
+/// complete: arrival times jitter, and the display must be smooth and
+/// monotone. This scheduler maintains a target playout delay of
+/// `jitter_multiplier` x the measured interarrival jitter (clamped to
+/// [min_delay, max_delay]) and assigns each frame the later of
+/// (completion, previous display + a minimum spacing, capture + target).
+///
+/// Off by default in the session (`SessionConfig.use_adaptive_playout`):
+/// the paper measures raw frame delay with a fixed render pipeline, and the
+/// headline calibration keeps that model. Enable it to study smoothness/
+/// latency trade-offs.
+class JitterBuffer {
+ public:
+  struct Config {
+    SimDuration min_delay = msec(10);
+    SimDuration max_delay = msec(400);
+    double jitter_multiplier = 3.0;
+    /// Display spacing floor (frames cannot render faster than this).
+    SimDuration min_spacing = msec(5);
+  };
+
+  JitterBuffer();
+  explicit JitterBuffer(Config config);
+
+  /// Registers a completed frame (capture timestamp + completion time) and
+  /// returns the time at which it should be displayed.
+  SimTime schedule(SimTime capture_time, SimTime completion);
+
+  /// Current playout-delay target.
+  SimDuration target_delay() const;
+
+  SimDuration measured_jitter() const { return jitter_.jitter(); }
+
+ private:
+  Config config_;
+  JitterEstimator jitter_;
+  std::optional<SimTime> last_display_;
+  std::optional<SimDuration> base_delay_;  // min observed network delay
+};
+
+}  // namespace poi360::rtp

@@ -1,0 +1,55 @@
+#include "poi360/rtp/pacer.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace poi360::rtp {
+
+Pacer::Pacer(sim::Simulator& simulator, Bitrate initial_rate, Sink sink,
+             SimDuration tick)
+    : sim_(simulator), rate_(initial_rate), sink_(std::move(sink)),
+      tick_(tick) {
+  if (tick <= 0) throw std::invalid_argument("pacer tick must be positive");
+}
+
+void Pacer::start() {
+  sim_.schedule_periodic(sim_.now() + tick_, tick_, [this]() { on_tick(); });
+}
+
+void Pacer::enqueue(RtpPacket packet) {
+  queued_bytes_ += packet.bytes;
+  queue_.push_back(std::move(packet));
+}
+
+void Pacer::enqueue_front(RtpPacket packet) {
+  queued_bytes_ += packet.bytes;
+  queue_.push_front(std::move(packet));
+}
+
+void Pacer::set_rate(Bitrate rate) { rate_ = std::max(rate, 0.0); }
+
+void Pacer::on_tick() {
+  budget_bytes_ += rate_ * to_seconds(tick_) / 8.0;
+  // An idle pacer must not bank unbounded credit: cap at two ticks' worth
+  // so a queue that refills after a gap is still paced, not blasted.
+  const double cap = std::max(2.0 * rate_ * to_seconds(tick_) / 8.0, 2400.0);
+  budget_bytes_ = std::min(budget_bytes_, cap);
+
+  // WebRTC semantics: a packet may be sent whenever credit is positive
+  // (the budget may go negative and is paid back on later ticks).
+  while (!queue_.empty() && budget_bytes_ > 0.0) {
+    RtpPacket p = std::move(queue_.front());
+    queue_.pop_front();
+    queued_bytes_ -= p.bytes;
+    budget_bytes_ -= static_cast<double>(p.bytes);
+    p.send_time = sim_.now();
+    sink_(std::move(p));
+  }
+  if (queue_.empty() && budget_bytes_ < 0.0) {
+    // Debt is only meaningful while traffic is pending.
+    budget_bytes_ = 0.0;
+  }
+}
+
+}  // namespace poi360::rtp

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/rtp/packet.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::rtp {
+
+/// WebRTC-style packet pacer.
+///
+/// Encoded packets queue in the application-layer "video buffer" (Fig. 9)
+/// and are released onto the transport at the RTP sending rate R_rtp. This
+/// is the knob FBCC's Eq. 7 turns: the pacer rate can exceed the encoder
+/// bitrate to pull queued traffic forward and refill the modem buffer, or
+/// fall below it, in which case the backlog grows here rather than in the
+/// firmware buffer.
+class Pacer {
+ public:
+  using Sink = std::function<void(RtpPacket)>;
+
+  Pacer(sim::Simulator& simulator, Bitrate initial_rate, Sink sink,
+        SimDuration tick = msec(5));
+
+  /// Begins the periodic pacing schedule. Call once.
+  void start();
+
+  void enqueue(RtpPacket packet);
+  /// Queue-jumps a retransmission (WebRTC pacers prioritize RTX).
+  void enqueue_front(RtpPacket packet);
+
+  void set_rate(Bitrate rate);
+  Bitrate rate() const { return rate_; }
+
+  std::int64_t queued_bytes() const { return queued_bytes_; }
+  std::size_t queued_packets() const { return queue_.size(); }
+
+ private:
+  void on_tick();
+
+  sim::Simulator& sim_;
+  Bitrate rate_;
+  Sink sink_;
+  SimDuration tick_;
+
+  std::deque<RtpPacket> queue_;
+  std::int64_t queued_bytes_ = 0;
+  double budget_bytes_ = 0.0;
+};
+
+}  // namespace poi360::rtp

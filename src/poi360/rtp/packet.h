@@ -1,0 +1,21 @@
+#pragma once
+
+#include <cstdint>
+
+#include "poi360/common/time.h"
+
+namespace poi360::rtp {
+
+/// One RTP packet of the panoramic media stream.
+struct RtpPacket {
+  std::int64_t seq = 0;       // transport-wide sequence number
+  std::int64_t frame_id = 0;  // which encoded frame this fragment belongs to
+  int fragment = 0;           // fragment index within the frame
+  int fragments = 1;          // total fragments of the frame
+  std::int64_t bytes = 0;     // wire size
+  SimTime capture_time = 0;   // capture timestamp of the parent frame
+  SimTime send_time = 0;      // when the pacer released it onto the path
+  bool is_retransmission = false;
+};
+
+}  // namespace poi360::rtp

@@ -1,0 +1,34 @@
+#include "poi360/rtp/packetizer.h"
+
+#include <stdexcept>
+
+namespace poi360::rtp {
+
+Packetizer::Packetizer(std::int64_t mtu_bytes) : mtu_(mtu_bytes) {
+  if (mtu_bytes <= 0) throw std::invalid_argument("mtu must be positive");
+}
+
+std::vector<RtpPacket> Packetizer::packetize(std::int64_t frame_id,
+                                             SimTime capture_time,
+                                             std::int64_t total_bytes) {
+  if (total_bytes <= 0) throw std::invalid_argument("empty frame");
+  const int fragments =
+      static_cast<int>((total_bytes + mtu_ - 1) / mtu_);
+  std::vector<RtpPacket> packets;
+  packets.reserve(static_cast<std::size_t>(fragments));
+  std::int64_t remaining = total_bytes;
+  for (int f = 0; f < fragments; ++f) {
+    RtpPacket p;
+    p.seq = next_seq_++;
+    p.frame_id = frame_id;
+    p.fragment = f;
+    p.fragments = fragments;
+    p.bytes = std::min(mtu_, remaining);
+    p.capture_time = capture_time;
+    remaining -= p.bytes;
+    packets.push_back(p);
+  }
+  return packets;
+}
+
+}  // namespace poi360::rtp

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi360/common/time.h"
+#include "poi360/rtp/packet.h"
+
+namespace poi360::rtp {
+
+/// Splits encoded frames into MTU-sized RTP packets with a running
+/// transport-wide sequence number.
+class Packetizer {
+ public:
+  explicit Packetizer(std::int64_t mtu_bytes = 1200);
+
+  /// Fragments a frame of `total_bytes` captured at `capture_time`.
+  std::vector<RtpPacket> packetize(std::int64_t frame_id,
+                                   SimTime capture_time,
+                                   std::int64_t total_bytes);
+
+  std::int64_t next_seq() const { return next_seq_; }
+
+ private:
+  std::int64_t mtu_;
+  std::int64_t next_seq_ = 0;
+};
+
+}  // namespace poi360::rtp

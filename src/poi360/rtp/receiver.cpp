@@ -1,0 +1,121 @@
+#include "poi360/rtp/receiver.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace poi360::rtp {
+
+RtpReceiver::RtpReceiver(sim::Simulator& simulator, FrameSink frame_sink,
+                         NackSink nack_sink, SimDuration nack_retry)
+    : sim_(simulator),
+      frame_sink_(std::move(frame_sink)),
+      nack_sink_(std::move(nack_sink)),
+      nack_retry_(nack_retry) {}
+
+void RtpReceiver::start() {
+  sim_.schedule_periodic(sim_.now() + nack_retry_, nack_retry_,
+                         [this]() { on_nack_retry(); });
+}
+
+void RtpReceiver::detect_gaps(std::int64_t seq) {
+  if (seq < next_expected_seq_) {
+    // Retransmission (or reordering): no longer missing.
+    outstanding_nacks_.erase(seq);
+    return;
+  }
+  if (seq > next_expected_seq_) {
+    std::vector<std::int64_t> missing;
+    for (std::int64_t s = next_expected_seq_; s < seq; ++s) {
+      missing.push_back(s);
+      outstanding_nacks_.insert(s);
+    }
+    interval_lost_ += static_cast<std::int64_t>(missing.size());
+    if (nack_sink_ && !missing.empty()) {
+      nacks_sent_ += static_cast<std::int64_t>(missing.size());
+      nack_sink_(missing);
+    }
+  }
+  next_expected_seq_ = seq + 1;
+}
+
+void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
+  ++interval_received_;
+  total_bytes_ += packet.bytes;
+  arrivals_.emplace_back(arrival, packet.bytes);
+  while (!arrivals_.empty() && arrivals_.front().first < arrival - sec(2)) {
+    arrivals_.pop_front();
+  }
+
+  detect_gaps(packet.seq);
+
+  auto& a = frames_[packet.frame_id];
+  if (a.received.empty()) {
+    a.received.assign(static_cast<std::size_t>(packet.fragments), 0);
+    a.capture_time = packet.capture_time;
+    a.first_send_time = packet.send_time;
+    a.first_arrival = arrival;
+  }
+  const auto idx = static_cast<std::size_t>(packet.fragment);
+  if (idx >= a.received.size() || a.received[idx]) {
+    return;  // duplicate
+  }
+  a.received[idx] = 1;
+  ++a.received_count;
+  a.bytes += packet.bytes;
+  a.first_send_time = std::min(a.first_send_time, packet.send_time);
+  a.last_send_time = std::max(a.last_send_time, packet.send_time);
+  a.had_loss = a.had_loss || packet.is_retransmission;
+
+  if (a.received_count == static_cast<int>(a.received.size())) {
+    CompletedFrame done{
+        .frame_id = packet.frame_id,
+        .capture_time = a.capture_time,
+        .bytes = a.bytes,
+        .first_send_time = a.first_send_time,
+        .last_send_time = a.last_send_time,
+        .first_arrival = a.first_arrival,
+        .completion = arrival,
+        .fragments = static_cast<int>(a.received.size()),
+        .had_loss = a.had_loss,
+    };
+    frames_.erase(packet.frame_id);
+    ++frames_completed_;
+    if (frame_sink_) frame_sink_(done);
+  }
+}
+
+void RtpReceiver::on_nack_retry() {
+  if (outstanding_nacks_.empty() || !nack_sink_) return;
+  std::vector<std::int64_t> missing(outstanding_nacks_.begin(),
+                                    outstanding_nacks_.end());
+  nacks_sent_ += static_cast<std::int64_t>(missing.size());
+  nack_sink_(missing);
+}
+
+double RtpReceiver::take_loss_fraction() {
+  const std::int64_t total = interval_received_ + interval_lost_;
+  const double fraction =
+      total > 0 ? static_cast<double>(interval_lost_) /
+                      static_cast<double>(total)
+                : 0.0;
+  interval_received_ = 0;
+  interval_lost_ = 0;
+  return fraction;
+}
+
+Bitrate RtpReceiver::incoming_rate(SimDuration window) const {
+  if (arrivals_.empty() || window <= 0) return 0.0;
+  // No estimate until a full window of history exists: a half-filled window
+  // under-reads the rate, and the AIMD cap would slash the target at session
+  // start.
+  if (arrivals_.back().first - arrivals_.front().first < window) return 0.0;
+  const SimTime cutoff = arrivals_.back().first - window;
+  std::int64_t bytes = 0;
+  for (auto it = arrivals_.rbegin(); it != arrivals_.rend(); ++it) {
+    if (it->first < cutoff) break;
+    bytes += it->second;
+  }
+  return rate_of(bytes, window);
+}
+
+}  // namespace poi360::rtp

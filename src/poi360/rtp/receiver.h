@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+#include "poi360/rtp/packet.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::rtp {
+
+/// Reassembles frames from RTP packets, recovers losses via NACK, and keeps
+/// the arrival statistics the congestion controllers feed on.
+class RtpReceiver {
+ public:
+  /// A fully received frame, with the timing needed downstream: the display
+  /// pipeline uses `completion`, GCC's delay-gradient filter uses the
+  /// (send, arrival) pairs of consecutive frames.
+  struct CompletedFrame {
+    std::int64_t frame_id = 0;
+    SimTime capture_time = 0;
+    std::int64_t bytes = 0;
+    SimTime first_send_time = 0;
+    SimTime last_send_time = 0;
+    SimTime first_arrival = 0;
+    SimTime completion = 0;
+    int fragments = 0;
+    bool had_loss = false;
+  };
+
+  using FrameSink = std::function<void(const CompletedFrame&)>;
+  /// Batch of sequence numbers to retransmit.
+  using NackSink = std::function<void(const std::vector<std::int64_t>&)>;
+
+  RtpReceiver(sim::Simulator& simulator, FrameSink frame_sink,
+              NackSink nack_sink, SimDuration nack_retry = msec(100));
+
+  /// Begins the periodic NACK retry schedule. Call once.
+  void start();
+
+  void on_packet(const RtpPacket& packet, SimTime arrival);
+
+  /// Fraction of packets first seen as missing since the last call
+  /// (WebRTC receiver-report style); resets the interval counters.
+  double take_loss_fraction();
+
+  /// Throughput over the trailing window, from packet arrivals.
+  Bitrate incoming_rate(SimDuration window = msec(500)) const;
+
+  std::int64_t total_media_bytes() const { return total_bytes_; }
+  std::int64_t frames_completed() const { return frames_completed_; }
+  std::int64_t nacks_sent() const { return nacks_sent_; }
+
+ private:
+  struct Assembly {
+    std::vector<char> received;
+    int received_count = 0;
+    std::int64_t bytes = 0;
+    SimTime capture_time = 0;
+    SimTime first_send_time = 0;
+    SimTime last_send_time = 0;
+    SimTime first_arrival = 0;
+    bool had_loss = false;
+  };
+
+  void on_nack_retry();
+  void detect_gaps(std::int64_t seq);
+
+  sim::Simulator& sim_;
+  FrameSink frame_sink_;
+  NackSink nack_sink_;
+  SimDuration nack_retry_;
+
+  std::unordered_map<std::int64_t, Assembly> frames_;
+  std::int64_t next_expected_seq_ = 0;
+  std::set<std::int64_t> outstanding_nacks_;
+
+  // Interval loss accounting.
+  std::int64_t interval_received_ = 0;
+  std::int64_t interval_lost_ = 0;
+
+  // Trailing arrival log for rate estimation.
+  std::deque<std::pair<SimTime, std::int64_t>> arrivals_;
+
+  std::int64_t total_bytes_ = 0;
+  std::int64_t frames_completed_ = 0;
+  std::int64_t nacks_sent_ = 0;
+};
+
+}  // namespace poi360::rtp

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "poi360/rtp/packet.h"
+
+namespace poi360::rtp {
+
+/// Bounded history of sent packets, looked up by sequence number when a
+/// NACK asks for a retransmission.
+class SentPacketCache {
+ public:
+  explicit SentPacketCache(std::size_t capacity = 8192)
+      : capacity_(capacity) {}
+
+  void insert(const RtpPacket& packet) {
+    by_seq_[packet.seq] = packet;
+    order_.push_back(packet.seq);
+    while (order_.size() > capacity_) {
+      by_seq_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  std::optional<RtpPacket> lookup(std::int64_t seq) const {
+    const auto it = by_seq_.find(seq);
+    if (it == by_seq_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  std::size_t size() const { return by_seq_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::int64_t, RtpPacket> by_seq_;
+  std::deque<std::int64_t> order_;
+};
+
+}  // namespace poi360::rtp

@@ -1,0 +1,39 @@
+#include "poi360/rtp/rtcp.h"
+
+#include <cstdlib>
+
+namespace poi360::rtp {
+
+void JitterEstimator::on_packet(SimTime sender_timestamp, SimTime arrival) {
+  if (first_) {
+    first_ = false;
+    prev_sender_ = sender_timestamp;
+    prev_arrival_ = arrival;
+    return;
+  }
+  // D(i-1, i): difference of relative transit times.
+  const SimDuration d = (arrival - prev_arrival_) -
+                        (sender_timestamp - prev_sender_);
+  prev_sender_ = sender_timestamp;
+  prev_arrival_ = arrival;
+
+  const SimDuration abs_d = d < 0 ? -d : d;
+  jitter_ += (abs_d - jitter_) / 16;
+  ++samples_;
+}
+
+void RttEstimator::on_report(const ReceiverReport& report, SimTime now) {
+  if (report.last_sr_timestamp == 0) return;
+  const SimDuration rtt =
+      now - report.last_sr_timestamp - report.delay_since_last_sr;
+  if (rtt < 0) return;  // clock skew or bogus report
+  last_rtt_ = rtt;
+  if (smoothed_ == 0) {
+    smoothed_ = rtt;
+  } else {
+    smoothed_ += static_cast<SimDuration>(
+        alpha_ * static_cast<double>(rtt - smoothed_));
+  }
+}
+
+}  // namespace poi360::rtp

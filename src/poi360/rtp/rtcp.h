@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "poi360/common/time.h"
+
+namespace poi360::rtp {
+
+/// RTCP-style statistics (RFC 3550 §6.4 / A.8), as WebRTC maintains them.
+///
+/// Two estimators the session-level control loops consume:
+///  * interarrival jitter — the smoothed absolute deviation between packet
+///    spacing at the sender and at the receiver (drives jitter-buffer
+///    sizing);
+///  * round-trip time via the LSR/DLSR exchange — the receiver echoes the
+///    last sender-report timestamp and how long it held it; the sender
+///    subtracts both from its current clock.
+
+/// Interarrival jitter estimator (RFC 3550 A.8: J += (|D| - J) / 16).
+class JitterEstimator {
+ public:
+  /// One media packet: RTP (sender) timestamp and local arrival time.
+  void on_packet(SimTime sender_timestamp, SimTime arrival);
+
+  /// Current smoothed jitter.
+  SimDuration jitter() const { return jitter_; }
+
+  std::int64_t samples() const { return samples_; }
+
+ private:
+  bool first_ = true;
+  SimTime prev_sender_ = 0;
+  SimTime prev_arrival_ = 0;
+  SimDuration jitter_ = 0;
+  std::int64_t samples_ = 0;
+};
+
+/// Receiver-side report block of the RTT exchange.
+struct ReceiverReport {
+  /// Timestamp of the last sender report seen (LSR).
+  SimTime last_sr_timestamp = 0;
+  /// Delay between receiving that SR and sending this report (DLSR).
+  SimDuration delay_since_last_sr = 0;
+  /// Measured interarrival jitter.
+  SimDuration jitter = 0;
+  /// Cumulative fraction lost since the previous report.
+  double fraction_lost = 0.0;
+};
+
+/// Sender-side RTT estimator from receiver reports.
+class RttEstimator {
+ public:
+  /// Smoothing factor for the RTT EWMA.
+  explicit RttEstimator(double alpha = 0.125) : alpha_(alpha) {}
+
+  /// Called when a receiver report arrives at local time `now`.
+  /// RTT = now - LSR - DLSR (RFC 3550 §6.4.1). Reports without an SR echo
+  /// (last_sr_timestamp == 0) are ignored.
+  void on_report(const ReceiverReport& report, SimTime now);
+
+  bool has_estimate() const { return last_rtt_.has_value(); }
+  /// Most recent raw sample.
+  SimDuration last_rtt() const { return last_rtt_.value_or(0); }
+  /// Smoothed estimate.
+  SimDuration smoothed_rtt() const { return smoothed_; }
+
+ private:
+  double alpha_;
+  std::optional<SimDuration> last_rtt_;
+  SimDuration smoothed_ = 0;
+};
+
+}  // namespace poi360::rtp

@@ -1,0 +1,46 @@
+#include "poi360/sim/simulator.h"
+
+#include <memory>
+#include <utility>
+
+namespace poi360::sim {
+
+void Simulator::schedule_at(SimTime t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::schedule_periodic(SimTime start, SimDuration period,
+                                  Callback cb) {
+  // Each firing re-schedules the next one; the shared_ptr lets the lambda
+  // reference itself without a self-owning cycle at destruction time (the
+  // queue owns the only live copy between firings).
+  auto fire = std::make_shared<std::function<void()>>();
+  auto shared_cb = std::make_shared<Callback>(std::move(cb));
+  *fire = [this, fire, shared_cb, period]() {
+    (*shared_cb)();
+    schedule_at(now_ + period, *fire);
+  };
+  schedule_at(start, *fire);
+}
+
+void Simulator::run_until(SimTime end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+  }
+  if (now_ < end) now_ = end;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+}  // namespace poi360::sim

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "poi360/common/time.h"
+
+namespace poi360::sim {
+
+/// Discrete-event simulation engine.
+///
+/// A single event queue with microsecond resolution drives everything: LTE
+/// subframes (1 ms), video frames (~27.8 ms at 36 FPS), the 40 ms modem
+/// diagnostic reports, packet deliveries, and controller timers. Events at
+/// the same timestamp run in scheduling order (FIFO), which makes runs fully
+/// deterministic for a given seed.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (clamped to `now()`).
+  void schedule_at(SimTime t, Callback cb);
+
+  /// Schedules `cb` to run `delay` from now (negative delays clamp to now).
+  void schedule_in(SimDuration delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules `cb` every `period`, starting at `start`, until `run_until`'s
+  /// horizon. The callback may inspect `now()`.
+  void schedule_periodic(SimTime start, SimDuration period, Callback cb);
+
+  /// Runs events until the queue is empty or `end` is reached; leaves the
+  /// clock at `end` (events scheduled exactly at `end` do run).
+  void run_until(SimTime end);
+
+  /// Runs a single event if one is pending; returns false when idle.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace poi360::sim

@@ -1,0 +1,82 @@
+#include "poi360/video/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace poi360::video {
+
+CompressionMatrix::CompressionMatrix(int cols, int rows, double initial)
+    : cols_(cols), rows_(rows),
+      levels_(static_cast<std::size_t>(cols) * rows, initial) {
+  if (cols <= 0 || rows <= 0 || initial < 1.0) {
+    throw std::invalid_argument("bad CompressionMatrix");
+  }
+}
+
+std::size_t CompressionMatrix::index(TileIndex t) const {
+  if (t.i < 0 || t.i >= cols_ || t.j < 0 || t.j >= rows_) {
+    throw std::out_of_range("tile outside CompressionMatrix");
+  }
+  return static_cast<std::size_t>(t.j) * cols_ + t.i;
+}
+
+double CompressionMatrix::min_level() const {
+  return *std::min_element(levels_.begin(), levels_.end());
+}
+
+double CompressionMatrix::effective_tiles() const {
+  double sum = 0.0;
+  for (double l : levels_) sum += 1.0 / l;
+  return sum;
+}
+
+CompressionMatrix CompressionMode::matrix_for(const TileGrid& grid,
+                                              TileIndex roi) const {
+  CompressionMatrix m(grid.cols(), grid.rows());
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      m.set({i, j}, level(grid.dx(i, roi.i), grid.dy(j, roi.j)));
+    }
+  }
+  return m;
+}
+
+GeometricMode::GeometricMode(double c, double max_level)
+    : c_(c), max_level_(max_level) {
+  if (c < 1.0 || max_level < 1.0) {
+    throw std::invalid_argument("GeometricMode requires c >= 1, max >= 1");
+  }
+}
+
+double GeometricMode::level(int dx, int dy) const {
+  if (dx < 0 || dy < 0) throw std::invalid_argument("negative tile distance");
+  return std::min(max_level_, std::pow(c_, dx + dy));
+}
+
+std::string GeometricMode::name() const {
+  return "geometric(C=" + std::to_string(c_) + ")";
+}
+
+ModeTable::ModeTable(int k, double c_aggressive, double c_conservative,
+                     double max_level) {
+  if (k < 1 || c_aggressive < c_conservative || c_conservative < 1.0) {
+    throw std::invalid_argument("bad ModeTable");
+  }
+  modes_.reserve(static_cast<std::size_t>(k));
+  for (int m = 0; m < k; ++m) {
+    const double t = (k == 1) ? 0.0
+                              : static_cast<double>(m) / (k - 1);
+    modes_.emplace_back(c_aggressive + t * (c_conservative - c_aggressive),
+                        max_level);
+  }
+}
+
+const GeometricMode& ModeTable::mode(int index_1based) const {
+  if (index_1based < 1 || index_1based > size()) {
+    throw std::out_of_range("mode index");
+  }
+  return modes_[static_cast<std::size_t>(index_1based - 1)];
+}
+
+}  // namespace poi360::video

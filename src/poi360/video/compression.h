@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::video {
+
+/// Per-tile compression levels for one frame.
+///
+/// The level l_ij is the paper's "ratio of tile size before and after
+/// compression" — i.e. the area reduction factor; l = 1 means uncompressed.
+class CompressionMatrix {
+ public:
+  CompressionMatrix(int cols, int rows, double initial = 1.0);
+
+  double at(TileIndex t) const { return levels_[index(t)]; }
+  void set(TileIndex t, double level) { levels_[index(t)] = level; }
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+
+  /// Minimum level across all tiles (the ROI center's level by design).
+  double min_level() const;
+
+  /// Sum over tiles of 1/l_ij: the fraction of original pixels that survive
+  /// compression, in units of tiles. Drives the encoder's pixel budget.
+  double effective_tiles() const;
+
+ private:
+  std::size_t index(TileIndex t) const;
+
+  int cols_;
+  int rows_;
+  std::vector<double> levels_;
+};
+
+/// A compression mode F: maps the (cyclic) tile distance from the ROI center
+/// to a compression level, l_ij = F(i - i*, j - j*)  (paper Eq. 1).
+class CompressionMode {
+ public:
+  virtual ~CompressionMode() = default;
+
+  /// Level for a tile at column distance dx >= 0 and row distance dy >= 0
+  /// from the ROI center. Must return >= 1, and exactly l_min at (0, 0).
+  virtual double level(int dx, int dy) const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// Builds the full per-tile matrix for an ROI centered at `roi`.
+  CompressionMatrix matrix_for(const TileGrid& grid, TileIndex roi) const;
+};
+
+/// The paper's geometric mode family: l_ij = C^(dx + dy)  (Eq. 1), clamped
+/// at `max_level` so far-away tiles never degrade below a displayable floor.
+class GeometricMode : public CompressionMode {
+ public:
+  explicit GeometricMode(double c, double max_level = 64.0);
+
+  double level(int dx, int dy) const override;
+  std::string name() const override;
+
+  double c() const { return c_; }
+
+ private:
+  double c_;
+  double max_level_;
+};
+
+/// POI360's table of K = 8 geometric modes (§4.2).
+///
+/// Mode 1 is the most aggressive (sharpest falloff, C = 1.8); mode 8 the most
+/// conservative (smoothest falloff, C = 1.1). The paper lists the modes "in
+/// the order of decreasing compression aggressiveness" and selects mode
+/// ceil(M / 200 ms) capped at 8, so higher ROI-mismatch time M maps to a
+/// smoother (more conservative) quality falloff.
+class ModeTable {
+ public:
+  /// K equally spaced C values between c_aggressive and c_conservative.
+  ModeTable(int k = 8, double c_aggressive = 1.8, double c_conservative = 1.1,
+            double max_level = 64.0);
+
+  int size() const { return static_cast<int>(modes_.size()); }
+
+  /// 1-based mode lookup, matching the paper's F_1..F_K notation.
+  const GeometricMode& mode(int index_1based) const;
+
+ private:
+  std::vector<GeometricMode> modes_;
+};
+
+}  // namespace poi360::video

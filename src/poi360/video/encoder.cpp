@@ -1,0 +1,64 @@
+#include "poi360/video/encoder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace poi360::video {
+
+PanoramicEncoder::PanoramicEncoder(TileGrid grid, EncoderConfig config)
+    : grid_(grid), config_(config) {
+  if (config.fps <= 0 || config.saturation_bpp <= 0.0) {
+    throw std::invalid_argument("bad EncoderConfig");
+  }
+}
+
+EncodedFrame PanoramicEncoder::encode(SimTime capture_time,
+                                      TileIndex sender_roi, int mode_id,
+                                      const CompressionMatrix& levels,
+                                      Bitrate rv) {
+  if (levels.cols() != grid_.cols() || levels.rows() != grid_.rows()) {
+    throw std::invalid_argument("compression matrix does not match grid");
+  }
+  const double effective_pixels =
+      levels.effective_tiles() * static_cast<double>(grid_.tile_pixels());
+
+  const double target_bits =
+      std::max(0.0, config_.utilization * rv / config_.fps);
+  const double max_bits = config_.saturation_bpp * effective_pixels;
+  const double min_bits = config_.floor_bpp * effective_pixels;
+  const double bits = std::clamp(target_bits, min_bits, max_bits);
+  const double bpp = effective_pixels > 0.0 ? bits / effective_pixels : 0.0;
+
+  // Intra refresh: pixels whose resolution improved since the previous
+  // frame lack a temporal reference and cost extra bits at this frame's
+  // quality level.
+  double refresh_bits = 0.0;
+  if (prev_levels_ && prev_levels_->cols() == levels.cols() &&
+      prev_levels_->rows() == levels.rows()) {
+    double upgraded_tiles = 0.0;
+    for (int j = 0; j < levels.rows(); ++j) {
+      for (int i = 0; i < levels.cols(); ++i) {
+        const double gain =
+            1.0 / levels.at({i, j}) - 1.0 / prev_levels_->at({i, j});
+        if (gain > 0.0) upgraded_tiles += gain;
+      }
+    }
+    refresh_bits = config_.refresh_intra_factor * bpp * upgraded_tiles *
+                   static_cast<double>(grid_.tile_pixels());
+  }
+  prev_levels_ = levels;
+
+  EncodedFrame frame{
+      .id = next_id_++,
+      .capture_time = capture_time,
+      .sender_roi = sender_roi,
+      .mode_id = mode_id,
+      .levels = levels,
+      .bytes = static_cast<std::int64_t>((bits + refresh_bits) / 8.0) +
+               config_.overhead_bytes,
+      .bpp = bpp,
+  };
+  return frame;
+}
+
+}  // namespace poi360::video

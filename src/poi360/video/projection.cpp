@@ -1,0 +1,51 @@
+#include "poi360/video/projection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace poi360::video {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+constexpr double deg_to_rad(double d) { return d * kPi / 180.0; }
+}  // namespace
+
+PlanePoint project_equirect(const SpherePoint& p) {
+  double yaw = std::fmod(p.yaw_deg + 180.0, 360.0);
+  if (yaw < 0.0) yaw += 360.0;
+  const double pitch = std::clamp(p.pitch_deg, -90.0, 90.0);
+  return {yaw / 360.0, (pitch + 90.0) / 180.0};
+}
+
+SpherePoint unproject_equirect(const PlanePoint& p) {
+  double x = std::fmod(p.x, 1.0);
+  if (x < 0.0) x += 1.0;
+  const double y = std::clamp(p.y, 0.0, 1.0);
+  return {x * 360.0 - 180.0, y * 180.0 - 90.0};
+}
+
+double tile_solid_angle(const TileGrid& grid, int j) {
+  if (j < 0 || j >= grid.rows()) throw std::out_of_range("row index");
+  // Row j spans pitch [lo, hi]; the band's solid angle is
+  // 2π (sin(hi) - sin(lo)), split evenly across the columns.
+  const double lo = deg_to_rad(-90.0 + 180.0 * j / grid.rows());
+  const double hi = deg_to_rad(-90.0 + 180.0 * (j + 1) / grid.rows());
+  const double band = 2.0 * kPi * (std::sin(hi) - std::sin(lo));
+  return band / grid.cols();
+}
+
+double row_sphere_fraction(const TileGrid& grid, int j) {
+  return tile_solid_angle(grid, j) * grid.cols() / (4.0 * kPi);
+}
+
+double tile_width_deg(const TileGrid& grid) {
+  return 360.0 / grid.cols();
+}
+
+double tile_height_deg(const TileGrid& grid) {
+  return 180.0 / grid.rows();
+}
+
+}  // namespace poi360::video

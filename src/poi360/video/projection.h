@@ -1,0 +1,41 @@
+#pragma once
+
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::video {
+
+/// Equirectangular projection utilities (paper §2 background).
+///
+/// 360° frames are captured on a sphere and unrolled onto a plane: x spans
+/// yaw ∈ [-180°, 180°), y spans pitch ∈ [-90°, 90°]. The projection is
+/// area-distorting — a pixel row near a pole covers far less solid angle
+/// than one at the equator (by cos(pitch)) — which matters when reasoning
+/// about how much *visual field* a tile's bits actually buy.
+struct SpherePoint {
+  double yaw_deg = 0.0;
+  double pitch_deg = 0.0;
+};
+
+struct PlanePoint {
+  double x = 0.0;  // [0, 1): normalized horizontal position
+  double y = 0.0;  // [0, 1]: normalized vertical position (0 = south pole)
+};
+
+/// Maps a sphere direction to normalized equirectangular plane coordinates.
+PlanePoint project_equirect(const SpherePoint& p);
+
+/// Inverse mapping; x is taken modulo 1, y is clamped to [0, 1].
+SpherePoint unproject_equirect(const PlanePoint& p);
+
+/// Solid angle (steradians) covered by the tile at row `j` of `grid`.
+/// Independent of the column by symmetry; the sum over all tiles is 4π.
+double tile_solid_angle(const TileGrid& grid, int j);
+
+/// Fraction of the full sphere covered by row `j`'s tiles together.
+double row_sphere_fraction(const TileGrid& grid, int j);
+
+/// Angular width/height (degrees) of one tile of `grid` at the equator.
+double tile_width_deg(const TileGrid& grid);
+double tile_height_deg(const TileGrid& grid);
+
+}  // namespace poi360::video

@@ -1,0 +1,77 @@
+#include "poi360/video/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "poi360/video/compression.h"
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::video {
+
+Mos mos_from_psnr(double psnr_db) {
+  if (psnr_db > 37.0) return Mos::kExcellent;
+  if (psnr_db > 31.0) return Mos::kGood;
+  if (psnr_db > 25.0) return Mos::kFair;
+  if (psnr_db > 20.0) return Mos::kPoor;
+  return Mos::kBad;
+}
+
+std::string to_string(Mos mos) {
+  switch (mos) {
+    case Mos::kBad: return "Bad";
+    case Mos::kPoor: return "Poor";
+    case Mos::kFair: return "Fair";
+    case Mos::kGood: return "Good";
+    case Mos::kExcellent: return "Excellent";
+  }
+  return "?";
+}
+
+double QualityModel::encode_psnr(double bpp) const {
+  if (bpp <= 0.0) return floor_db;
+  const double psnr =
+      enc_ref_psnr_db + enc_slope_db_per_octave * std::log2(bpp / enc_ref_bpp);
+  return std::clamp(psnr, floor_db, ceiling_db);
+}
+
+double QualityModel::tile_psnr(double bpp, double level) const {
+  if (level < 1.0) throw std::invalid_argument("compression level < 1");
+  const double penalty = downsample_db_per_octave * std::log2(level);
+  return std::max(floor_db, encode_psnr(bpp) - penalty);
+}
+
+double roi_region_psnr(const QualityModel& model, const TileGrid& grid,
+                       const CompressionMatrix& levels, TileIndex center,
+                       double bpp) {
+  // Foveation weights by Chebyshev ring: the fovea dominates, the visual
+  // periphery contributes but cannot rescue a degraded center (and vice
+  // versa a degraded periphery is still clearly visible).
+  constexpr double kRingWeight[] = {0.55, 0.37, 0.08};
+  double weighted_mse = 0.0;
+  double total_weight = 0.0;
+  for (int ring = 0; ring <= 2; ++ring) {
+    // Collect tiles at exactly this Chebyshev distance (with yaw wrap).
+    double ring_mse = 0.0;
+    int ring_count = 0;
+    for (int dj = -ring; dj <= ring; ++dj) {
+      const int j = center.j + dj;
+      if (j < 0 || j >= grid.rows()) continue;
+      for (int di = -ring; di <= ring; ++di) {
+        if (std::max(std::abs(di), std::abs(dj)) != ring) continue;
+        int i = (center.i + di) % grid.cols();
+        if (i < 0) i += grid.cols();
+        const double psnr = model.tile_psnr(bpp, levels.at({i, j}));
+        ring_mse += std::pow(10.0, -psnr / 10.0);
+        ++ring_count;
+      }
+    }
+    if (ring_count == 0) continue;
+    weighted_mse += kRingWeight[ring] * ring_mse / ring_count;
+    total_weight += kRingWeight[ring];
+  }
+  const double mse = weighted_mse / total_weight;
+  return -10.0 * std::log10(mse);
+}
+
+}  // namespace poi360::video

@@ -1,0 +1,39 @@
+#include "poi360/video/tile_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace poi360::video {
+
+TileGrid::TileGrid(int cols, int rows, int frame_width_px, int frame_height_px)
+    : cols_(cols),
+      rows_(rows),
+      frame_width_px_(frame_width_px),
+      frame_height_px_(frame_height_px) {
+  if (cols <= 0 || rows <= 0 || frame_width_px <= 0 || frame_height_px <= 0) {
+    throw std::invalid_argument("TileGrid dimensions must be positive");
+  }
+}
+
+int TileGrid::dx(int i, int i_star) const {
+  int d = std::abs(i - i_star) % cols_;
+  return std::min(d, cols_ - d);
+}
+
+int TileGrid::dy(int j, int j_star) const { return std::abs(j - j_star); }
+
+TileIndex TileGrid::tile_at(double yaw_deg, double pitch_deg) const {
+  // Normalize yaw to [0, 360).
+  double yaw = std::fmod(yaw_deg + 180.0, 360.0);
+  if (yaw < 0.0) yaw += 360.0;
+  const double pitch = std::clamp(pitch_deg, -90.0, 90.0);
+
+  int i = static_cast<int>(yaw / 360.0 * cols_);
+  i = std::clamp(i, 0, cols_ - 1);
+  int j = static_cast<int>((pitch + 90.0) / 180.0 * rows_);
+  j = std::clamp(j, 0, rows_ - 1);
+  return {i, j};
+}
+
+}  // namespace poi360::video

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+
+namespace poi360::video {
+
+/// Position of a tile within the equirectangular 360° frame.
+/// `i` indexes columns (yaw / x-axis), `j` rows (pitch / y-axis).
+struct TileIndex {
+  int i = 0;
+  int j = 0;
+
+  friend bool operator==(const TileIndex&, const TileIndex&) = default;
+};
+
+/// The tile layout of a 360° frame.
+///
+/// POI360 splits each equirectangular frame into 12x8 tiles (§5). The yaw
+/// axis wraps (column distance is cyclic: looking left past -180° lands at
+/// +180°), while the pitch axis is clamped — matching the geometry of the
+/// projection and the paper's "cyclic shift" of the compression matrix.
+class TileGrid {
+ public:
+  TileGrid(int cols, int rows, int frame_width_px, int frame_height_px);
+
+  /// The paper's configuration: 12x8 tiles over a 4K (3840x1920) panorama.
+  static TileGrid paper_default() { return {12, 8, 3840, 1920}; }
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int tile_count() const { return cols_ * rows_; }
+
+  int frame_width_px() const { return frame_width_px_; }
+  int frame_height_px() const { return frame_height_px_; }
+  std::int64_t frame_pixels() const {
+    return static_cast<std::int64_t>(frame_width_px_) * frame_height_px_;
+  }
+  std::int64_t tile_pixels() const {
+    return frame_pixels() / tile_count();
+  }
+
+  bool contains(TileIndex t) const {
+    return t.i >= 0 && t.i < cols_ && t.j >= 0 && t.j < rows_;
+  }
+
+  /// Cyclic column distance (yaw wraps): in [0, cols/2].
+  int dx(int i, int i_star) const;
+
+  /// Clamped row distance (pitch does not wrap): in [0, rows-1].
+  int dy(int j, int j_star) const;
+
+  /// Flat index for (i, j), row-major.
+  int flat(TileIndex t) const { return t.j * cols_ + t.i; }
+
+  /// Maps a (yaw, pitch) orientation in degrees to the containing tile.
+  /// Yaw in [-180, 180) wraps; pitch in [-90, 90] clamps.
+  TileIndex tile_at(double yaw_deg, double pitch_deg) const;
+
+ private:
+  int cols_;
+  int rows_;
+  int frame_width_px_;
+  int frame_height_px_;
+};
+
+}  // namespace poi360::video

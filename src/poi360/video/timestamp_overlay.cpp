@@ -1,0 +1,88 @@
+#include "poi360/video/timestamp_overlay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace poi360::video {
+
+namespace {
+
+// 8 cube corners plus 2 interior points, chosen for large pairwise
+// separation (minimum distance 0.866 between the interior points and any
+// corner; 1.0 between corners).
+constexpr Rgb kPalette[10] = {
+    {0.0, 0.0, 0.0},  // 0: black
+    {1.0, 0.0, 0.0},  // 1: red
+    {0.0, 1.0, 0.0},  // 2: green
+    {0.0, 0.0, 1.0},  // 3: blue
+    {1.0, 1.0, 0.0},  // 4: yellow
+    {1.0, 0.0, 1.0},  // 5: magenta
+    {0.0, 1.0, 1.0},  // 6: cyan
+    {1.0, 1.0, 1.0},  // 7: white
+    {0.75, 0.5, 0.25},  // 8: ochre
+    {0.25, 0.5, 0.75},  // 9: slate
+};
+
+double distance2(const Rgb& a, const Rgb& b) {
+  const double dr = a.r - b.r;
+  const double dg = a.g - b.g;
+  const double db = a.b - b.b;
+  return dr * dr + dg * dg + db * db;
+}
+
+}  // namespace
+
+Rgb color_for_digit(int digit) {
+  if (digit < 0 || digit > 9) throw std::invalid_argument("digit range");
+  return kPalette[digit];
+}
+
+int digit_for_color(const Rgb& color) {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (int d = 0; d < 10; ++d) {
+    const double dist = distance2(color, kPalette[d]);
+    if (dist < best_d) {
+      best_d = dist;
+      best = d;
+    }
+  }
+  return best;
+}
+
+std::vector<Rgb> encode_timestamp_ms(std::int64_t ms, int digits) {
+  if (ms < 0) throw std::invalid_argument("negative timestamp");
+  if (digits <= 0 || digits > 18) throw std::invalid_argument("digit count");
+  std::vector<Rgb> squares(static_cast<std::size_t>(digits));
+  std::int64_t rest = ms;
+  for (int i = digits - 1; i >= 0; --i) {
+    squares[static_cast<std::size_t>(i)] =
+        color_for_digit(static_cast<int>(rest % 10));
+    rest /= 10;
+  }
+  if (rest != 0) throw std::invalid_argument("timestamp needs more digits");
+  return squares;
+}
+
+std::int64_t decode_timestamp_ms(const std::vector<Rgb>& squares) {
+  if (squares.empty()) throw std::invalid_argument("no squares");
+  std::int64_t value = 0;
+  for (const Rgb& square : squares) {
+    value = value * 10 + digit_for_color(square);
+  }
+  return value;
+}
+
+double decoding_noise_margin() {
+  double min_d2 = std::numeric_limits<double>::max();
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      min_d2 = std::min(min_d2, distance2(kPalette[a], kPalette[b]));
+    }
+  }
+  return 0.5 * std::sqrt(min_d2);
+}
+
+}  // namespace poi360::video

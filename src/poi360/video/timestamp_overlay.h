@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi360/common/time.h"
+
+namespace poi360::video {
+
+/// Colored-square frame-timestamp overlay (paper §5).
+///
+/// The prototype measures end-to-end frame delay by embedding the sending
+/// timestamp *inside the video frame*: each decimal digit becomes a colored
+/// square appended to the frame edge, "with the number from 0 to 9 mapping
+/// to 10 colors with uniform separation in the RGB code space"; the
+/// receiver averages the pixels of each square and maps the mean color back
+/// to a digit. This module implements that codec, including robustness to
+/// the blur/ringing the video codec adds (nearest-palette decoding).
+struct Rgb {
+  double r = 0.0;  // each channel in [0, 1]
+  double g = 0.0;
+  double b = 0.0;
+};
+
+/// The 10-color palette (digit -> color). Colors are spread through the RGB
+/// cube so the minimum pairwise distance is large.
+Rgb color_for_digit(int digit);
+
+/// Nearest-palette-entry decoding; arbitrary (noisy) colors accepted.
+int digit_for_color(const Rgb& color);
+
+/// Encodes a millisecond timestamp as `digits` colored squares,
+/// most-significant digit first. The timestamp must fit in `digits` digits.
+std::vector<Rgb> encode_timestamp_ms(std::int64_t ms, int digits = 10);
+
+/// Decodes a square sequence back to milliseconds.
+std::int64_t decode_timestamp_ms(const std::vector<Rgb>& squares);
+
+/// Distance below which any noise vector keeps decoding exact: half the
+/// minimum pairwise palette distance (per-channel euclidean).
+double decoding_noise_margin();
+
+}  // namespace poi360::video

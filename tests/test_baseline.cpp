@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poi360/baseline/conduit.h"
+#include "poi360/baseline/pyramid.h"
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::baseline {
+namespace {
+
+TEST(Conduit, TwoLevelWindow) {
+  const ConduitMode mode(1, 256.0);
+  EXPECT_DOUBLE_EQ(mode.level(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mode.level(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(mode.level(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mode.level(2, 0), 256.0);
+  EXPECT_DOUBLE_EQ(mode.level(0, 2), 256.0);
+  EXPECT_DOUBLE_EQ(mode.level(6, 4), 256.0);
+}
+
+TEST(Conduit, RadiusZeroKeepsOnlyCenter) {
+  const ConduitMode mode(0, 64.0);
+  EXPECT_DOUBLE_EQ(mode.level(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mode.level(1, 0), 64.0);
+}
+
+TEST(Conduit, InvalidParamsThrow) {
+  EXPECT_THROW(ConduitMode(-1), std::invalid_argument);
+  EXPECT_THROW(ConduitMode(1, 0.5), std::invalid_argument);
+  const ConduitMode mode(1);
+  EXPECT_THROW(mode.level(-1, 0), std::invalid_argument);
+}
+
+TEST(Conduit, MatrixHasExactlyTwoLevels) {
+  const auto grid = video::TileGrid::paper_default();
+  const ConduitMode mode(1, 256.0);
+  const auto m = mode.matrix_for(grid, {6, 4});
+  int full = 0, low = 0;
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const double l = m.at({i, j});
+      if (l == 1.0) {
+        ++full;
+      } else {
+        EXPECT_DOUBLE_EQ(l, 256.0);
+        ++low;
+      }
+    }
+  }
+  EXPECT_EQ(full, 9);  // 3x3 window
+  EXPECT_EQ(low, 96 - 9);
+}
+
+TEST(Pyramid, EuclideanFalloff) {
+  const PyramidMode mode(1.3, 64.0);
+  EXPECT_DOUBLE_EQ(mode.level(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mode.level(1, 0), 1.3);
+  EXPECT_DOUBLE_EQ(mode.level(0, 1), 1.3);
+  EXPECT_NEAR(mode.level(1, 1), std::pow(1.3, std::sqrt(2.0)), 1e-12);
+  EXPECT_NEAR(mode.level(3, 4), std::pow(1.3, 5.0), 1e-12);
+}
+
+TEST(Pyramid, ClampsAtMaxLevel) {
+  const PyramidMode mode(1.5, 8.0);
+  EXPECT_DOUBLE_EQ(mode.level(6, 4), 8.0);
+}
+
+TEST(Pyramid, InvalidParamsThrow) {
+  EXPECT_THROW(PyramidMode(0.99), std::invalid_argument);
+  EXPECT_THROW(PyramidMode(1.3, 0.0), std::invalid_argument);
+  const PyramidMode mode(1.3);
+  EXPECT_THROW(mode.level(0, -1), std::invalid_argument);
+}
+
+TEST(Pyramid, SmootherThanConduit) {
+  // The defining contrast of §6.1.1: Pyramid's falloff is gradual, so the
+  // level one step outside the fovea is far better than Conduit's.
+  const PyramidMode pyramid(1.3, 256.0);
+  const ConduitMode conduit(1, 256.0);
+  EXPECT_LT(pyramid.level(2, 0), conduit.level(2, 0));
+  EXPECT_LT(pyramid.level(3, 2), conduit.level(3, 2));
+}
+
+TEST(Pyramid, KeepsMoreEffectivePixelsThanConduit) {
+  const auto grid = video::TileGrid::paper_default();
+  const double pyr = PyramidMode(1.3, 64.0)
+                         .matrix_for(grid, {6, 4})
+                         .effective_tiles();
+  const double con = ConduitMode(1, 256.0)
+                         .matrix_for(grid, {6, 4})
+                         .effective_tiles();
+  EXPECT_GT(pyr, 2.0 * con);
+}
+
+}  // namespace
+}  // namespace poi360::baseline

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poi360/common/ring_buffer.h"
+#include "poi360/common/rng.h"
+#include "poi360/common/stats.h"
+#include "poi360/common/table.h"
+#include "poi360/common/time.h"
+#include "poi360/common/units.h"
+
+namespace poi360 {
+namespace {
+
+TEST(Time, Conversions) {
+  EXPECT_EQ(msec(1), 1000);
+  EXPECT_EQ(sec(1), 1'000'000);
+  EXPECT_EQ(sec_f(0.5), 500'000);
+  EXPECT_DOUBLE_EQ(to_seconds(sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_millis(msec(250)), 250.0);
+  EXPECT_EQ(msec_f(1.5), 1500);
+}
+
+TEST(Units, RateByteConversions) {
+  EXPECT_DOUBLE_EQ(mbps(3), 3e6);
+  EXPECT_DOUBLE_EQ(to_mbps(kbps(2500)), 2.5);
+  // 1 Mbps over 1 s = 125000 bytes.
+  EXPECT_EQ(bytes_at_rate(mbps(1), sec(1)), 125000);
+  EXPECT_DOUBLE_EQ(rate_of(125000, sec(1)), 1e6);
+  EXPECT_EQ(transfer_time(125000, mbps(1)), sec(1));
+}
+
+TEST(Units, RoundTripSmallAmounts) {
+  const SimDuration t = transfer_time(1200, mbps(3));
+  EXPECT_NEAR(static_cast<double>(t), 3200.0, 1.0);  // 1200B @ 3Mbps = 3.2ms
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(7), b(7);
+  Rng fa = a.fork(1), fb = b.fork(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(fa.uniform(0, 1), fb.uniform(0, 1));
+  }
+  Rng c(7);
+  Rng f1 = c.fork(1);
+  Rng f2 = c.fork(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) {
+    if (f1.uniform(0, 1) != f2.uniform(0, 1)) differ = true;
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(3);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-0.5));
+  EXPECT_TRUE(r.bernoulli(1.5));
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.15);
+}
+
+TEST(RingBuffer, FifoOverwrite) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  EXPECT_EQ(rb.size(), 2u);
+  EXPECT_EQ(rb.front(), 1);
+  EXPECT_EQ(rb.back(), 2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+  EXPECT_EQ(rb[0], 2);
+  EXPECT_EQ(rb[1], 3);
+  EXPECT_EQ(rb[2], 4);
+}
+
+TEST(RingBuffer, ClearAndRefill) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.front(), 9);
+}
+
+TEST(RingBuffer, ZeroCapacityThrows) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RunningStats, Moments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma e(0.2);
+  EXPECT_FALSE(e.initialized());
+  for (int i = 0; i < 200; ++i) e.add(10.0);
+  EXPECT_NEAR(e.value(), 10.0, 1e-9);
+}
+
+TEST(Ewma, FirstSampleInitializes) {
+  Ewma e(0.01);
+  e.add(42.0);
+  EXPECT_DOUBLE_EQ(e.value(), 42.0);
+}
+
+TEST(SampleSet, PercentilesAndCdf) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_NEAR(s.median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(0.9), 90.1, 1e-9);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_above(90.0), 0.1);
+}
+
+TEST(SampleSet, CdfPointsSpanRange) {
+  SampleSet s;
+  s.add(0.0);
+  s.add(10.0);
+  const auto pts = s.cdf_points(10);
+  ASSERT_EQ(pts.size(), 11u);
+  EXPECT_DOUBLE_EQ(pts.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(pts.back().first, 10.0);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+}
+
+TEST(SampleSet, MixedAddAndQueryKeepsSorted) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);  // added after a sorted query
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+}
+
+TEST(SlidingWindowStats, EvictsOldSamples) {
+  SlidingWindowStats w(sec(2));
+  w.add(sec(0), 100.0);
+  w.add(sec(1), 100.0);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+  w.add(sec(3), 50.0);  // evicts the t=0 sample
+  EXPECT_EQ(w.count(), 2u);
+  EXPECT_DOUBLE_EQ(w.mean(), 75.0);
+  w.add(sec(10), 50.0);
+  EXPECT_EQ(w.count(), 1u);
+  EXPECT_DOUBLE_EQ(w.stddev(), 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps into bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);  // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 1.0);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"a", "long_header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("long_header"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,long_header\n1,2\n333,4\n");
+}
+
+TEST(Table, FmtHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_pct(0.047, 1), "4.7%");
+}
+
+}  // namespace
+}  // namespace poi360

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "poi360/core/adaptive_compression.h"
+
+namespace poi360::core {
+namespace {
+
+AdaptiveCompressionController::Config no_hysteresis() {
+  AdaptiveCompressionController::Config c;
+  c.min_dwell = 0;
+  return c;
+}
+
+TEST(Adaptive, StartsMidTable) {
+  AdaptiveCompressionController controller;
+  EXPECT_EQ(controller.mode_index(), 4);  // (8 + 1) / 2
+}
+
+TEST(Adaptive, ModeIndexFollowsMismatchBuckets) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  // ceil(M / 200 ms), clamped to [1, 8].
+  controller.on_feedback(msec(50));
+  EXPECT_EQ(controller.mode_index(), 1);
+  controller.on_feedback(msec(200));
+  EXPECT_EQ(controller.mode_index(), 1);
+  controller.on_feedback(msec(201));
+  EXPECT_EQ(controller.mode_index(), 2);
+  controller.on_feedback(msec(650));
+  EXPECT_EQ(controller.mode_index(), 4);
+  controller.on_feedback(msec(1400));
+  EXPECT_EQ(controller.mode_index(), 7);
+  controller.on_feedback(sec(10));
+  EXPECT_EQ(controller.mode_index(), 8);  // clamped (paper's "max(8,..)")
+}
+
+TEST(Adaptive, ZeroMismatchSelectsMostAggressive) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  controller.on_feedback(0);
+  EXPECT_EQ(controller.mode_index(), 1);
+  EXPECT_NEAR(controller.current_mode().c(), 1.8, 1e-12);
+}
+
+TEST(Adaptive, ConservativeModeHasSmallerC) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  controller.on_feedback(sec(5));
+  EXPECT_NEAR(controller.current_mode().c(), 1.1, 1e-12);
+}
+
+TEST(Adaptive, FloorGuardWalksBackToAffordableMode) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  // Mode floors: index m costs m Mbps (toy numbers).
+  std::vector<Bitrate> floors(9);
+  for (int m = 1; m <= 8; ++m) floors[static_cast<std::size_t>(m)] = mbps(m);
+  controller.set_mode_floor_rates(floors);
+
+  // M asks for mode 8 but the budget only affords floor <= 0.5 * 4 Mbps.
+  controller.on_feedback(sec(10), mbps(4));
+  EXPECT_EQ(controller.mode_index(), 2);  // floor 2 Mbps fits 0.5 * 4
+}
+
+TEST(Adaptive, FloorGuardInactiveWithoutRateOrFloors) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  controller.on_feedback(sec(10), mbps(0.5));  // no floors installed
+  EXPECT_EQ(controller.mode_index(), 8);
+
+  std::vector<Bitrate> floors(9, mbps(100));
+  controller.set_mode_floor_rates(floors);
+  controller.on_feedback(sec(10));  // no rate passed
+  EXPECT_EQ(controller.mode_index(), 8);
+}
+
+TEST(Adaptive, FloorGuardNeverGoesBelowModeOne) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  std::vector<Bitrate> floors(9, mbps(100));  // nothing is affordable
+  controller.set_mode_floor_rates(floors);
+  controller.on_feedback(sec(10), kbps(100));
+  EXPECT_EQ(controller.mode_index(), 1);
+}
+
+TEST(Adaptive, DwellHysteresisBlocksRapidSwitches) {
+  AdaptiveCompressionController::Config config;
+  config.min_dwell = msec(800);
+  AdaptiveCompressionController controller(config);
+
+  controller.on_feedback(msec(50), 0.0, sec(1));
+  EXPECT_EQ(controller.mode_index(), 1);
+  // 100 ms later a different mode is requested: blocked by dwell.
+  controller.on_feedback(msec(900), 0.0, sec(1) + msec(100));
+  EXPECT_EQ(controller.mode_index(), 1);
+  // After the dwell expires the switch goes through.
+  controller.on_feedback(msec(900), 0.0, sec(1) + msec(900));
+  EXPECT_EQ(controller.mode_index(), 5);
+}
+
+TEST(Adaptive, SameModeDoesNotResetDwellClock) {
+  AdaptiveCompressionController::Config config;
+  config.min_dwell = msec(800);
+  AdaptiveCompressionController controller(config);
+  controller.on_feedback(msec(50), 0.0, sec(1));
+  // Re-selecting mode 1 repeatedly must not push the next switch out.
+  controller.on_feedback(msec(50), 0.0, sec(1) + msec(700));
+  controller.on_feedback(msec(900), 0.0, sec(1) + msec(850));
+  EXPECT_EQ(controller.mode_index(), 5);
+}
+
+TEST(Adaptive, MatrixForUsesCurrentMode) {
+  AdaptiveCompressionController controller(no_hysteresis());
+  controller.on_feedback(msec(50));
+  const auto grid = video::TileGrid::paper_default();
+  const auto m = controller.matrix_for(grid, {3, 3});
+  EXPECT_DOUBLE_EQ(m.at({3, 3}), 1.0);
+  EXPECT_NEAR(m.at({4, 3}), 1.8, 1e-12);
+}
+
+// Property: mode index is monotone non-decreasing in M (without guards).
+class ModeMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(ModeMonotone, MonotoneInMismatch) {
+  AdaptiveCompressionController a(no_hysteresis());
+  AdaptiveCompressionController b(no_hysteresis());
+  const int step = GetParam();
+  a.on_feedback(msec(step));
+  b.on_feedback(msec(step + 137));
+  EXPECT_LE(a.mode_index(), b.mode_index());
+}
+
+INSTANTIATE_TEST_SUITE_P(MismatchSweep, ModeMonotone,
+                         ::testing::Values(0, 100, 300, 500, 777, 1200, 1500,
+                                           2500));
+
+}  // namespace
+}  // namespace poi360::core

@@ -1,0 +1,144 @@
+// Failure-injection tests: the session must degrade gracefully — never
+// deadlock, crash, or corrupt its accounting — under hostile network
+// conditions well outside the calibrated operating range.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "poi360/core/config.h"
+#include "poi360/core/session.h"
+#include "poi360/lte/trace.h"
+
+namespace poi360::core {
+namespace {
+
+void expect_sane(const metrics::SessionMetrics& m) {
+  std::set<std::int64_t> ids;
+  for (const auto& f : m.frames()) {
+    EXPECT_TRUE(ids.insert(f.frame_id).second);
+    EXPECT_GT(f.delay, 0);
+    EXPECT_GE(f.roi_level, 1.0);
+  }
+  EXPECT_GE(m.skipped_frames(), 0);
+}
+
+TEST(FailureInjection, HeavyMediaLossRecoveredByNack) {
+  SessionConfig config = presets::cellular_static();
+  config.core_loss = 0.05;  // 5% of media packets dropped in the core
+  config.duration = sec(20);
+  config.seed = 51;
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  // NACK recovery keeps the stream alive; most frames still display.
+  EXPECT_GT(m.displayed_frames(), 500);
+  expect_sane(m);
+}
+
+TEST(FailureInjection, LossyFeedbackChannel) {
+  SessionConfig config = presets::cellular_static();
+  config.feedback_loss = 0.30;  // 30% of ROI/congestion feedback lost
+  config.duration = sec(20);
+  config.seed = 52;
+  Session session(config);
+  session.run();
+  // Stale ROI knowledge hurts quality but must not stall the pipeline.
+  EXPECT_GT(session.metrics().displayed_frames(), 500);
+  expect_sane(session.metrics());
+}
+
+TEST(FailureInjection, TotalOutagePeriodsViaTrace) {
+  // Capacity hard-zero for two seconds out of every ten.
+  auto trace = std::make_shared<lte::CapacityTrace>();
+  trace->add(0, mbps(4));
+  trace->add(sec(6), 0.0);
+  trace->add(sec(8), mbps(4));
+  trace->add(sec(10) - msec(1), mbps(4));
+
+  SessionConfig config = presets::cellular_static();
+  config.channel.capacity_trace = trace;
+  config.duration = sec(40);
+  config.seed = 53;
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  // Frames freeze and the sender skips under backlog, but the session
+  // recovers every cycle and keeps its accounting consistent.
+  EXPECT_GT(m.displayed_frames(), 300);
+  EXPECT_GT(m.freeze_ratio(), 0.05);
+  expect_sane(m);
+}
+
+TEST(FailureInjection, NearZeroCapacityNeverDeadlocks) {
+  auto trace = std::make_shared<lte::CapacityTrace>();
+  trace->add(0, kbps(120));
+  trace->add(sec(5) - msec(1), kbps(120));
+
+  SessionConfig config = presets::cellular_static();
+  config.channel.capacity_trace = trace;
+  config.duration = sec(20);
+  config.seed = 54;
+  Session session(config);
+  session.run();  // must terminate
+  const auto& m = session.metrics();
+  // Starvation: nearly everything skips or freezes, but nothing crashes.
+  EXPECT_GT(m.displayed_frames() + m.skipped_frames(), 300);
+  expect_sane(m);
+}
+
+TEST(FailureInjection, ExtremeJitterKeepsOrdering) {
+  SessionConfig config = presets::cellular_static();
+  config.core_jitter = msec(60);
+  config.feedback_jitter = msec(60);
+  config.duration = sec(15);
+  config.seed = 55;
+  Session session(config);
+  session.run();
+  EXPECT_GT(session.metrics().displayed_frames(), 400);
+  expect_sane(session.metrics());
+}
+
+TEST(FailureInjection, TinyFirmwareBufferDropsButSurvives) {
+  SessionConfig config = presets::cellular_static();
+  config.uplink.buffer_limit_bytes = 8'000;  // absurdly small modem buffer
+  config.duration = sec(15);
+  config.seed = 56;
+  Session session(config);
+  session.run();
+  // Drop-tail at the modem forces NACK recovery; stream survives.
+  EXPECT_GT(session.metrics().displayed_frames(), 200);
+  expect_sane(session.metrics());
+}
+
+TEST(FailureInjection, HighBlerChannel) {
+  SessionConfig config = presets::cellular_static();
+  config.uplink.bler = 0.25;
+  config.duration = sec(15);
+  config.seed = 57;
+  Session session(config);
+  session.run();
+  EXPECT_GT(session.metrics().displayed_frames(), 300);
+  expect_sane(session.metrics());
+}
+
+TEST(FailureInjection, ViewerSpinningConstantly) {
+  SessionConfig config = presets::cellular_static();
+  config.head_motion.pursuit_prob = 1.0;
+  config.head_motion.pursuit_speed_mean_deg_s = 90.0;
+  config.head_motion.mean_fixation_s = 0.25;
+  config.duration = sec(15);
+  config.seed = 58;
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  EXPECT_GT(m.displayed_frames(), 400);
+  // Constant motion means constant mismatch pressure: quality suffers but
+  // the adaptive controller keeps the stream fair-or-better on average.
+  EXPECT_GT(m.mean_roi_psnr(), 20.0);
+  expect_sane(m);
+}
+
+}  // namespace
+}  // namespace poi360::core

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "poi360/gcc/aimd.h"
+#include "poi360/gcc/gcc.h"
+#include "poi360/gcc/trendline.h"
+
+namespace poi360::gcc {
+namespace {
+
+TEST(Trendline, StableDelaysStayNormal) {
+  TrendlineEstimator t;
+  SimTime send = 0, arrive = msec(50);
+  for (int i = 0; i < 100; ++i) {
+    send += msec(28);
+    arrive += msec(28);  // zero delay gradient
+    EXPECT_EQ(t.update(send, arrive), BandwidthUsage::kNormal);
+  }
+  EXPECT_NEAR(t.trend(), 0.0, 1e-9);
+}
+
+TEST(Trendline, GrowingQueueSignalsOveruse) {
+  TrendlineEstimator t;
+  SimTime send = 0, arrive = msec(50);
+  BandwidthUsage last = BandwidthUsage::kNormal;
+  for (int i = 0; i < 80; ++i) {
+    send += msec(28);
+    arrive += msec(28) + msec(4);  // each group arrives 4 ms later
+    last = t.update(send, arrive);
+  }
+  EXPECT_EQ(last, BandwidthUsage::kOveruse);
+  EXPECT_GT(t.trend(), 0.0);
+}
+
+TEST(Trendline, DrainingQueueSignalsUnderuse) {
+  TrendlineEstimator t;
+  SimTime send = 0, arrive = sec(2);
+  BandwidthUsage last = BandwidthUsage::kNormal;
+  for (int i = 0; i < 80; ++i) {
+    send += msec(28);
+    arrive += msec(28) - msec(4);  // queue draining
+    last = t.update(send, arrive);
+  }
+  EXPECT_EQ(last, BandwidthUsage::kUnderuse);
+}
+
+TEST(Trendline, ThresholdAdaptsUpUnderSustainedNoise) {
+  TrendlineEstimator::Config config;
+  TrendlineEstimator t(config);
+  const double initial = t.threshold_ms();
+  SimTime send = 0, arrive = msec(50);
+  // Alternating strong jitter just below the outlier cutoff.
+  for (int i = 0; i < 300; ++i) {
+    send += msec(28);
+    arrive += msec(28) + ((i % 2 == 0) ? msec(6) : -msec(6));
+    t.update(send, arrive);
+  }
+  EXPECT_GE(t.threshold_ms(), config.threshold_min_ms);
+  EXPECT_LE(t.threshold_ms(), config.threshold_max_ms);
+  (void)initial;
+}
+
+TEST(Aimd, DecreaseOnOveruse) {
+  AimdController aimd(mbps(4));
+  const Bitrate next =
+      aimd.update(BandwidthUsage::kOveruse, mbps(3), msec(100));
+  EXPECT_NEAR(next, 0.85 * mbps(3), 1.0);
+}
+
+TEST(Aimd, NeverDecreasesAboveCurrentTarget) {
+  AimdController aimd(mbps(2));
+  // Incoming rate is higher than the target; decrease keeps the minimum.
+  const Bitrate next =
+      aimd.update(BandwidthUsage::kOveruse, mbps(4), msec(100));
+  EXPECT_LE(next, mbps(2));
+}
+
+TEST(Aimd, IncreasesUnderNormal) {
+  AimdController aimd(mbps(2));
+  Bitrate rate = mbps(2);
+  SimTime t = 0;
+  for (int i = 0; i < 50; ++i) {
+    t += msec(100);
+    rate = aimd.update(BandwidthUsage::kNormal, mbps(10), t);
+  }
+  EXPECT_GT(rate, mbps(2.5));
+}
+
+TEST(Aimd, HoldsOnUnderuse) {
+  AimdController aimd(mbps(3));
+  const Bitrate a = aimd.update(BandwidthUsage::kUnderuse, mbps(3), msec(100));
+  const Bitrate b = aimd.update(BandwidthUsage::kUnderuse, mbps(3), msec(200));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Aimd, CappedByIncomingRate) {
+  AimdController aimd(mbps(8));
+  const Bitrate next =
+      aimd.update(BandwidthUsage::kNormal, mbps(2), msec(100));
+  EXPECT_LE(next, 1.5 * mbps(2) + kbps(10) + 1.0);
+}
+
+TEST(Aimd, RespectsMinAndMax) {
+  AimdController::Config config;
+  config.min_rate = kbps(500);
+  config.max_rate = mbps(4);
+  AimdController aimd(mbps(1), config);
+  // Repeated overuse with tiny incoming rate floors at min_rate.
+  Bitrate rate = mbps(1);
+  for (int i = 0; i < 20; ++i) {
+    rate = aimd.update(BandwidthUsage::kOveruse, kbps(100), msec(100 * i));
+  }
+  EXPECT_DOUBLE_EQ(rate, kbps(500));
+}
+
+TEST(LossBased, CutsOnHighLoss) {
+  LossBasedController loss(mbps(4));
+  const Bitrate next = loss.update(0.2);
+  EXPECT_NEAR(next, mbps(4) * (1.0 - 0.5 * 0.2), 1.0);
+}
+
+TEST(LossBased, ProbesOnLowLoss) {
+  LossBasedController loss(mbps(2));
+  EXPECT_NEAR(loss.update(0.0), mbps(2) * 1.05, 1.0);
+}
+
+TEST(LossBased, HoldsInDeadZone) {
+  LossBasedController loss(mbps(2));
+  EXPECT_DOUBLE_EQ(loss.update(0.05), mbps(2));
+}
+
+TEST(LossBased, Clamped) {
+  LossBasedController::Config config;
+  config.max_rate = mbps(3);
+  LossBasedController loss(mbps(2.95), config);
+  EXPECT_DOUBLE_EQ(loss.update(0.0), mbps(3));
+}
+
+TEST(GccSender, TakesMinOfDelayAndLoss) {
+  GccSender sender(mbps(3));
+  GccFeedback fb;
+  fb.delay_based_rate = mbps(2);
+  fb.loss_fraction = 0.0;  // loss-based probes up from 3 to 3.15
+  const Bitrate r = sender.on_feedback(fb);
+  EXPECT_DOUBLE_EQ(r, mbps(2));
+  fb.delay_based_rate = mbps(6);
+  fb.loss_fraction = 0.5;  // loss-based cuts hard
+  const Bitrate r2 = sender.on_feedback(fb);
+  EXPECT_LT(r2, mbps(3));
+}
+
+TEST(GccSender, IgnoresZeroDelayEstimate) {
+  GccSender sender(mbps(3));
+  GccFeedback fb;
+  fb.delay_based_rate = 0.0;  // receiver has no estimate yet
+  fb.loss_fraction = 0.05;
+  const Bitrate r = sender.on_feedback(fb);
+  EXPECT_DOUBLE_EQ(r, mbps(3));
+}
+
+TEST(GccReceiver, EndToEndOveruseLowersEstimate) {
+  GccReceiver receiver(mbps(4));
+  SimTime send = 0, arrive = msec(50);
+  // Stable phase.
+  for (int i = 0; i < 40; ++i) {
+    send += msec(28);
+    arrive += msec(28);
+    receiver.on_frame(send, arrive, mbps(4));
+  }
+  const Bitrate before = receiver.delay_based_rate();
+  // Congested phase: every frame arrives progressively later.
+  for (int i = 0; i < 60; ++i) {
+    send += msec(28);
+    arrive += msec(33);
+    receiver.on_frame(send, arrive, mbps(3));
+  }
+  EXPECT_LT(receiver.delay_based_rate(), before);
+  EXPECT_EQ(receiver.usage(), BandwidthUsage::kOveruse);
+}
+
+}  // namespace
+}  // namespace poi360::gcc

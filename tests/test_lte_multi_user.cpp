@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "poi360/common/stats.h"
+#include "poi360/lte/channel.h"
+#include "poi360/lte/multi_user.h"
+
+namespace poi360::lte {
+namespace {
+
+TEST(MultiUserCell, NoCompetitorsMeansFullShare) {
+  MultiUserCell cell({.background_users = 0}, 1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(cell.foreground_share(msec(i)), 1.0);
+  }
+}
+
+TEST(MultiUserCell, ShareBoundedByUserCount) {
+  MultiUserCell::Config config;
+  config.background_users = 5;
+  MultiUserCell cell(config, 2);
+  for (int i = 0; i < 60'000; ++i) {
+    const double share = cell.foreground_share(msec(i));
+    EXPECT_GT(share, 1.0 / 6.0 - 1e-12);
+    EXPECT_LE(share, 1.0);
+  }
+}
+
+TEST(MultiUserCell, DeterministicForSeed) {
+  MultiUserCell::Config config;
+  config.background_users = 4;
+  MultiUserCell a(config, 7), b(config, 7);
+  for (int i = 0; i < 30'000; ++i) {
+    EXPECT_DOUBLE_EQ(a.foreground_share(msec(i)),
+                     b.foreground_share(msec(i)));
+  }
+}
+
+TEST(MultiUserCell, DutyCycleMatchesOnOffRatio) {
+  MultiUserCell::Config config;
+  config.background_users = 1;
+  config.mean_on = sec(1);
+  config.mean_off = sec(3);
+  MultiUserCell cell(config, 11);
+  int active_samples = 0;
+  constexpr int kSamples = 600'000;
+  for (int i = 0; i < kSamples; ++i) {
+    cell.foreground_share(msec(i));
+    if (cell.active_users() == 1) ++active_samples;
+  }
+  EXPECT_NEAR(static_cast<double>(active_samples) / kSamples, 0.25, 0.06);
+}
+
+TEST(MultiUserCell, MoreUsersMeanSmallerAverageShare) {
+  auto mean_share = [](int users) {
+    MultiUserCell::Config config;
+    config.background_users = users;
+    MultiUserCell cell(config, 5);
+    RunningStats s;
+    for (int i = 0; i < 120'000; ++i) {
+      s.add(cell.foreground_share(msec(i)));
+    }
+    return s.mean();
+  };
+  EXPECT_GT(mean_share(1), mean_share(4));
+  EXPECT_GT(mean_share(4), mean_share(16));
+}
+
+TEST(MultiUserCell, BackgroundWeightScalesImpact) {
+  auto mean_share = [](double weight) {
+    MultiUserCell::Config config;
+    config.background_users = 6;
+    config.background_weight = weight;
+    MultiUserCell cell(config, 5);
+    RunningStats s;
+    for (int i = 0; i < 60'000; ++i) {
+      s.add(cell.foreground_share(msec(i)));
+    }
+    return s.mean();
+  };
+  EXPECT_GT(mean_share(0.5), mean_share(2.0));
+}
+
+TEST(Channel, ExplicitUsersReplaceLoadProcess) {
+  ChannelConfig config;
+  config.explicit_users = 4;
+  config.fading_std = 0.0;
+  config.outage_per_min = 0.0;
+  UplinkChannel ch(config, 9);
+  ASSERT_TRUE(ch.multi_user_cell().has_value());
+  // Capacity must track base * share exactly (no fading, no outage).
+  const Bitrate base = capacity_for_rss(config.rss_dbm);
+  for (int i = 1; i <= 30'000; ++i) {
+    const Bitrate cap = ch.advance(msec(i));
+    EXPECT_LE(cap, base + 1.0);
+    EXPECT_GE(cap, base / 5.0 - 1.0);
+  }
+}
+
+TEST(Channel, AbstractModelHasNoCell) {
+  ChannelConfig config;  // explicit_users = -1
+  UplinkChannel ch(config, 9);
+  EXPECT_FALSE(ch.multi_user_cell().has_value());
+}
+
+}  // namespace
+}  // namespace poi360::lte

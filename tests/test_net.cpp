@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "poi360/net/link.h"
+#include "poi360/net/queue.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::net {
+namespace {
+
+struct Msg {
+  int id = 0;
+  std::int64_t bytes = 0;
+};
+
+TEST(DelayLink, DeliversAfterPropagation) {
+  sim::Simulator s;
+  std::vector<std::pair<int, SimTime>> got;
+  DelayLink<Msg> link(s, {msec(25), 0, 0.0}, 1,
+                      [&](Msg m, SimTime at) { got.emplace_back(m.id, at); });
+  s.schedule_at(msec(10), [&]() { link.send({1, 100}); });
+  s.run_until(sec(1));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, 1);
+  EXPECT_EQ(got[0].second, msec(35));
+}
+
+TEST(DelayLink, PreservesOrderDespiteJitter) {
+  sim::Simulator s;
+  std::vector<int> order;
+  DelayLink<Msg> link(s, {msec(20), msec(15), 0.0}, 42,
+                      [&](Msg m, SimTime) { order.push_back(m.id); });
+  for (int i = 0; i < 200; ++i) {
+    s.schedule_at(msec(i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(5));
+  ASSERT_EQ(order.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(DelayLink, DropsAtConfiguredRate) {
+  sim::Simulator s;
+  int received = 0;
+  DelayLink<Msg> link(s, {msec(5), 0, 0.25}, 7,
+                      [&](Msg, SimTime) { ++received; });
+  for (int i = 0; i < 4000; ++i) {
+    s.schedule_at(msec(i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(10));
+  EXPECT_EQ(link.dropped() + received, 4000);
+  EXPECT_NEAR(static_cast<double>(link.dropped()) / 4000.0, 0.25, 0.03);
+}
+
+TEST(DelayLink, ZeroLossDeliversEverything) {
+  sim::Simulator s;
+  int received = 0;
+  DelayLink<Msg> link(s, {msec(5), msec(2), 0.0}, 7,
+                      [&](Msg, SimTime) { ++received; });
+  for (int i = 0; i < 500; ++i) {
+    s.schedule_at(msec(i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(10));
+  EXPECT_EQ(received, 500);
+  EXPECT_EQ(link.dropped(), 0);
+}
+
+TEST(DrainQueue, ServesAtConfiguredRate) {
+  sim::Simulator s;
+  std::vector<SimTime> completions;
+  // 1 Mbps: a 12500-byte packet takes exactly 100 ms.
+  DrainQueue<Msg> q(s, mbps(1), 1'000'000,
+                    [&](Msg, SimTime at) { completions.push_back(at); });
+  s.schedule_at(0, [&]() {
+    q.push({1, 12500});
+    q.push({2, 12500});
+  });
+  s.run_until(sec(1));
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], msec(100));
+  EXPECT_EQ(completions[1], msec(200));
+}
+
+TEST(DrainQueue, WorkConservingAfterIdle) {
+  sim::Simulator s;
+  std::vector<SimTime> completions;
+  DrainQueue<Msg> q(s, mbps(1), 1'000'000,
+                    [&](Msg, SimTime at) { completions.push_back(at); });
+  s.schedule_at(0, [&]() { q.push({1, 12500}); });
+  s.schedule_at(msec(500), [&]() { q.push({2, 12500}); });
+  s.run_until(sec(1));
+  ASSERT_EQ(completions.size(), 2u);
+  EXPECT_EQ(completions[0], msec(100));
+  EXPECT_EQ(completions[1], msec(600));  // starts when it arrives
+}
+
+TEST(DrainQueue, DropTailAtByteLimit) {
+  sim::Simulator s;
+  int delivered = 0;
+  DrainQueue<Msg> q(s, kbps(100), 2500,
+                    [&](Msg, SimTime) { ++delivered; });
+  s.schedule_at(0, [&]() {
+    q.push({1, 1200});
+    q.push({2, 1200});
+    q.push({3, 1200});  // exceeds 2500-byte limit -> dropped
+  });
+  EXPECT_EQ(q.dropped(), 0);
+  s.run_until(msec(1));
+  EXPECT_EQ(q.dropped(), 1);
+  s.run_until(sec(10));
+  EXPECT_EQ(delivered, 2);
+}
+
+TEST(DrainQueue, TracksQueuedBytes) {
+  sim::Simulator s;
+  DrainQueue<Msg> q(s, kbps(8), 1'000'000, [](Msg, SimTime) {});
+  s.schedule_at(0, [&]() {
+    q.push({1, 500});
+    q.push({2, 300});
+  });
+  s.run_until(usec(1));
+  EXPECT_EQ(q.queued_bytes(), 800);
+  EXPECT_EQ(q.queued_packets(), 2u);
+  // 8 kbps = 1000 B/s: after ~600 ms the first packet (500 B) has left.
+  s.run_until(msec(600));
+  EXPECT_EQ(q.queued_bytes(), 300);
+}
+
+}  // namespace
+}  // namespace poi360::net

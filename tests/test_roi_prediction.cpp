@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poi360/roi/head_motion.h"
+#include "poi360/roi/prediction.h"
+
+namespace poi360::roi {
+namespace {
+
+TEST(Prediction, NoSamplesPredictsOrigin) {
+  RoiPredictor p;
+  const Orientation o = p.predict(sec(1));
+  EXPECT_DOUBLE_EQ(o.yaw_deg, 0.0);
+  EXPECT_FALSE(p.has_estimate());
+}
+
+TEST(Prediction, SingleSampleHolds) {
+  RoiPredictor p;
+  p.add_sample(sec(1), {30.0, 5.0});
+  EXPECT_FALSE(p.has_estimate());
+  const Orientation o = p.predict(sec(2));
+  EXPECT_DOUBLE_EQ(o.yaw_deg, 30.0);
+  EXPECT_DOUBLE_EQ(o.pitch_deg, 5.0);
+}
+
+TEST(Prediction, LinearMotionExtrapolated) {
+  RoiPredictor p;
+  // 20 deg/s yaw drift sampled every 100 ms.
+  for (int i = 0; i <= 5; ++i) {
+    p.add_sample(msec(100) * i, {2.0 * i, 0.0});
+  }
+  ASSERT_TRUE(p.has_estimate());
+  EXPECT_NEAR(p.yaw_velocity(), 20.0, 0.5);
+  const Orientation o = p.predict(msec(700));
+  EXPECT_NEAR(o.yaw_deg, 14.0, 0.5);
+}
+
+TEST(Prediction, StationaryGazePredictsZeroVelocity) {
+  RoiPredictor p;
+  for (int i = 0; i <= 10; ++i) {
+    p.add_sample(msec(50) * i, {42.0, -7.0});
+  }
+  EXPECT_NEAR(p.yaw_velocity(), 0.0, 1e-9);
+  const Orientation o = p.predict(sec(5));
+  EXPECT_NEAR(o.yaw_deg, 42.0, 1e-9);
+  EXPECT_NEAR(o.pitch_deg, -7.0, 1e-9);
+}
+
+TEST(Prediction, CrossesYawWrapCorrectly) {
+  RoiPredictor p;
+  // Moving +30 deg/s through the ±180° seam: 170, 173, 176, 179, -178...
+  double yaw = 170.0;
+  for (int i = 0; i <= 6; ++i) {
+    p.add_sample(msec(100) * i, {wrap_yaw(yaw), 0.0});
+    yaw += 3.0;
+  }
+  EXPECT_NEAR(p.yaw_velocity(), 30.0, 1.0);
+  const Orientation o = p.predict(msec(800));
+  // Sample at 600 ms was 188 -> predict 188 + 0.2 s * 30 = 194 => -166.
+  EXPECT_NEAR(o.yaw_deg, -166.0, 1.5);
+}
+
+TEST(Prediction, VelocityClamped) {
+  RoiPredictor::Config config;
+  config.max_speed_deg_s = 50.0;
+  RoiPredictor p(config);
+  for (int i = 0; i <= 5; ++i) {
+    p.add_sample(msec(10) * i, {wrap_yaw(5.0 * i), 0.0});  // 500 deg/s
+  }
+  EXPECT_LE(std::fabs(p.yaw_velocity()), 50.0 + 1e-9);
+}
+
+TEST(Prediction, PitchClampedToValidRange) {
+  RoiPredictor p;
+  for (int i = 0; i <= 5; ++i) {
+    p.add_sample(msec(100) * i, {0.0, 15.0 * i});  // rising fast
+  }
+  const Orientation o = p.predict(sec(10));
+  EXPECT_LE(o.pitch_deg, 90.0);
+}
+
+TEST(Prediction, OldSamplesEvicted) {
+  RoiPredictor::Config config;
+  config.fit_window = msec(200);
+  RoiPredictor p(config);
+  // Old fast motion followed by a long still phase: the fit must reflect
+  // only the still samples.
+  p.add_sample(msec(0), {0.0, 0.0});
+  p.add_sample(msec(50), {20.0, 0.0});
+  for (int i = 0; i <= 10; ++i) {
+    p.add_sample(sec(1) + msec(50) * i, {30.0, 0.0});
+  }
+  EXPECT_NEAR(p.yaw_velocity(), 0.0, 1e-6);
+}
+
+TEST(Prediction, ShortHorizonTracksRealMotionBetterThanStale) {
+  // Property at the heart of §8: against the stochastic motion model, a
+  // 100 ms prediction beats using a 100 ms old sample, at direction changes
+  // and everywhere else on average.
+  StochasticHeadMotion motion({}, 99);
+  RoiPredictor p;
+  double err_pred = 0.0, err_stale = 0.0;
+  int n = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = msec(28) * i;
+    p.add_sample(t, motion.orientation_at(t));
+    if (i < 20) continue;
+    const SimTime target = t + msec(100);
+    const Orientation truth = motion.orientation_at(target);
+    err_pred += angular_distance(p.predict(target), truth);
+    err_stale += angular_distance(motion.orientation_at(t), truth);
+    ++n;
+  }
+  EXPECT_LT(err_pred / n, err_stale / n);
+}
+
+TEST(Prediction, LongHorizonDegrades) {
+  // And the flip side: at a 1 s horizon the constant-velocity model
+  // overshoots every direction change, ending up *worse* than no motion
+  // assumption at all.
+  StochasticHeadMotion motion({}, 42);
+  RoiPredictor p;
+  double err_pred = 0.0, err_hold = 0.0;
+  int n = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const SimTime t = msec(28) * i;
+    p.add_sample(t, motion.orientation_at(t));
+    if (i < 40) continue;
+    const SimTime target = t + sec(1);
+    const Orientation truth = motion.orientation_at(target);
+    err_pred += angular_distance(p.predict(target), truth);
+    err_hold += angular_distance(motion.orientation_at(t), truth);
+    ++n;
+  }
+  EXPECT_GT(err_pred / n, 0.9 * err_hold / n);
+}
+
+}  // namespace
+}  // namespace poi360::roi

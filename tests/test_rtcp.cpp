@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "poi360/rtp/jitter_buffer.h"
+#include "poi360/rtp/rtcp.h"
+
+namespace poi360::rtp {
+namespace {
+
+TEST(JitterEstimator, ZeroForPerfectlyPacedStream) {
+  JitterEstimator j;
+  for (int i = 0; i < 100; ++i) {
+    j.on_packet(msec(28) * i, msec(50) + msec(28) * i);
+  }
+  EXPECT_EQ(j.jitter(), 0);
+  EXPECT_EQ(j.samples(), 99);
+}
+
+TEST(JitterEstimator, ConvergesTowardMeanDeviation) {
+  JitterEstimator j;
+  // Alternating +/-8 ms arrival deviation: |D| alternates 16 ms after the
+  // first sample; RFC 3550's 1/16 gain converges toward ~16 ms.
+  for (int i = 0; i < 2000; ++i) {
+    const SimDuration wobble = (i % 2 == 0) ? msec(8) : -msec(8);
+    j.on_packet(msec(28) * i, msec(50) + msec(28) * i + wobble);
+  }
+  EXPECT_GT(j.jitter(), msec(10));
+  EXPECT_LT(j.jitter(), msec(17));
+}
+
+TEST(JitterEstimator, FirstPacketOnlyPrimes) {
+  JitterEstimator j;
+  j.on_packet(0, msec(100));
+  EXPECT_EQ(j.samples(), 0);
+  EXPECT_EQ(j.jitter(), 0);
+}
+
+TEST(RttEstimator, ComputesLsrDlsrRoundTrip) {
+  RttEstimator rtt;
+  EXPECT_FALSE(rtt.has_estimate());
+  // Media left the sender at t=1.000 s, the report is sent after holding
+  // it 30 ms, and arrives at the sender at 1.130 s: RTT = 100 ms.
+  ReceiverReport report;
+  report.last_sr_timestamp = sec(1);
+  report.delay_since_last_sr = msec(30);
+  rtt.on_report(report, sec(1) + msec(130));
+  ASSERT_TRUE(rtt.has_estimate());
+  EXPECT_EQ(rtt.last_rtt(), msec(100));
+  EXPECT_EQ(rtt.smoothed_rtt(), msec(100));
+}
+
+TEST(RttEstimator, SmoothsSubsequentSamples) {
+  RttEstimator rtt(0.5);
+  ReceiverReport report;
+  report.last_sr_timestamp = sec(1);
+  report.delay_since_last_sr = 0;
+  rtt.on_report(report, sec(1) + msec(100));
+  report.last_sr_timestamp = sec(2);
+  rtt.on_report(report, sec(2) + msec(200));
+  EXPECT_EQ(rtt.last_rtt(), msec(200));
+  EXPECT_EQ(rtt.smoothed_rtt(), msec(150));
+}
+
+TEST(RttEstimator, IgnoresReportsWithoutSrEcho) {
+  RttEstimator rtt;
+  ReceiverReport report;  // last_sr_timestamp = 0
+  rtt.on_report(report, sec(5));
+  EXPECT_FALSE(rtt.has_estimate());
+}
+
+TEST(RttEstimator, IgnoresNegativeRtt) {
+  RttEstimator rtt;
+  ReceiverReport report;
+  report.last_sr_timestamp = sec(10);
+  report.delay_since_last_sr = sec(10);
+  rtt.on_report(report, sec(11));  // 11 - 10 - 10 < 0
+  EXPECT_FALSE(rtt.has_estimate());
+}
+
+TEST(PlayoutBuffer, NeverSchedulesBeforeCompletion) {
+  JitterBuffer buffer;
+  for (int i = 0; i < 50; ++i) {
+    const SimTime capture = msec(28) * i;
+    const SimTime completion = capture + msec(300) + msec(i % 7);
+    EXPECT_GE(buffer.schedule(capture, completion), completion);
+  }
+}
+
+TEST(PlayoutBuffer, DisplayTimesMonotone) {
+  JitterBuffer buffer;
+  SimTime prev = -1;
+  for (int i = 0; i < 200; ++i) {
+    const SimTime capture = msec(28) * i;
+    // Jittery completions that occasionally bunch up.
+    const SimTime completion = capture + msec(250) + msec((i * 37) % 60);
+    const SimTime display = buffer.schedule(capture, completion);
+    EXPECT_GT(display, prev);
+    prev = display;
+  }
+}
+
+TEST(PlayoutBuffer, TargetTracksJitterWithinBounds) {
+  JitterBuffer::Config config;
+  config.min_delay = msec(20);
+  config.max_delay = msec(120);
+  JitterBuffer buffer(config);
+  EXPECT_EQ(buffer.target_delay(), msec(20));  // clamped at min when quiet
+  for (int i = 0; i < 500; ++i) {
+    const SimDuration wobble = msec((i % 2 == 0) ? 40 : 0);
+    buffer.schedule(msec(28) * i, msec(28) * i + msec(300) + wobble);
+  }
+  EXPECT_GT(buffer.target_delay(), msec(20));
+  EXPECT_LE(buffer.target_delay(), msec(120));
+}
+
+TEST(PlayoutBuffer, SmoothStreamAddsLittleDelay) {
+  JitterBuffer buffer;
+  SimTime total_added = 0;
+  for (int i = 0; i < 100; ++i) {
+    const SimTime capture = msec(28) * i;
+    const SimTime completion = capture + msec(300);
+    total_added += buffer.schedule(capture, completion) - completion;
+  }
+  EXPECT_LT(total_added / 100, msec(15));
+}
+
+}  // namespace
+}  // namespace poi360::rtp

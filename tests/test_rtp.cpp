@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "poi360/rtp/pacer.h"
+#include "poi360/rtp/packetizer.h"
+#include "poi360/rtp/receiver.h"
+#include "poi360/rtp/retx.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::rtp {
+namespace {
+
+TEST(Packetizer, SplitsAtMtu) {
+  Packetizer p(1200);
+  const auto packets = p.packetize(7, msec(100), 3000);
+  ASSERT_EQ(packets.size(), 3u);
+  EXPECT_EQ(packets[0].bytes, 1200);
+  EXPECT_EQ(packets[1].bytes, 1200);
+  EXPECT_EQ(packets[2].bytes, 600);
+  for (int f = 0; f < 3; ++f) {
+    EXPECT_EQ(packets[f].frame_id, 7);
+    EXPECT_EQ(packets[f].fragment, f);
+    EXPECT_EQ(packets[f].fragments, 3);
+    EXPECT_EQ(packets[f].capture_time, msec(100));
+    EXPECT_EQ(packets[f].seq, f);
+  }
+}
+
+TEST(Packetizer, SequenceNumbersContinueAcrossFrames) {
+  Packetizer p(1000);
+  (void)p.packetize(0, 0, 2500);  // 3 packets: seq 0..2
+  const auto second = p.packetize(1, 0, 1500);
+  EXPECT_EQ(second[0].seq, 3);
+  EXPECT_EQ(second[1].seq, 4);
+}
+
+TEST(Packetizer, ExactMultipleOfMtu) {
+  Packetizer p(1200);
+  const auto packets = p.packetize(0, 0, 2400);
+  ASSERT_EQ(packets.size(), 2u);
+  EXPECT_EQ(packets[1].bytes, 1200);
+}
+
+TEST(Packetizer, RejectsEmptyFrames) {
+  Packetizer p(1200);
+  EXPECT_THROW(p.packetize(0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(Packetizer(0), std::invalid_argument);
+}
+
+TEST(Pacer, ReleasesAtConfiguredRate) {
+  sim::Simulator s;
+  std::vector<SimTime> sent;
+  Pacer pacer(s, mbps(1), [&](RtpPacket p) { sent.push_back(p.send_time); });
+  pacer.start();
+  s.schedule_at(0, [&]() {
+    for (int i = 0; i < 10; ++i) {
+      RtpPacket p;
+      p.seq = i;
+      p.bytes = 1250;  // 10 ms at 1 Mbps
+      pacer.enqueue(p);
+    }
+  });
+  s.run_until(sec(1));
+  ASSERT_EQ(sent.size(), 10u);
+  // 10 packets of 10 ms each paced over ~100 ms (5 ms tick granularity).
+  EXPECT_GE(sent.back() - sent.front(), msec(80));
+  EXPECT_LE(sent.back(), msec(150));
+}
+
+TEST(Pacer, QueueJumpsRetransmissions) {
+  sim::Simulator s;
+  std::vector<std::int64_t> order;
+  Pacer pacer(s, kbps(100), [&](RtpPacket p) { order.push_back(p.seq); });
+  pacer.start();
+  s.schedule_at(0, [&]() {
+    for (int i = 0; i < 3; ++i) {
+      RtpPacket p;
+      p.seq = i;
+      p.bytes = 1000;
+      pacer.enqueue(p);
+    }
+    RtpPacket rtx;
+    rtx.seq = 99;
+    rtx.bytes = 500;
+    rtx.is_retransmission = true;
+    pacer.enqueue_front(rtx);
+  });
+  s.run_until(sec(60));
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 99);
+}
+
+TEST(Pacer, RateChangeTakesEffect) {
+  sim::Simulator s;
+  int sent = 0;
+  Pacer pacer(s, kbps(8), [&](RtpPacket) { ++sent; });  // 1000 B/s
+  pacer.start();
+  s.schedule_at(0, [&]() {
+    for (int i = 0; i < 100; ++i) {
+      RtpPacket p;
+      p.bytes = 1000;
+      pacer.enqueue(p);
+    }
+  });
+  s.run_until(sec(2));
+  const int slow = sent;
+  EXPECT_LE(slow, 4);
+  s.schedule_at(sec(2), [&]() { pacer.set_rate(mbps(8)); });
+  s.run_until(sec(3));
+  EXPECT_EQ(sent, 100);  // drained quickly after the raise
+}
+
+TEST(Pacer, TracksQueuedBytes) {
+  sim::Simulator s;
+  Pacer pacer(s, kbps(8), [](RtpPacket) {});
+  RtpPacket p;
+  p.bytes = 700;
+  pacer.enqueue(p);
+  pacer.enqueue(p);
+  EXPECT_EQ(pacer.queued_bytes(), 1400);
+  EXPECT_EQ(pacer.queued_packets(), 2u);
+}
+
+TEST(Pacer, IdleDoesNotBankUnboundedCredit) {
+  sim::Simulator s;
+  std::vector<SimTime> sent;
+  Pacer pacer(s, mbps(1), [&](RtpPacket p) { sent.push_back(p.send_time); });
+  pacer.start();
+  // One second of idle, then a large burst: the burst must still be paced.
+  s.schedule_at(sec(1), [&]() {
+    for (int i = 0; i < 20; ++i) {
+      RtpPacket p;
+      p.bytes = 1250;
+      pacer.enqueue(p);
+    }
+  });
+  s.run_until(sec(3));
+  ASSERT_EQ(sent.size(), 20u);
+  EXPECT_GE(sent.back() - sent.front(), msec(150));
+}
+
+// ----------------------------------------------------------------- retx --
+
+TEST(SentPacketCache, LookupAndEviction) {
+  SentPacketCache cache(3);
+  for (int i = 0; i < 5; ++i) {
+    RtpPacket p;
+    p.seq = i;
+    p.bytes = 100 + i;
+    cache.insert(p);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.lookup(0).has_value());
+  EXPECT_FALSE(cache.lookup(1).has_value());
+  ASSERT_TRUE(cache.lookup(4).has_value());
+  EXPECT_EQ(cache.lookup(4)->bytes, 104);
+}
+
+// ------------------------------------------------------------- receiver --
+
+struct ReceiverHarness {
+  sim::Simulator s;
+  std::vector<RtpReceiver::CompletedFrame> frames;
+  std::vector<std::int64_t> nacked;
+  RtpReceiver receiver{
+      s,
+      [this](const RtpReceiver::CompletedFrame& f) { frames.push_back(f); },
+      [this](const std::vector<std::int64_t>& seqs) {
+        nacked.insert(nacked.end(), seqs.begin(), seqs.end());
+      }};
+};
+
+TEST(Receiver, AssemblesFrameFromFragments) {
+  ReceiverHarness h;
+  Packetizer p(1000);
+  const auto packets = p.packetize(5, msec(10), 2500);
+  SimTime t = msec(50);
+  for (auto packet : packets) {
+    packet.send_time = msec(40);
+    h.receiver.on_packet(packet, t);
+    t += msec(3);
+  }
+  ASSERT_EQ(h.frames.size(), 1u);
+  EXPECT_EQ(h.frames[0].frame_id, 5);
+  EXPECT_EQ(h.frames[0].bytes, 2500);
+  EXPECT_EQ(h.frames[0].capture_time, msec(10));
+  EXPECT_EQ(h.frames[0].first_arrival, msec(50));
+  EXPECT_EQ(h.frames[0].completion, msec(56));
+  EXPECT_EQ(h.frames[0].fragments, 3);
+  EXPECT_TRUE(h.nacked.empty());
+}
+
+TEST(Receiver, DetectsGapAndNacks) {
+  ReceiverHarness h;
+  Packetizer p(1000);
+  const auto packets = p.packetize(0, 0, 3000);  // seq 0,1,2
+  h.receiver.on_packet(packets[0], msec(1));
+  h.receiver.on_packet(packets[2], msec(2));  // seq 1 missing
+  ASSERT_EQ(h.nacked.size(), 1u);
+  EXPECT_EQ(h.nacked[0], 1);
+  EXPECT_TRUE(h.frames.empty());
+  // Retransmission completes the frame.
+  auto rtx = packets[1];
+  rtx.is_retransmission = true;
+  h.receiver.on_packet(rtx, msec(30));
+  ASSERT_EQ(h.frames.size(), 1u);
+  EXPECT_TRUE(h.frames[0].had_loss);
+  EXPECT_EQ(h.frames[0].completion, msec(30));
+}
+
+TEST(Receiver, DuplicatePacketsIgnored) {
+  ReceiverHarness h;
+  Packetizer p(1000);
+  const auto packets = p.packetize(0, 0, 2000);
+  h.receiver.on_packet(packets[0], msec(1));
+  h.receiver.on_packet(packets[0], msec(2));  // duplicate
+  EXPECT_TRUE(h.frames.empty());
+  h.receiver.on_packet(packets[1], msec(3));
+  ASSERT_EQ(h.frames.size(), 1u);
+  EXPECT_EQ(h.frames[0].bytes, 2000);
+}
+
+TEST(Receiver, LossFractionInterval) {
+  ReceiverHarness h;
+  Packetizer p(1000);
+  const auto a = p.packetize(0, 0, 1000);  // seq 0
+  const auto b = p.packetize(1, 0, 1000);  // seq 1
+  const auto c = p.packetize(2, 0, 1000);  // seq 2
+  h.receiver.on_packet(a[0], msec(1));
+  h.receiver.on_packet(c[0], msec(2));  // seq 1 lost
+  EXPECT_NEAR(h.receiver.take_loss_fraction(), 1.0 / 3.0, 1e-9);
+  // Counters reset after the call.
+  EXPECT_DOUBLE_EQ(h.receiver.take_loss_fraction(), 0.0);
+  (void)b;
+}
+
+TEST(Receiver, NackRetryFiresPeriodically) {
+  ReceiverHarness h;
+  h.receiver.start();
+  Packetizer p(1000);
+  const auto packets = p.packetize(0, 0, 3000);
+  h.s.schedule_at(msec(1), [&]() {
+    h.receiver.on_packet(packets[0], msec(1));
+    h.receiver.on_packet(packets[2], msec(1));  // gap at seq 1
+  });
+  h.s.run_until(msec(350));
+  // Initial NACK plus ~3 retries at 100 ms cadence.
+  EXPECT_GE(h.nacked.size(), 3u);
+  for (auto seq : h.nacked) EXPECT_EQ(seq, 1);
+}
+
+TEST(Receiver, IncomingRateNeedsFullWindow) {
+  ReceiverHarness h;
+  Packetizer p(1000);
+  auto pkt = p.packetize(0, 0, 1000)[0];
+  h.receiver.on_packet(pkt, msec(10));
+  EXPECT_DOUBLE_EQ(h.receiver.incoming_rate(msec(500)), 0.0);
+}
+
+TEST(Receiver, IncomingRateMatchesSteadyStream) {
+  ReceiverHarness h;
+  Packetizer p(1000);
+  // 1000 bytes every 10 ms = 800 kbps.
+  for (int i = 0; i < 150; ++i) {
+    auto pkt = p.packetize(i, 0, 1000)[0];
+    h.receiver.on_packet(pkt, msec(10) * (i + 1));
+  }
+  EXPECT_NEAR(h.receiver.incoming_rate(msec(500)) / 1e3, 800.0, 40.0);
+  EXPECT_EQ(h.receiver.frames_completed(), 150);
+  EXPECT_EQ(h.receiver.total_media_bytes(), 150'000);
+}
+
+}  // namespace
+}  // namespace poi360::rtp

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "poi360/sim/simulator.h"
+
+namespace poi360::sim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(msec(30), [&]() { order.push_back(3); });
+  s.schedule_at(msec(10), [&]() { order.push_back(1); });
+  s.schedule_at(msec(20), [&]() { order.push_back(2); });
+  s.run_until(msec(100));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), msec(100));
+}
+
+TEST(Simulator, SameTimeEventsAreFifo) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.schedule_at(msec(10), [&, i]() { order.push_back(i); });
+  }
+  s.run_until(msec(10));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator s;
+  int fired_at = -1;
+  s.schedule_at(msec(50), [&]() {
+    s.schedule_at(msec(10), [&]() {  // in the past
+      fired_at = static_cast<int>(to_millis(s.now()));
+    });
+  });
+  s.run_until(msec(100));
+  EXPECT_EQ(fired_at, 50);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator s;
+  SimTime fired = -1;
+  s.schedule_at(msec(20), [&]() {
+    s.schedule_in(msec(5), [&]() { fired = s.now(); });
+  });
+  s.run_until(msec(100));
+  EXPECT_EQ(fired, msec(25));
+}
+
+TEST(Simulator, EventsBeyondHorizonStayPending) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(msec(200), [&]() { fired = true; });
+  s.run_until(msec(100));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_until(msec(300));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventExactlyAtHorizonRuns) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(msec(100), [&]() { fired = true; });
+  s.run_until(msec(100));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, PeriodicFiresAtEachPeriod) {
+  Simulator s;
+  std::vector<SimTime> fires;
+  s.schedule_periodic(msec(10), msec(10), [&]() { fires.push_back(s.now()); });
+  s.run_until(msec(55));
+  ASSERT_EQ(fires.size(), 5u);
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i], msec(10) * static_cast<SimDuration>(i + 1));
+  }
+}
+
+TEST(Simulator, StepRunsOneEvent) {
+  Simulator s;
+  int count = 0;
+  s.schedule_at(msec(1), [&]() { ++count; });
+  s.schedule_at(msec(2), [&]() { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, NestedSchedulingDuringEvent) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_at(msec(10), [&]() {
+    order.push_back(1);
+    s.schedule_at(msec(10), [&]() { order.push_back(2); });  // same time
+  });
+  s.run_until(msec(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace poi360::sim

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "poi360/common/rng.h"
+#include "poi360/video/timestamp_overlay.h"
+
+namespace poi360::video {
+namespace {
+
+TEST(TimestampOverlay, DigitColorsRoundTrip) {
+  for (int d = 0; d < 10; ++d) {
+    EXPECT_EQ(digit_for_color(color_for_digit(d)), d);
+  }
+}
+
+TEST(TimestampOverlay, DigitRangeValidated) {
+  EXPECT_THROW(color_for_digit(-1), std::invalid_argument);
+  EXPECT_THROW(color_for_digit(10), std::invalid_argument);
+}
+
+TEST(TimestampOverlay, EncodeDecodeExact) {
+  for (std::int64_t ms : {0ll, 7ll, 1234567890ll, 999999999ll, 42000ll}) {
+    EXPECT_EQ(decode_timestamp_ms(encode_timestamp_ms(ms)), ms);
+  }
+}
+
+TEST(TimestampOverlay, MostSignificantDigitFirst) {
+  const auto squares = encode_timestamp_ms(123, 4);
+  ASSERT_EQ(squares.size(), 4u);
+  EXPECT_EQ(digit_for_color(squares[0]), 0);
+  EXPECT_EQ(digit_for_color(squares[1]), 1);
+  EXPECT_EQ(digit_for_color(squares[2]), 2);
+  EXPECT_EQ(digit_for_color(squares[3]), 3);
+}
+
+TEST(TimestampOverlay, RejectsOverflowAndBadInput) {
+  EXPECT_THROW(encode_timestamp_ms(-1), std::invalid_argument);
+  EXPECT_THROW(encode_timestamp_ms(1000, 3), std::invalid_argument);
+  EXPECT_THROW(encode_timestamp_ms(5, 0), std::invalid_argument);
+  EXPECT_THROW(decode_timestamp_ms({}), std::invalid_argument);
+}
+
+TEST(TimestampOverlay, NoiseMarginIsMeaningful) {
+  // The palette keeps codewords far apart: at least a quarter of the unit
+  // cube edge of slack per square.
+  EXPECT_GT(decoding_noise_margin(), 0.2);
+}
+
+TEST(TimestampOverlay, RobustToCodecNoise) {
+  // Pixel averaging plus codec blur = additive noise on each channel; any
+  // disturbance below the margin must decode exactly, and realistic small
+  // Gaussian noise should essentially always decode.
+  Rng rng(7);
+  const std::int64_t ms = 987654321;
+  int exact = 0;
+  constexpr int kTrials = 500;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto squares = encode_timestamp_ms(ms);
+    for (Rgb& s : squares) {
+      s.r += rng.normal(0.0, 0.08);
+      s.g += rng.normal(0.0, 0.08);
+      s.b += rng.normal(0.0, 0.08);
+    }
+    if (decode_timestamp_ms(squares) == ms) ++exact;
+  }
+  EXPECT_GT(exact, kTrials * 95 / 100);
+}
+
+TEST(TimestampOverlay, DeterministicWithinMargin) {
+  const double margin = decoding_noise_margin();
+  for (int d = 0; d < 10; ++d) {
+    Rgb c = color_for_digit(d);
+    // Perturb one channel by just under the margin.
+    c.r += margin * 0.55;  // euclidean shift 0.55 * margin < margin
+    EXPECT_EQ(digit_for_color(c), d);
+  }
+}
+
+}  // namespace
+}  // namespace poi360::video

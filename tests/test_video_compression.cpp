@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "poi360/video/compression.h"
+
+namespace poi360::video {
+namespace {
+
+TEST(CompressionMatrix, InitializesUniform) {
+  CompressionMatrix m(12, 8, 2.0);
+  EXPECT_EQ(m.cols(), 12);
+  EXPECT_EQ(m.rows(), 8);
+  EXPECT_DOUBLE_EQ(m.at({0, 0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.at({11, 7}), 2.0);
+  EXPECT_DOUBLE_EQ(m.min_level(), 2.0);
+  EXPECT_NEAR(m.effective_tiles(), 96 / 2.0, 1e-9);
+}
+
+TEST(CompressionMatrix, SetAndGet) {
+  CompressionMatrix m(4, 4);
+  m.set({2, 3}, 8.0);
+  EXPECT_DOUBLE_EQ(m.at({2, 3}), 8.0);
+  EXPECT_DOUBLE_EQ(m.min_level(), 1.0);
+}
+
+TEST(CompressionMatrix, OutOfRangeThrows) {
+  CompressionMatrix m(4, 4);
+  EXPECT_THROW(m.at({4, 0}), std::out_of_range);
+  EXPECT_THROW(m.at({0, -1}), std::out_of_range);
+  EXPECT_THROW(m.set({0, 4}, 2.0), std::out_of_range);
+}
+
+TEST(CompressionMatrix, BadConstructionThrows) {
+  EXPECT_THROW(CompressionMatrix(0, 4), std::invalid_argument);
+  EXPECT_THROW(CompressionMatrix(4, 4, 0.5), std::invalid_argument);
+}
+
+TEST(GeometricMode, FollowsEquationOne) {
+  const GeometricMode mode(1.5, 1e9);
+  EXPECT_DOUBLE_EQ(mode.level(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mode.level(1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(mode.level(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(mode.level(2, 1), std::pow(1.5, 3));
+  EXPECT_DOUBLE_EQ(mode.level(3, 4), std::pow(1.5, 7));
+}
+
+TEST(GeometricMode, ClampsAtMaxLevel) {
+  const GeometricMode mode(1.8, 10.0);
+  EXPECT_DOUBLE_EQ(mode.level(6, 4), 10.0);
+  EXPECT_LT(mode.level(1, 0), 10.0);
+}
+
+TEST(GeometricMode, NegativeDistanceThrows) {
+  const GeometricMode mode(1.5);
+  EXPECT_THROW(mode.level(-1, 0), std::invalid_argument);
+  EXPECT_THROW(mode.level(0, -2), std::invalid_argument);
+}
+
+TEST(GeometricMode, InvalidParamsThrow) {
+  EXPECT_THROW(GeometricMode(0.9), std::invalid_argument);
+  EXPECT_THROW(GeometricMode(1.5, 0.5), std::invalid_argument);
+}
+
+TEST(GeometricMode, MatrixCenteredAtRoi) {
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode mode(1.4);
+  const TileIndex roi{3, 2};
+  const CompressionMatrix m = mode.matrix_for(grid, roi);
+  EXPECT_DOUBLE_EQ(m.at(roi), 1.0);
+  EXPECT_DOUBLE_EQ(m.min_level(), 1.0);
+  // Neighbors one step away in either axis share the same level.
+  EXPECT_DOUBLE_EQ(m.at({4, 2}), 1.4);
+  EXPECT_DOUBLE_EQ(m.at({2, 2}), 1.4);
+  EXPECT_DOUBLE_EQ(m.at({3, 3}), 1.4);
+  // Wrapping: column 3 - 11 has cyclic distance 4.
+  EXPECT_DOUBLE_EQ(m.at({11, 2}), std::pow(1.4, 4));
+}
+
+TEST(GeometricMode, RoiShiftIsCyclicShiftInX) {
+  // Shifting the ROI by one column shifts the matrix columns cyclically —
+  // the paper's "cyclic shift based on the shift of ROI center".
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode mode(1.3);
+  const CompressionMatrix a = mode.matrix_for(grid, {5, 4});
+  const CompressionMatrix b = mode.matrix_for(grid, {6, 4});
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const int shifted = (i + 1) % grid.cols();
+      EXPECT_DOUBLE_EQ(a.at({i, j}), b.at({shifted, j}));
+    }
+  }
+}
+
+TEST(ModeTable, OrderedAggressiveToConservative) {
+  const ModeTable table(8, 1.8, 1.1);
+  EXPECT_EQ(table.size(), 8);
+  EXPECT_DOUBLE_EQ(table.mode(1).c(), 1.8);
+  EXPECT_DOUBLE_EQ(table.mode(8).c(), 1.1);
+  for (int m = 1; m < 8; ++m) {
+    EXPECT_GT(table.mode(m).c(), table.mode(m + 1).c());
+  }
+}
+
+TEST(ModeTable, PaperCValues) {
+  // §4.2: "the constant C ... is selected from [1.1, 1.2, ..., 1.8]".
+  const ModeTable table(8, 1.8, 1.1);
+  for (int m = 1; m <= 8; ++m) {
+    EXPECT_NEAR(table.mode(m).c(), 1.8 - 0.1 * (m - 1), 1e-12);
+  }
+}
+
+TEST(ModeTable, IndexOutOfRangeThrows) {
+  const ModeTable table(8, 1.8, 1.1);
+  EXPECT_THROW(table.mode(0), std::out_of_range);
+  EXPECT_THROW(table.mode(9), std::out_of_range);
+}
+
+TEST(ModeTable, BadConfigThrows) {
+  EXPECT_THROW(ModeTable(0, 1.8, 1.1), std::invalid_argument);
+  EXPECT_THROW(ModeTable(8, 1.1, 1.8), std::invalid_argument);  // reversed
+  EXPECT_THROW(ModeTable(8, 1.8, 0.9), std::invalid_argument);
+}
+
+TEST(ModeTable, SingleModeTable) {
+  const ModeTable table(1, 1.5, 1.5);
+  EXPECT_DOUBLE_EQ(table.mode(1).c(), 1.5);
+}
+
+// Property sweep: for every mode and every ROI position, the matrix keeps
+// the core invariants of Eq. 1.
+struct MatrixCase {
+  int mode_index;
+  int roi_i;
+  int roi_j;
+};
+
+class MatrixInvariants : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(MatrixInvariants, MinAtRoiAndMonotoneFalloff) {
+  const auto [mi, ri, rj] = GetParam();
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  const auto& mode = table.mode(mi);
+  const CompressionMatrix m = mode.matrix_for(grid, {ri, rj});
+
+  EXPECT_DOUBLE_EQ(m.at({ri, rj}), 1.0);
+  double eff = 0.0;
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const double l = m.at({i, j});
+      EXPECT_GE(l, 1.0);
+      eff += 1.0 / l;
+      // Level depends only on the tile distance pair.
+      EXPECT_DOUBLE_EQ(l, mode.level(grid.dx(i, ri), grid.dy(j, rj)));
+    }
+  }
+  EXPECT_NEAR(eff, m.effective_tiles(), 1e-9);
+  EXPECT_GT(eff, 1.0);
+  EXPECT_LE(eff, grid.tile_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModesVariousRois, MatrixInvariants,
+    ::testing::Values(MatrixCase{1, 0, 0}, MatrixCase{1, 6, 4},
+                      MatrixCase{2, 11, 7}, MatrixCase{3, 5, 0},
+                      MatrixCase{4, 0, 7}, MatrixCase{5, 6, 4},
+                      MatrixCase{6, 2, 2}, MatrixCase{7, 9, 6},
+                      MatrixCase{8, 6, 4}, MatrixCase{8, 11, 0}));
+
+// Property: more aggressive modes keep fewer effective pixels.
+TEST(ModeTable, EffectiveTilesMonotoneInConservativeness) {
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  double prev = 0.0;
+  for (int m = 1; m <= 8; ++m) {
+    const double eff =
+        table.mode(m).matrix_for(grid, {6, 4}).effective_tiles();
+    EXPECT_GT(eff, prev) << "mode " << m;
+    prev = eff;
+  }
+}
+
+}  // namespace
+}  // namespace poi360::video

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "poi360/video/encoder.h"
+
+namespace poi360::video {
+namespace {
+
+EncoderConfig no_refresh_config() {
+  EncoderConfig c;
+  c.refresh_intra_factor = 0.0;  // isolate the rate-control behaviour
+  return c;
+}
+
+TEST(Encoder, FrameIntervalFromFps) {
+  PanoramicEncoder enc(TileGrid::paper_default(), {});
+  EXPECT_EQ(enc.frame_interval(), kSecond / 36);
+}
+
+TEST(Encoder, InvalidConfigThrows) {
+  EncoderConfig bad;
+  bad.fps = 0;
+  EXPECT_THROW(PanoramicEncoder(TileGrid::paper_default(), bad),
+               std::invalid_argument);
+  bad = EncoderConfig{};
+  bad.saturation_bpp = 0.0;
+  EXPECT_THROW(PanoramicEncoder(TileGrid::paper_default(), bad),
+               std::invalid_argument);
+}
+
+TEST(Encoder, MismatchedMatrixThrows) {
+  PanoramicEncoder enc(TileGrid::paper_default(), no_refresh_config());
+  CompressionMatrix wrong(4, 4);
+  EXPECT_THROW(enc.encode(0, {0, 0}, 1, wrong, mbps(3)),
+               std::invalid_argument);
+}
+
+TEST(Encoder, TargetRateSplitsAcrossFrames) {
+  const TileGrid grid = TileGrid::paper_default();
+  auto config = no_refresh_config();
+  PanoramicEncoder enc(grid, config);
+  const GeometricMode mode(1.5);
+  const auto m = mode.matrix_for(grid, {6, 4});
+  const Bitrate rv = mbps(3);
+  const auto frame = enc.encode(0, {6, 4}, 1, m, rv);
+  const double expected_bits = config.utilization * rv / config.fps;
+  EXPECT_NEAR(static_cast<double>(frame.bytes - config.overhead_bytes) * 8.0,
+              expected_bits, expected_bits * 0.01);
+  EXPECT_GT(frame.bpp, 0.0);
+}
+
+TEST(Encoder, SaturationCapsAggressiveCanvases) {
+  const TileGrid grid = TileGrid::paper_default();
+  auto config = no_refresh_config();
+  PanoramicEncoder enc(grid, config);
+  const GeometricMode mode(1.8);  // few effective pixels
+  const auto m = mode.matrix_for(grid, {6, 4});
+  const auto frame = enc.encode(0, {6, 4}, 1, m, mbps(50));
+  const double max_bits =
+      config.saturation_bpp * m.effective_tiles() * grid.tile_pixels();
+  EXPECT_NEAR(static_cast<double>(frame.bytes - config.overhead_bytes) * 8.0,
+              max_bits, max_bits * 0.01);
+  EXPECT_NEAR(frame.bpp, config.saturation_bpp, 1e-9);
+}
+
+TEST(Encoder, QualityFloorForcesMinimumBits) {
+  const TileGrid grid = TileGrid::paper_default();
+  auto config = no_refresh_config();
+  PanoramicEncoder enc(grid, config);
+  const GeometricMode mode(1.1);  // many effective pixels
+  const auto m = mode.matrix_for(grid, {6, 4});
+  const auto frame = enc.encode(0, {6, 4}, 8, m, kbps(100));
+  const double min_bits =
+      config.floor_bpp * m.effective_tiles() * grid.tile_pixels();
+  EXPECT_NEAR(static_cast<double>(frame.bytes - config.overhead_bytes) * 8.0,
+              min_bits, min_bits * 0.01);
+}
+
+TEST(Encoder, FrameIdsIncrement) {
+  const TileGrid grid = TileGrid::paper_default();
+  PanoramicEncoder enc(grid, no_refresh_config());
+  const GeometricMode mode(1.5);
+  const auto m = mode.matrix_for(grid, {6, 4});
+  const auto a = enc.encode(0, {6, 4}, 1, m, mbps(3));
+  const auto b = enc.encode(msec(28), {6, 4}, 1, m, mbps(3));
+  EXPECT_EQ(a.id + 1, b.id);
+  EXPECT_EQ(b.capture_time, msec(28));
+}
+
+TEST(Encoder, MetadataCarried) {
+  const TileGrid grid = TileGrid::paper_default();
+  PanoramicEncoder enc(grid, no_refresh_config());
+  const GeometricMode mode(1.5);
+  const auto m = mode.matrix_for(grid, {2, 5});
+  const auto frame = enc.encode(sec(1), {2, 5}, 7, m, mbps(2));
+  EXPECT_EQ(frame.sender_roi, (TileIndex{2, 5}));
+  EXPECT_EQ(frame.mode_id, 7);
+  EXPECT_DOUBLE_EQ(frame.levels.at({2, 5}), 1.0);
+}
+
+TEST(Encoder, RefreshCostOnRoiMove) {
+  const TileGrid grid = TileGrid::paper_default();
+  EncoderConfig config;  // default refresh factor
+  PanoramicEncoder enc(grid, config);
+  const GeometricMode mode(1.5);
+  const auto m1 = mode.matrix_for(grid, {6, 4});
+  const auto m2 = mode.matrix_for(grid, {7, 4});
+
+  (void)enc.encode(0, {6, 4}, 1, m1, mbps(3));
+  const auto steady = enc.encode(msec(28), {6, 4}, 1, m1, mbps(3));
+  const auto moved = enc.encode(msec(56), {7, 4}, 1, m2, mbps(3));
+  // A steady matrix pays no refresh; a moved ROI pays for the tiles whose
+  // resolution improved.
+  EXPECT_GT(moved.bytes, steady.bytes);
+}
+
+TEST(Encoder, RefreshCostZeroWhenDisabled) {
+  const TileGrid grid = TileGrid::paper_default();
+  PanoramicEncoder enc(grid, no_refresh_config());
+  const GeometricMode mode(1.5);
+  const auto m1 = mode.matrix_for(grid, {6, 4});
+  const auto m2 = mode.matrix_for(grid, {7, 4});
+  (void)enc.encode(0, {6, 4}, 1, m1, mbps(3));
+  const auto a = enc.encode(msec(28), {6, 4}, 1, m1, mbps(3));
+  const auto b = enc.encode(msec(56), {7, 4}, 1, m2, mbps(3));
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+// Property: bytes are monotone (non-decreasing) in the target rate.
+class EncoderRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EncoderRateSweep, BytesMonotoneInRate) {
+  const TileGrid grid = TileGrid::paper_default();
+  PanoramicEncoder enc(grid, no_refresh_config());
+  const GeometricMode mode(1.4);
+  const auto m = mode.matrix_for(grid, {6, 4});
+  const double r = GetParam();
+  const auto lo = enc.encode(0, {6, 4}, 1, m, mbps(r));
+  const auto hi = enc.encode(1, {6, 4}, 1, m, mbps(r * 1.3));
+  EXPECT_LE(lo.bytes, hi.bytes);
+  EXPECT_LE(lo.bpp, hi.bpp + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, EncoderRateSweep,
+                         ::testing::Values(0.3, 0.8, 1.5, 2.5, 4.0, 8.0,
+                                           20.0));
+
+}  // namespace
+}  // namespace poi360::video

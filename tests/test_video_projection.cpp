@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "poi360/video/projection.h"
+
+namespace poi360::video {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Projection, ForwardMapping) {
+  const PlanePoint center = project_equirect({0.0, 0.0});
+  EXPECT_DOUBLE_EQ(center.x, 0.5);
+  EXPECT_DOUBLE_EQ(center.y, 0.5);
+
+  const PlanePoint west = project_equirect({-180.0, 0.0});
+  EXPECT_DOUBLE_EQ(west.x, 0.0);
+
+  const PlanePoint top = project_equirect({0.0, 90.0});
+  EXPECT_DOUBLE_EQ(top.y, 1.0);
+  const PlanePoint bottom = project_equirect({0.0, -90.0});
+  EXPECT_DOUBLE_EQ(bottom.y, 0.0);
+}
+
+TEST(Projection, ForwardClampsAndWraps) {
+  EXPECT_DOUBLE_EQ(project_equirect({540.0, 0.0}).x, 0.0);  // 540 == -180
+  EXPECT_DOUBLE_EQ(project_equirect({0.0, 120.0}).y, 1.0);  // clamped
+}
+
+TEST(Projection, RoundTrip) {
+  for (double yaw : {-179.0, -90.0, 0.0, 45.5, 120.0, 179.0}) {
+    for (double pitch : {-89.0, -30.0, 0.0, 15.5, 89.0}) {
+      const SpherePoint back =
+          unproject_equirect(project_equirect({yaw, pitch}));
+      EXPECT_NEAR(back.yaw_deg, yaw, 1e-9);
+      EXPECT_NEAR(back.pitch_deg, pitch, 1e-9);
+    }
+  }
+}
+
+TEST(Projection, UnprojectNormalizesInput) {
+  const SpherePoint p = unproject_equirect({1.25, -0.5});
+  EXPECT_NEAR(p.yaw_deg, -90.0, 1e-9);   // x = 0.25
+  EXPECT_NEAR(p.pitch_deg, -90.0, 1e-9);  // y clamped to 0
+}
+
+TEST(Projection, SolidAnglesSumToSphere) {
+  const TileGrid grid = TileGrid::paper_default();
+  double total = 0.0;
+  for (int j = 0; j < grid.rows(); ++j) {
+    total += tile_solid_angle(grid, j) * grid.cols();
+  }
+  EXPECT_NEAR(total, 4.0 * kPi, 1e-9);
+}
+
+TEST(Projection, EquatorTilesCoverMoreThanPolarTiles) {
+  const TileGrid grid = TileGrid::paper_default();
+  // Rows 3/4 straddle the equator; rows 0/7 touch the poles.
+  EXPECT_GT(tile_solid_angle(grid, 3), 2.0 * tile_solid_angle(grid, 0));
+  // Symmetric about the equator.
+  EXPECT_NEAR(tile_solid_angle(grid, 0), tile_solid_angle(grid, 7), 1e-12);
+  EXPECT_NEAR(tile_solid_angle(grid, 3), tile_solid_angle(grid, 4), 1e-12);
+}
+
+TEST(Projection, RowFractionsSumToOne) {
+  const TileGrid grid = TileGrid::paper_default();
+  double total = 0.0;
+  for (int j = 0; j < grid.rows(); ++j) {
+    total += row_sphere_fraction(grid, j);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Projection, TileAngularSize) {
+  const TileGrid grid = TileGrid::paper_default();
+  EXPECT_DOUBLE_EQ(tile_width_deg(grid), 30.0);
+  EXPECT_DOUBLE_EQ(tile_height_deg(grid), 22.5);
+}
+
+TEST(Projection, RowIndexValidated) {
+  const TileGrid grid = TileGrid::paper_default();
+  EXPECT_THROW(tile_solid_angle(grid, -1), std::out_of_range);
+  EXPECT_THROW(tile_solid_angle(grid, 8), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace poi360::video

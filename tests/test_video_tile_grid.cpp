@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::video {
+namespace {
+
+TEST(TileGrid, PaperDefaultDimensions) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_EQ(g.cols(), 12);
+  EXPECT_EQ(g.rows(), 8);
+  EXPECT_EQ(g.tile_count(), 96);
+  EXPECT_EQ(g.frame_pixels(), 3840ll * 1920);
+  EXPECT_EQ(g.tile_pixels(), 3840ll * 1920 / 96);
+}
+
+TEST(TileGrid, InvalidDimensionsThrow) {
+  EXPECT_THROW(TileGrid(0, 8, 100, 100), std::invalid_argument);
+  EXPECT_THROW(TileGrid(12, -1, 100, 100), std::invalid_argument);
+  EXPECT_THROW(TileGrid(12, 8, 0, 100), std::invalid_argument);
+}
+
+TEST(TileGrid, ContainsBounds) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_TRUE(g.contains({0, 0}));
+  EXPECT_TRUE(g.contains({11, 7}));
+  EXPECT_FALSE(g.contains({12, 0}));
+  EXPECT_FALSE(g.contains({0, 8}));
+  EXPECT_FALSE(g.contains({-1, 0}));
+}
+
+TEST(TileGrid, ColumnDistanceWrapsAroundYaw) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_EQ(g.dx(0, 0), 0);
+  EXPECT_EQ(g.dx(1, 0), 1);
+  EXPECT_EQ(g.dx(11, 0), 1);  // wraps: column 11 is adjacent to column 0
+  EXPECT_EQ(g.dx(6, 0), 6);   // opposite side of the sphere
+  EXPECT_EQ(g.dx(7, 0), 5);
+  EXPECT_EQ(g.dx(0, 11), 1);  // symmetric
+}
+
+TEST(TileGrid, RowDistanceClampsAtPoles) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_EQ(g.dy(0, 0), 0);
+  EXPECT_EQ(g.dy(0, 7), 7);  // no wrap: top row to bottom row is far
+  EXPECT_EQ(g.dy(7, 0), 7);
+  EXPECT_EQ(g.dy(3, 4), 1);
+}
+
+TEST(TileGrid, FlatIndexRowMajor) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_EQ(g.flat({0, 0}), 0);
+  EXPECT_EQ(g.flat({11, 0}), 11);
+  EXPECT_EQ(g.flat({0, 1}), 12);
+  EXPECT_EQ(g.flat({11, 7}), 95);
+}
+
+TEST(TileGrid, TileAtCenterOfView) {
+  const TileGrid g = TileGrid::paper_default();
+  // Yaw 0 maps into the middle column band; pitch 0 into the middle rows.
+  const TileIndex center = g.tile_at(0.0, 0.0);
+  EXPECT_EQ(center.i, 6);
+  EXPECT_EQ(center.j, 4);
+}
+
+TEST(TileGrid, TileAtWrapsYaw) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_EQ(g.tile_at(-180.0, 0.0).i, 0);
+  EXPECT_EQ(g.tile_at(180.0, 0.0).i, 0);    // same direction as -180
+  EXPECT_EQ(g.tile_at(540.0, 0.0).i, 0);    // 540 wraps to 180 == -180
+  EXPECT_EQ(g.tile_at(179.99, 0.0).i, 11);
+}
+
+TEST(TileGrid, TileAtClampsPitch) {
+  const TileGrid g = TileGrid::paper_default();
+  EXPECT_EQ(g.tile_at(0.0, 90.0).j, 7);
+  EXPECT_EQ(g.tile_at(0.0, 200.0).j, 7);   // clamped
+  EXPECT_EQ(g.tile_at(0.0, -90.0).j, 0);
+  EXPECT_EQ(g.tile_at(0.0, -91.0).j, 0);
+}
+
+// Property: tile_at always returns a tile inside the grid, for any input.
+class TileAtSweep : public ::testing::TestWithParam<std::pair<double, double>> {
+};
+
+TEST_P(TileAtSweep, AlwaysInsideGrid) {
+  const TileGrid g = TileGrid::paper_default();
+  const auto [yaw, pitch] = GetParam();
+  const TileIndex t = g.tile_at(yaw, pitch);
+  EXPECT_TRUE(g.contains(t)) << "yaw=" << yaw << " pitch=" << pitch;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Angles, TileAtSweep,
+    ::testing::Values(std::pair{-720.0, -200.0}, std::pair{-180.0, -90.0},
+                      std::pair{-179.9, 89.9}, std::pair{-0.01, 0.0},
+                      std::pair{0.0, 0.01}, std::pair{45.0, 30.0},
+                      std::pair{179.99, 90.0}, std::pair{359.9, 12.0},
+                      std::pair{1234.5, -33.3}));
+
+// Property: dx is symmetric and bounded by cols/2 for every pair.
+TEST(TileGrid, DxSymmetricAndBounded) {
+  const TileGrid g = TileGrid::paper_default();
+  for (int a = 0; a < g.cols(); ++a) {
+    for (int b = 0; b < g.cols(); ++b) {
+      EXPECT_EQ(g.dx(a, b), g.dx(b, a));
+      EXPECT_LE(g.dx(a, b), g.cols() / 2);
+      EXPECT_GE(g.dx(a, b), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace poi360::video
