@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mec.dir/bench_ablation_mec.cpp.o"
+  "CMakeFiles/bench_ablation_mec.dir/bench_ablation_mec.cpp.o.d"
+  "bench_ablation_mec"
+  "bench_ablation_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

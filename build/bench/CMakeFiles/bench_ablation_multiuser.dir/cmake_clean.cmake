@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiuser.dir/bench_ablation_multiuser.cpp.o"
+  "CMakeFiles/bench_ablation_multiuser.dir/bench_ablation_multiuser.cpp.o.d"
+  "bench_ablation_multiuser"
+  "bench_ablation_multiuser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiuser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mwindow.dir/bench_ablation_mwindow.cpp.o"
+  "CMakeFiles/bench_ablation_mwindow.dir/bench_ablation_mwindow.cpp.o.d"
+  "bench_ablation_mwindow"
+  "bench_ablation_mwindow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mwindow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sweetspot.dir/bench_ablation_sweetspot.cpp.o"
+  "CMakeFiles/bench_ablation_sweetspot.dir/bench_ablation_sweetspot.cpp.o.d"
+  "bench_ablation_sweetspot"
+  "bench_ablation_sweetspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sweetspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

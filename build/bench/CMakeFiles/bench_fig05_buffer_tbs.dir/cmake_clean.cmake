@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_buffer_tbs.dir/bench_fig05_buffer_tbs.cpp.o"
+  "CMakeFiles/bench_fig05_buffer_tbs.dir/bench_fig05_buffer_tbs.cpp.o.d"
+  "bench_fig05_buffer_tbs"
+  "bench_fig05_buffer_tbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_buffer_tbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_fbcc_sweetspot.dir/bench_fig15_fbcc_sweetspot.cpp.o"
+  "CMakeFiles/bench_fig15_fbcc_sweetspot.dir/bench_fig15_fbcc_sweetspot.cpp.o.d"
+  "bench_fig15_fbcc_sweetspot"
+  "bench_fig15_fbcc_sweetspot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_fbcc_sweetspot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_fbcc_vs_gcc.dir/bench_fig16_fbcc_vs_gcc.cpp.o"
+  "CMakeFiles/bench_fig16_fbcc_vs_gcc.dir/bench_fig16_fbcc_vs_gcc.cpp.o.d"
+  "bench_fig16_fbcc_vs_gcc"
+  "bench_fig16_fbcc_vs_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_fbcc_vs_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig16_fbcc_vs_gcc.
+# This may be replaced when dependencies are built.

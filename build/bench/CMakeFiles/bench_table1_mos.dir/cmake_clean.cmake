@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mos.dir/bench_table1_mos.cpp.o"
+  "CMakeFiles/bench_table1_mos.dir/bench_table1_mos.cpp.o.d"
+  "bench_table1_mos"
+  "bench_table1_mos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_stepdrop.dir/bench_trace_stepdrop.cpp.o"
+  "CMakeFiles/bench_trace_stepdrop.dir/bench_trace_stepdrop.cpp.o.d"
+  "bench_trace_stepdrop"
+  "bench_trace_stepdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_stepdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_benchutil.dir/util/experiment.cpp.o"
+  "CMakeFiles/poi360_benchutil.dir/util/experiment.cpp.o.d"
+  "libpoi360_benchutil.a"
+  "libpoi360_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_drone_cockpit.dir/drone_cockpit.cpp.o"
+  "CMakeFiles/example_drone_cockpit.dir/drone_cockpit.cpp.o.d"
+  "example_drone_cockpit"
+  "example_drone_cockpit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drone_cockpit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_poi360_cli.dir/poi360_cli.cpp.o"
+  "CMakeFiles/example_poi360_cli.dir/poi360_cli.cpp.o.d"
+  "example_poi360_cli"
+  "example_poi360_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_poi360_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

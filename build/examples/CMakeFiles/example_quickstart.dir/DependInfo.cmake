@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/example_quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_gcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

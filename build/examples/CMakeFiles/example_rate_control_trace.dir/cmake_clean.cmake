@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rate_control_trace.dir/rate_control_trace.cpp.o"
+  "CMakeFiles/example_rate_control_trace.dir/rate_control_trace.cpp.o.d"
+  "example_rate_control_trace"
+  "example_rate_control_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rate_control_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_rate_control_trace.
+# This may be replaced when dependencies are built.

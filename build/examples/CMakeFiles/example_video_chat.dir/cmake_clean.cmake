@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_chat.dir/video_chat.cpp.o"
+  "CMakeFiles/example_video_chat.dir/video_chat.cpp.o.d"
+  "example_video_chat"
+  "example_video_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi360/baseline/conduit.cpp" "src/CMakeFiles/poi360_baseline.dir/poi360/baseline/conduit.cpp.o" "gcc" "src/CMakeFiles/poi360_baseline.dir/poi360/baseline/conduit.cpp.o.d"
+  "/root/repo/src/poi360/baseline/pyramid.cpp" "src/CMakeFiles/poi360_baseline.dir/poi360/baseline/pyramid.cpp.o" "gcc" "src/CMakeFiles/poi360_baseline.dir/poi360/baseline/pyramid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_video.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

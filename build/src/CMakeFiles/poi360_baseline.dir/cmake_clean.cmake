@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_baseline.dir/poi360/baseline/conduit.cpp.o"
+  "CMakeFiles/poi360_baseline.dir/poi360/baseline/conduit.cpp.o.d"
+  "CMakeFiles/poi360_baseline.dir/poi360/baseline/pyramid.cpp.o"
+  "CMakeFiles/poi360_baseline.dir/poi360/baseline/pyramid.cpp.o.d"
+  "libpoi360_baseline.a"
+  "libpoi360_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_common.dir/poi360/common/stats.cpp.o"
+  "CMakeFiles/poi360_common.dir/poi360/common/stats.cpp.o.d"
+  "CMakeFiles/poi360_common.dir/poi360/common/table.cpp.o"
+  "CMakeFiles/poi360_common.dir/poi360/common/table.cpp.o.d"
+  "libpoi360_common.a"
+  "libpoi360_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi360/core/adaptive_compression.cpp" "src/CMakeFiles/poi360_core.dir/poi360/core/adaptive_compression.cpp.o" "gcc" "src/CMakeFiles/poi360_core.dir/poi360/core/adaptive_compression.cpp.o.d"
+  "/root/repo/src/poi360/core/config.cpp" "src/CMakeFiles/poi360_core.dir/poi360/core/config.cpp.o" "gcc" "src/CMakeFiles/poi360_core.dir/poi360/core/config.cpp.o.d"
+  "/root/repo/src/poi360/core/fbcc.cpp" "src/CMakeFiles/poi360_core.dir/poi360/core/fbcc.cpp.o" "gcc" "src/CMakeFiles/poi360_core.dir/poi360/core/fbcc.cpp.o.d"
+  "/root/repo/src/poi360/core/mismatch.cpp" "src/CMakeFiles/poi360_core.dir/poi360/core/mismatch.cpp.o" "gcc" "src/CMakeFiles/poi360_core.dir/poi360/core/mismatch.cpp.o.d"
+  "/root/repo/src/poi360/core/session.cpp" "src/CMakeFiles/poi360_core.dir/poi360/core/session.cpp.o" "gcc" "src/CMakeFiles/poi360_core.dir/poi360/core/session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_gcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

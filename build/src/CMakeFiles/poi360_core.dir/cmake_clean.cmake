@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_core.dir/poi360/core/adaptive_compression.cpp.o"
+  "CMakeFiles/poi360_core.dir/poi360/core/adaptive_compression.cpp.o.d"
+  "CMakeFiles/poi360_core.dir/poi360/core/config.cpp.o"
+  "CMakeFiles/poi360_core.dir/poi360/core/config.cpp.o.d"
+  "CMakeFiles/poi360_core.dir/poi360/core/fbcc.cpp.o"
+  "CMakeFiles/poi360_core.dir/poi360/core/fbcc.cpp.o.d"
+  "CMakeFiles/poi360_core.dir/poi360/core/mismatch.cpp.o"
+  "CMakeFiles/poi360_core.dir/poi360/core/mismatch.cpp.o.d"
+  "CMakeFiles/poi360_core.dir/poi360/core/session.cpp.o"
+  "CMakeFiles/poi360_core.dir/poi360/core/session.cpp.o.d"
+  "libpoi360_core.a"
+  "libpoi360_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi360/gcc/aimd.cpp" "src/CMakeFiles/poi360_gcc.dir/poi360/gcc/aimd.cpp.o" "gcc" "src/CMakeFiles/poi360_gcc.dir/poi360/gcc/aimd.cpp.o.d"
+  "/root/repo/src/poi360/gcc/gcc.cpp" "src/CMakeFiles/poi360_gcc.dir/poi360/gcc/gcc.cpp.o" "gcc" "src/CMakeFiles/poi360_gcc.dir/poi360/gcc/gcc.cpp.o.d"
+  "/root/repo/src/poi360/gcc/trendline.cpp" "src/CMakeFiles/poi360_gcc.dir/poi360/gcc/trendline.cpp.o" "gcc" "src/CMakeFiles/poi360_gcc.dir/poi360/gcc/trendline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

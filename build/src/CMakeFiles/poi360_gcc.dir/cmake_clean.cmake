@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_gcc.dir/poi360/gcc/aimd.cpp.o"
+  "CMakeFiles/poi360_gcc.dir/poi360/gcc/aimd.cpp.o.d"
+  "CMakeFiles/poi360_gcc.dir/poi360/gcc/gcc.cpp.o"
+  "CMakeFiles/poi360_gcc.dir/poi360/gcc/gcc.cpp.o.d"
+  "CMakeFiles/poi360_gcc.dir/poi360/gcc/trendline.cpp.o"
+  "CMakeFiles/poi360_gcc.dir/poi360/gcc/trendline.cpp.o.d"
+  "libpoi360_gcc.a"
+  "libpoi360_gcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_gcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

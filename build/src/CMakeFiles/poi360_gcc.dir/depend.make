@@ -1,0 +1,2 @@
+# Empty dependencies file for poi360_gcc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi360/lte/channel.cpp" "src/CMakeFiles/poi360_lte.dir/poi360/lte/channel.cpp.o" "gcc" "src/CMakeFiles/poi360_lte.dir/poi360/lte/channel.cpp.o.d"
+  "/root/repo/src/poi360/lte/multi_user.cpp" "src/CMakeFiles/poi360_lte.dir/poi360/lte/multi_user.cpp.o" "gcc" "src/CMakeFiles/poi360_lte.dir/poi360/lte/multi_user.cpp.o.d"
+  "/root/repo/src/poi360/lte/trace.cpp" "src/CMakeFiles/poi360_lte.dir/poi360/lte/trace.cpp.o" "gcc" "src/CMakeFiles/poi360_lte.dir/poi360/lte/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_lte.dir/poi360/lte/channel.cpp.o"
+  "CMakeFiles/poi360_lte.dir/poi360/lte/channel.cpp.o.d"
+  "CMakeFiles/poi360_lte.dir/poi360/lte/multi_user.cpp.o"
+  "CMakeFiles/poi360_lte.dir/poi360/lte/multi_user.cpp.o.d"
+  "CMakeFiles/poi360_lte.dir/poi360/lte/trace.cpp.o"
+  "CMakeFiles/poi360_lte.dir/poi360/lte/trace.cpp.o.d"
+  "libpoi360_lte.a"
+  "libpoi360_lte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_lte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

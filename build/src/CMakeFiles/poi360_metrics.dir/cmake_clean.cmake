@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_metrics.dir/poi360/metrics/session_metrics.cpp.o"
+  "CMakeFiles/poi360_metrics.dir/poi360/metrics/session_metrics.cpp.o.d"
+  "libpoi360_metrics.a"
+  "libpoi360_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

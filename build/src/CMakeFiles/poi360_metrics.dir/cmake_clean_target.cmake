@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpoi360_metrics.a"
+)

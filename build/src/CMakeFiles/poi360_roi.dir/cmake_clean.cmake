@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_roi.dir/poi360/roi/head_motion.cpp.o"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/head_motion.cpp.o.d"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/orientation.cpp.o"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/orientation.cpp.o.d"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/prediction.cpp.o"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/prediction.cpp.o.d"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/trace_motion.cpp.o"
+  "CMakeFiles/poi360_roi.dir/poi360/roi/trace_motion.cpp.o.d"
+  "libpoi360_roi.a"
+  "libpoi360_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

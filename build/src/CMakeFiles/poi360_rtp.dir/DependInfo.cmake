@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi360/rtp/jitter_buffer.cpp" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/jitter_buffer.cpp.o" "gcc" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/jitter_buffer.cpp.o.d"
+  "/root/repo/src/poi360/rtp/pacer.cpp" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/pacer.cpp.o" "gcc" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/pacer.cpp.o.d"
+  "/root/repo/src/poi360/rtp/packetizer.cpp" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/packetizer.cpp.o" "gcc" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/packetizer.cpp.o.d"
+  "/root/repo/src/poi360/rtp/receiver.cpp" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/receiver.cpp.o" "gcc" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/receiver.cpp.o.d"
+  "/root/repo/src/poi360/rtp/rtcp.cpp" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/rtcp.cpp.o" "gcc" "src/CMakeFiles/poi360_rtp.dir/poi360/rtp/rtcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/jitter_buffer.cpp.o"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/jitter_buffer.cpp.o.d"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/pacer.cpp.o"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/pacer.cpp.o.d"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/packetizer.cpp.o"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/packetizer.cpp.o.d"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/receiver.cpp.o"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/receiver.cpp.o.d"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/rtcp.cpp.o"
+  "CMakeFiles/poi360_rtp.dir/poi360/rtp/rtcp.cpp.o.d"
+  "libpoi360_rtp.a"
+  "libpoi360_rtp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_rtp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

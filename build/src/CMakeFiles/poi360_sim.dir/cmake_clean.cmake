@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_sim.dir/poi360/sim/simulator.cpp.o"
+  "CMakeFiles/poi360_sim.dir/poi360/sim/simulator.cpp.o.d"
+  "libpoi360_sim.a"
+  "libpoi360_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/poi360/video/compression.cpp" "src/CMakeFiles/poi360_video.dir/poi360/video/compression.cpp.o" "gcc" "src/CMakeFiles/poi360_video.dir/poi360/video/compression.cpp.o.d"
+  "/root/repo/src/poi360/video/encoder.cpp" "src/CMakeFiles/poi360_video.dir/poi360/video/encoder.cpp.o" "gcc" "src/CMakeFiles/poi360_video.dir/poi360/video/encoder.cpp.o.d"
+  "/root/repo/src/poi360/video/projection.cpp" "src/CMakeFiles/poi360_video.dir/poi360/video/projection.cpp.o" "gcc" "src/CMakeFiles/poi360_video.dir/poi360/video/projection.cpp.o.d"
+  "/root/repo/src/poi360/video/quality.cpp" "src/CMakeFiles/poi360_video.dir/poi360/video/quality.cpp.o" "gcc" "src/CMakeFiles/poi360_video.dir/poi360/video/quality.cpp.o.d"
+  "/root/repo/src/poi360/video/tile_grid.cpp" "src/CMakeFiles/poi360_video.dir/poi360/video/tile_grid.cpp.o" "gcc" "src/CMakeFiles/poi360_video.dir/poi360/video/tile_grid.cpp.o.d"
+  "/root/repo/src/poi360/video/timestamp_overlay.cpp" "src/CMakeFiles/poi360_video.dir/poi360/video/timestamp_overlay.cpp.o" "gcc" "src/CMakeFiles/poi360_video.dir/poi360/video/timestamp_overlay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi360_video.dir/poi360/video/compression.cpp.o"
+  "CMakeFiles/poi360_video.dir/poi360/video/compression.cpp.o.d"
+  "CMakeFiles/poi360_video.dir/poi360/video/encoder.cpp.o"
+  "CMakeFiles/poi360_video.dir/poi360/video/encoder.cpp.o.d"
+  "CMakeFiles/poi360_video.dir/poi360/video/projection.cpp.o"
+  "CMakeFiles/poi360_video.dir/poi360/video/projection.cpp.o.d"
+  "CMakeFiles/poi360_video.dir/poi360/video/quality.cpp.o"
+  "CMakeFiles/poi360_video.dir/poi360/video/quality.cpp.o.d"
+  "CMakeFiles/poi360_video.dir/poi360/video/tile_grid.cpp.o"
+  "CMakeFiles/poi360_video.dir/poi360/video/tile_grid.cpp.o.d"
+  "CMakeFiles/poi360_video.dir/poi360/video/timestamp_overlay.cpp.o"
+  "CMakeFiles/poi360_video.dir/poi360/video/timestamp_overlay.cpp.o.d"
+  "libpoi360_video.a"
+  "libpoi360_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi360_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baseline.cpp" "tests/CMakeFiles/poi360_tests.dir/test_baseline.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_baseline.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/poi360_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core_adaptive.cpp" "tests/CMakeFiles/poi360_tests.dir/test_core_adaptive.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_core_adaptive.cpp.o.d"
+  "/root/repo/tests/test_core_fbcc.cpp" "tests/CMakeFiles/poi360_tests.dir/test_core_fbcc.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_core_fbcc.cpp.o.d"
+  "/root/repo/tests/test_core_mismatch.cpp" "tests/CMakeFiles/poi360_tests.dir/test_core_mismatch.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_core_mismatch.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/poi360_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_gcc.cpp" "tests/CMakeFiles/poi360_tests.dir/test_gcc.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_gcc.cpp.o.d"
+  "/root/repo/tests/test_lte_channel.cpp" "tests/CMakeFiles/poi360_tests.dir/test_lte_channel.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_lte_channel.cpp.o.d"
+  "/root/repo/tests/test_lte_multi_user.cpp" "tests/CMakeFiles/poi360_tests.dir/test_lte_multi_user.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_lte_multi_user.cpp.o.d"
+  "/root/repo/tests/test_lte_trace.cpp" "tests/CMakeFiles/poi360_tests.dir/test_lte_trace.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_lte_trace.cpp.o.d"
+  "/root/repo/tests/test_lte_uplink.cpp" "tests/CMakeFiles/poi360_tests.dir/test_lte_uplink.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_lte_uplink.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/poi360_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/poi360_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_presets_and_extensions.cpp" "tests/CMakeFiles/poi360_tests.dir/test_presets_and_extensions.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_presets_and_extensions.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/poi360_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_roi.cpp" "tests/CMakeFiles/poi360_tests.dir/test_roi.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_roi.cpp.o.d"
+  "/root/repo/tests/test_roi_prediction.cpp" "tests/CMakeFiles/poi360_tests.dir/test_roi_prediction.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_roi_prediction.cpp.o.d"
+  "/root/repo/tests/test_roi_trace_motion.cpp" "tests/CMakeFiles/poi360_tests.dir/test_roi_trace_motion.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_roi_trace_motion.cpp.o.d"
+  "/root/repo/tests/test_rtcp.cpp" "tests/CMakeFiles/poi360_tests.dir/test_rtcp.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_rtcp.cpp.o.d"
+  "/root/repo/tests/test_rtp.cpp" "tests/CMakeFiles/poi360_tests.dir/test_rtp.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_rtp.cpp.o.d"
+  "/root/repo/tests/test_session_integration.cpp" "tests/CMakeFiles/poi360_tests.dir/test_session_integration.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_session_integration.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/poi360_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_timestamp_overlay.cpp" "tests/CMakeFiles/poi360_tests.dir/test_timestamp_overlay.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_timestamp_overlay.cpp.o.d"
+  "/root/repo/tests/test_video_compression.cpp" "tests/CMakeFiles/poi360_tests.dir/test_video_compression.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_video_compression.cpp.o.d"
+  "/root/repo/tests/test_video_encoder.cpp" "tests/CMakeFiles/poi360_tests.dir/test_video_encoder.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_video_encoder.cpp.o.d"
+  "/root/repo/tests/test_video_projection.cpp" "tests/CMakeFiles/poi360_tests.dir/test_video_projection.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_video_projection.cpp.o.d"
+  "/root/repo/tests/test_video_quality.cpp" "tests/CMakeFiles/poi360_tests.dir/test_video_quality.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_video_quality.cpp.o.d"
+  "/root/repo/tests/test_video_tile_grid.cpp" "tests/CMakeFiles/poi360_tests.dir/test_video_tile_grid.cpp.o" "gcc" "tests/CMakeFiles/poi360_tests.dir/test_video_tile_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poi360_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_roi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_lte.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_rtp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_gcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_video.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/poi360_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
