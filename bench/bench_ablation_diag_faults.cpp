@@ -1,0 +1,72 @@
+// Ablation: diag-path fault injection vs. FBCC's degraded-mode fallback.
+// POI360 assumes its modem-diag sensor is reliable; on real phones the
+// MobileInsight-style feed drops, stalls, reorders, and garbles reports.
+// This ablation crosses {FBCC, GCC} with {clean, faulty} sensors: on a
+// clean feed FBCC keeps its edge over GCC, and under heavy sensor failure
+// the staleness watchdog + validation layer must hold FBCC near the
+// pure-GCC baseline instead of letting stale Eq. 3 history wreck it.
+
+#include <cstdio>
+#include <string>
+
+#include "poi360/common/table.h"
+#include "util/experiment.h"
+
+using namespace poi360;
+
+namespace {
+
+lte::DiagFaultConfig faulty_profile() {
+  lte::DiagFaultConfig f;
+  f.enabled = true;
+  f.loss_prob = 0.30;
+  f.stall_per_min = 12.0;
+  f.stall_mean_duration = msec(500);
+  f.delivery_jitter = msec(120);
+  f.duplicate_prob = 0.05;
+  f.garbage_prob = 0.05;
+  f.handover_per_min = 1.5;
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  struct Cell {
+    const char* transport;
+    core::RateControl rc;
+    const char* sensor;
+    bool faults;
+  };
+  const Cell cells[] = {
+      {"FBCC", core::RateControl::kFbcc, "clean", false},
+      {"FBCC", core::RateControl::kFbcc, "faulty", true},
+      {"GCC", core::RateControl::kGcc, "clean", false},
+      {"GCC", core::RateControl::kGcc, "faulty", true},
+  };
+
+  Table t({"transport", "diag sensor", "displayed", "freeze ratio",
+           "mean PSNR (dB)", "thpt (Mbps)", "fallbacks", "degraded %",
+           "rejected"});
+  for (const Cell& cell : cells) {
+    auto config = bench::transport_config(cell.rc, sec(60));
+    if (cell.faults) config.diag_faults = faulty_profile();
+    const auto merged = bench::run_merged(config, 4);
+    const auto& r = merged.diag_robustness();
+    t.add_row({cell.transport, cell.sensor,
+               std::to_string(merged.displayed_frames()),
+               fmt_pct(merged.freeze_ratio()),
+               fmt(merged.mean_roi_psnr(), 1),
+               fmt(to_mbps(merged.mean_throughput()), 2),
+               std::to_string(r.fallback_episodes),
+               fmt_pct(merged.degraded_sample_fraction()),
+               std::to_string(r.rejected_reports)});
+  }
+  std::printf(
+      "=== Ablation: diag faults vs. FBCC degraded-mode fallback ===\n%s"
+      "(faulty sensor: 30%% report loss, 12 stalls/min of ~500 ms, 120 ms\n"
+      " delivery jitter, 5%% dup, 5%% garbage, 1.5 handovers/min; GCC rows\n"
+      " suffer the same physical handovers but never read the sensor)\n",
+      t.to_string().c_str());
+  return 0;
+}

@@ -34,6 +34,8 @@ namespace {
   std::fprintf(stderr, "usage: %s [--scheme poi360|conduit|pyramid] "
                        "[--rc fbcc|gcc] [--net cellular|wireline] "
                        "[--rss dBm] [--load f] [--speed mph] [--users n] "
+                       "[--diag-loss f] [--diag-stalls per_min] "
+                       "[--diag-handovers per_min] "
                        "[--predict ms] [--playout] [--duration s] "
                        "[--seed n] [--csv frames|rates]\n",
                argv0);
@@ -82,6 +84,15 @@ int main(int argc, char** argv) {
       speed = std::atof(value().c_str());
     } else if (flag == "--users") {
       config.channel.explicit_users = std::atoi(value().c_str());
+    } else if (flag == "--diag-loss") {
+      config.diag_faults.enabled = true;
+      config.diag_faults.loss_prob = std::atof(value().c_str());
+    } else if (flag == "--diag-stalls") {
+      config.diag_faults.enabled = true;
+      config.diag_faults.stall_per_min = std::atof(value().c_str());
+    } else if (flag == "--diag-handovers") {
+      config.diag_faults.enabled = true;
+      config.diag_faults.handover_per_min = std::atof(value().c_str());
     } else if (flag == "--predict") {
       config.roi_prediction_horizon = msec(std::atoll(value().c_str()));
     } else if (flag == "--playout") {
@@ -124,13 +135,13 @@ int main(int argc, char** argv) {
   }
   if (csv == "rates") {
     std::printf("time_us,video_rate_bps,rtp_rate_bps,fw_buffer_bytes,"
-                "app_buffer_bytes,rphy_bps,congested\n");
+                "app_buffer_bytes,rphy_bps,congested,degraded\n");
     for (const auto& r : m.rate_samples()) {
-      std::printf("%lld,%.0f,%.0f,%lld,%lld,%.0f,%d\n",
+      std::printf("%lld,%.0f,%.0f,%lld,%lld,%.0f,%d,%d\n",
                   static_cast<long long>(r.time), r.video_rate, r.rtp_rate,
                   static_cast<long long>(r.fw_buffer_bytes),
                   static_cast<long long>(r.app_buffer_bytes), r.rphy,
-                  r.congested ? 1 : 0);
+                  r.congested ? 1 : 0, r.fbcc_degraded ? 1 : 0);
     }
     return 0;
   }
@@ -153,5 +164,13 @@ int main(int argc, char** argv) {
               "excellent=%.1f%%\n",
               pdf[0] * 100, pdf[1] * 100, pdf[2] * 100, pdf[3] * 100,
               pdf[4] * 100);
+  if (config.diag_faults.enabled) {
+    const auto& r = m.diag_robustness();
+    std::printf("diag: fallbacks=%lld degraded=%.1f%% rejected=%lld\n",
+                static_cast<long long>(r.fallback_episodes),
+                to_seconds(r.degraded_time) / to_seconds(config.duration) *
+                    100.0,
+                static_cast<long long>(r.rejected_reports));
+  }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "poi360/core/mismatch.h"
 #include "poi360/gcc/gcc.h"
 #include "poi360/lte/channel.h"
+#include "poi360/lte/diag_fault.h"
 #include "poi360/lte/uplink.h"
 #include "poi360/roi/head_motion.h"
 #include "poi360/roi/prediction.h"
@@ -88,6 +89,12 @@ struct SessionConfig {
   // -- cellular path ----------------------------------------------------------
   lte::ChannelConfig channel{};
   lte::UplinkConfig uplink{};
+  /// Fault injection on the modem diagnostic feed (loss, stalls, jitter,
+  /// duplicates, garbage, handovers). Disabled by default: the clean feed
+  /// stays byte-identical. Handover events also hit the physical uplink
+  /// (buffer flush + detach + capacity step), so they apply to GCC runs
+  /// too; the sensor-side faults only matter to FBCC.
+  lte::DiagFaultConfig diag_faults{};
   SimDuration core_delay = msec(18);       // eNB -> peer one-way
   SimDuration core_jitter = msec(3);
   double core_loss = 0.0005;

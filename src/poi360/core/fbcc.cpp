@@ -27,15 +27,26 @@ bool CongestionDetector::on_report(std::int64_t buffer_bytes) {
   return last_signal_;
 }
 
+void CongestionDetector::reset() {
+  history_.clear();
+  last_signal_ = false;
+}
+
 TbsWindowEstimator::TbsWindowEstimator(Config config) : config_(config) {}
 
 void TbsWindowEstimator::on_report(const lte::DiagReport& report) {
+  // A duplicate or out-of-order report would double-count its TBS bytes in
+  // the window sum (and make eviction misbehave); the window only ever
+  // ingests a strictly advancing timeline.
+  if (!reports_.empty() && report.time <= reports_.back().time) return;
   reports_.push_back(report);
   while (!reports_.empty() &&
          reports_.front().time < report.time - config_.window) {
     reports_.pop_front();
   }
 }
+
+void TbsWindowEstimator::reset() { reports_.clear(); }
 
 Bitrate TbsWindowEstimator::rphy() const {
   if (reports_.empty()) return 0.0;
@@ -86,13 +97,91 @@ FbccController::FbccController(Bitrate initial_rate, Config config)
       rtp_rate_(initial_rate),
       rtt_(config.initial_rtt) {}
 
-void FbccController::on_diag(const lte::DiagReport& report) {
+bool FbccController::credible(const lte::DiagReport& report,
+                              SimTime now) const {
+  if (report.buffer_bytes < 0 || report.tbs_bytes < 0) return false;
+  if (report.buffer_bytes > config_.max_plausible_buffer_bytes) return false;
+  if (report.tbs_bytes > config_.max_plausible_tbs_bytes) return false;
+  if (report.interval <= 0 ||
+      report.interval > config_.max_report_interval) {
+    return false;
+  }
+  if (report.time > now) return false;  // from the future
+  if (now - report.time > config_.max_report_age) return false;  // stale
+  if (report.time <= last_report_time_) return false;  // dup / reordered
+  return true;
+}
+
+void FbccController::reset() {
+  detector_.reset();
+  tbs_.reset();
+  hold_until_ = -1;
+  held_rate_ = 0.0;
+  congested_ = false;
+}
+
+void FbccController::enter_degraded(SimTime now) {
+  degraded_ = true;
+  ++fallback_episodes_;
+  degraded_since_ = now;
+  healthy_streak_ = 0;
+  reset();
+  apply_fallback_rates();
+}
+
+void FbccController::apply_fallback_rates() {
+  video_rate_ = gcc_rate_;
+  rtp_rate_ = std::clamp(gcc_rate_ * config_.fallback_pacing_factor,
+                         config_.min_rate, 2.0 * config_.max_rate);
+}
+
+void FbccController::on_tick(SimTime now) {
+  if (last_credible_at_ < 0) {
+    // No report ever seen: start the staleness clock at the first tick so
+    // a feed that is dead from the outset still trips the watchdog.
+    last_credible_at_ = now;
+    return;
+  }
+  if (!degraded_ && now - last_credible_at_ > config_.diag_timeout) {
+    enter_degraded(now);
+  }
+}
+
+SimDuration FbccController::degraded_time(SimTime now) const {
+  SimDuration total = degraded_total_;
+  if (degraded_ && now > degraded_since_) total += now - degraded_since_;
+  return total;
+}
+
+void FbccController::on_diag(const lte::DiagReport& report, SimTime now) {
+  if (!credible(report, now)) {
+    ++rejected_reports_;
+    if (degraded_) healthy_streak_ = 0;
+    return;
+  }
+  last_report_time_ = report.time;
+  last_credible_at_ = now;
+
   tbs_.on_report(report);
   if (config_.learn_sweet_spot) {
     sweet_spot_.on_sample(report.buffer_bytes, tbs_.rphy());
   }
 
   const bool j = detector_.on_report(report.buffer_bytes);
+
+  if (degraded_) {
+    // Warm the (freshly reset) estimators back up, but keep pacing by
+    // R_gcc until the feed has proven itself healthy for a full
+    // hysteresis window — a flapping decoder must not whipsaw the rates.
+    congested_ = false;
+    if (++healthy_streak_ >= config_.recovery_reports) {
+      degraded_ = false;
+      degraded_total_ += now - degraded_since_;
+    }
+    apply_fallback_rates();
+    return;
+  }
+
   congested_ = j;
   if (j) {
     // Eq. 5/6: on a saturated uplink the windowed TBS rate *is* the
@@ -126,6 +215,10 @@ void FbccController::on_diag(const lte::DiagReport& report) {
 
 void FbccController::on_gcc_rate(Bitrate rgcc) {
   gcc_rate_ = std::clamp(rgcc, config_.min_rate, config_.max_rate);
+  // While the sensor is untrusted the controller *is* GCC: rates must
+  // track every feedback update, not wait for a diag report that may
+  // never come.
+  if (degraded_) apply_fallback_rates();
 }
 
 void FbccController::set_rtt(SimDuration rtt) {

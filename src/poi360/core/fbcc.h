@@ -34,6 +34,13 @@ class CongestionDetector {
   /// Feeds one buffer-level report; returns the congestion indicator J.
   bool on_report(std::int64_t buffer_bytes);
 
+  /// Forgets the consecutive-increase history (e.g. across a diag gap, so
+  /// pre-gap levels cannot complete a K-streak against post-gap reality).
+  /// The long-term average Γ(t) is kept: it is a property of the link, not
+  /// of the report stream, and re-learning it from scratch would leave
+  /// Eq. 3 threshold-less for seconds.
+  void reset();
+
   double gamma() const { return gamma_.value(); }
   bool last_signal() const { return last_signal_; }
 
@@ -59,7 +66,13 @@ class TbsWindowEstimator {
   TbsWindowEstimator();
   explicit TbsWindowEstimator(Config config);
 
+  /// Feeds one report. Out-of-order and duplicate-timestamp reports are
+  /// dropped: folding them in would double-count TBS bytes and corrupt the
+  /// window sum (the diag feed may deliver late or repeated reports).
   void on_report(const lte::DiagReport& report);
+
+  /// Forgets all windowed reports.
+  void reset();
 
   /// Trailing-window PHY throughput; 0 until any report arrives.
   Bitrate rphy() const;
@@ -125,13 +138,49 @@ class FbccController {
     double rtp_over_video_cap = 3.0;
     /// Fallback RTT before the first measurement.
     SimDuration initial_rtt = msec(120);
+
+    // -- diag-path robustness (degraded mode) ------------------------------
+    /// After this long without a credible report the controller stops
+    /// trusting the sensor and falls back to pure R_gcc pacing.
+    SimDuration diag_timeout = msec(250);
+    /// Pacer headroom over R_gcc while degraded — the same role
+    /// `SessionConfig::gcc_pacing_factor` plays for the pure-GCC transport.
+    double fallback_pacing_factor = 1.15;
+    /// Consecutive credible reports required before FBCC re-engages after
+    /// a fallback episode (hysteresis against a flapping diag feed).
+    int recovery_reports = 5;
+    /// A report older than this against the local clock is not credible
+    /// (late replays, timestamp counter resets after a modem crash).
+    SimDuration max_report_age = msec(400);
+    /// Plausibility ceilings; diag decoders emit wild values after resets.
+    SimDuration max_report_interval = msec(1000);
+    std::int64_t max_plausible_buffer_bytes = std::int64_t{64} << 20;
+    std::int64_t max_plausible_tbs_bytes = std::int64_t{16} << 20;
   };
 
   explicit FbccController(Bitrate initial_rate);
   FbccController(Bitrate initial_rate, Config config);
 
-  /// One diagnostic report from the modem (every D_p = 40 ms).
-  void on_diag(const lte::DiagReport& report);
+  /// One diagnostic report from the modem (every D_p = 40 ms), received at
+  /// local time `now`. Reports failing validation (negative or absurd
+  /// fields, non-monotonic/stale timestamps, implausible intervals) are
+  /// rejected before touching any estimator.
+  void on_diag(const lte::DiagReport& report, SimTime now);
+  /// Trusting shorthand: treats the report's own timestamp as the receipt
+  /// time (unit tests; callers without a separate clock).
+  void on_diag(const lte::DiagReport& report) { on_diag(report, report.time); }
+
+  /// Staleness watchdog; call periodically (independently of the diag
+  /// feed — a dead feed delivers no reports to piggyback on). After
+  /// `diag_timeout` without a credible report, falls back to R_gcc pacing
+  /// and resets the short-horizon estimators so pre-gap history cannot
+  /// fire a bogus Eq. 3 signal once reports resume.
+  void on_tick(SimTime now);
+
+  /// Drops all short-horizon sensor state: congestion history, TBS window,
+  /// any active Eq. 6 hold. Keeps what is long-term knowledge rather than
+  /// report-stream state: the learnt sweet spot, Γ(t), R_gcc, the RTT.
+  void reset();
 
   /// Latest R_gcc from the legacy end-to-end controller (Eq. 6 fallback).
   void on_gcc_rate(Bitrate rgcc);
@@ -148,7 +197,19 @@ class FbccController {
   Bitrate rphy() const { return tbs_.rphy(); }
   std::int64_t sweet_spot_bytes() const;
 
+  /// True while the controller is in sensor-fallback (pure GCC) mode.
+  bool degraded() const { return degraded_; }
+  /// Number of fallback episodes entered so far.
+  std::int64_t fallback_episodes() const { return fallback_episodes_; }
+  /// Reports rejected by validation so far.
+  std::int64_t rejected_reports() const { return rejected_reports_; }
+  /// Total time spent degraded, including the episode still open at `now`.
+  SimDuration degraded_time(SimTime now) const;
+
  private:
+  bool credible(const lte::DiagReport& report, SimTime now) const;
+  void enter_degraded(SimTime now);
+  void apply_fallback_rates();
   void refresh_video_rate(SimTime now);
 
   Config config_;
@@ -164,6 +225,16 @@ class FbccController {
   SimDuration rtt_;
   SimTime hold_until_ = -1;
   Bitrate held_rate_ = 0.0;
+
+  // Degraded-mode bookkeeping.
+  SimTime last_report_time_ = -1;   // timestamp of last accepted report
+  SimTime last_credible_at_ = -1;   // local receipt time of that report
+  bool degraded_ = false;
+  int healthy_streak_ = 0;
+  SimTime degraded_since_ = 0;
+  SimDuration degraded_total_ = 0;
+  std::int64_t fallback_episodes_ = 0;
+  std::int64_t rejected_reports_ = 0;
 };
 
 }  // namespace poi360::core

@@ -9,6 +9,7 @@ namespace poi360::core {
 namespace {
 constexpr SimDuration kThroughputSamplePeriod = sec(1);
 constexpr SimDuration kRetxDedupWindow = msec(150);
+constexpr SimDuration kFbccWatchdogPeriod = msec(20);
 }  // namespace
 
 Session::Session(SessionConfig config)
@@ -83,8 +84,20 @@ Session::Session(SessionConfig config)
     uplink_ = std::make_unique<lte::LteUplink<rtp::RtpPacket>>(
         sim_, config_.channel, config_.uplink, rng_.fork(0x17E).engine()(),
         [this](rtp::RtpPacket p, SimTime) { core_link_->send(std::move(p)); });
-    uplink_->set_diag_sink(
-        [this](const lte::DiagReport& r) { on_diag(r); });
+    if (config_.diag_faults.enabled) {
+      diag_faults_ = std::make_unique<lte::DiagFaultModel>(
+          sim_, config_.diag_faults, rng_.fork(0xFA117).engine()(),
+          [this](const lte::DiagReport& r) { on_diag(r); });
+      diag_faults_->set_handover_hook(
+          [this](SimDuration detach, double gain, SimDuration span) {
+            uplink_->begin_handover(detach, gain, span);
+          });
+      uplink_->set_diag_sink(
+          [this](const lte::DiagReport& r) { diag_faults_->on_report(r); });
+    } else {
+      uplink_->set_diag_sink(
+          [this](const lte::DiagReport& r) { on_diag(r); });
+    }
   } else {
     wireline_link_ = std::make_unique<net::DelayLink<rtp::RtpPacket>>(
         sim_,
@@ -133,6 +146,17 @@ void Session::run() {
                          [this]() { on_feedback_timer(); });
   sim_.schedule_periodic(kThroughputSamplePeriod, kThroughputSamplePeriod,
                          [this]() { on_throughput_second(); });
+  if (fbcc_) {
+    // Staleness watchdog: a dead diag feed delivers nothing to hang the
+    // fallback decision on, so the check runs on its own clock. The tick
+    // also republishes the pacer rate — in degraded mode it moves on GCC
+    // feedback, not on diag reports.
+    sim_.schedule_periodic(kFbccWatchdogPeriod, kFbccWatchdogPeriod,
+                           [this]() {
+                             fbcc_->on_tick(sim_.now());
+                             pacer_->set_rate(fbcc_->rtp_rate());
+                           });
+  }
   if (!uplink_) {
     // No diagnostics over wireline: sample rate telemetry on a timer.
     sim_.schedule_periodic(msec(40), msec(40), [this]() {
@@ -141,6 +165,14 @@ void Session::run() {
   }
 
   sim_.run_until(config_.duration);
+
+  if (fbcc_) {
+    metrics_.set_diag_robustness(metrics::DiagRobustness{
+        .fallback_episodes = fbcc_->fallback_episodes(),
+        .degraded_time = fbcc_->degraded_time(sim_.now()),
+        .rejected_reports = fbcc_->rejected_reports(),
+    });
+  }
 }
 
 // ---------------------------------------------------------------- sender --
@@ -279,7 +311,7 @@ void Session::on_diag(const lte::DiagReport& report) {
   }
 
   if (fbcc_) {
-    fbcc_->on_diag(report);
+    fbcc_->on_diag(report, sim_.now());
     pacer_->set_rate(fbcc_->rtp_rate());
   }
 
@@ -407,6 +439,7 @@ void Session::record_rate_sample(SimTime now, std::int64_t buffer_bytes,
       .app_buffer_bytes = pacer_->queued_bytes(),
       .rphy = rphy,
       .congested = congested,
+      .fbcc_degraded = fbcc_ && fbcc_->degraded(),
   };
   metrics_.add_rate_sample(sample);
   if (trace_hook_) trace_hook_(sample);

@@ -70,6 +70,12 @@ class Session {
   const metrics::SessionMetrics& metrics() const { return metrics_; }
   const SessionConfig& config() const { return config_; }
 
+  /// Present only when `config.diag_faults.enabled` on a cellular session;
+  /// exposes the injector's delivery statistics for tests and benches.
+  const lte::DiagFaultModel* diag_fault_model() const {
+    return diag_faults_.get();
+  }
+
   /// Optional observer invoked on every rate-control telemetry sample
   /// (used by the rate_control_trace example).
   using TraceHook = std::function<void(const metrics::RateSample&)>;
@@ -120,6 +126,7 @@ class Session {
 
   // Network.
   std::unique_ptr<lte::LteUplink<rtp::RtpPacket>> uplink_;
+  std::unique_ptr<lte::DiagFaultModel> diag_faults_;
   std::unique_ptr<net::DelayLink<rtp::RtpPacket>> core_link_;
   std::unique_ptr<net::DrainQueue<rtp::RtpPacket>> wireline_queue_;
   std::unique_ptr<net::DelayLink<rtp::RtpPacket>> wireline_link_;

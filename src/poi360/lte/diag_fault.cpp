@@ -1,0 +1,120 @@
+#include "poi360/lte/diag_fault.h"
+
+#include <algorithm>
+
+namespace poi360::lte {
+
+DiagFaultModel::DiagFaultModel(sim::Simulator& simulator,
+                               DiagFaultConfig config, std::uint64_t seed,
+                               Sink sink)
+    : sim_(simulator),
+      config_(config),
+      rng_(Rng(seed).fork(0xD1A6)),
+      sink_(std::move(sink)) {}
+
+SimDuration DiagFaultModel::poisson_gap(double per_min) {
+  return sec_f(rng_.exponential(60.0 / per_min));
+}
+
+void DiagFaultModel::update_silence(SimTime now) {
+  if (config_.handover_per_min > 0.0) {
+    if (!initialized_ || next_handover_at_ <= 0) {
+      next_handover_at_ = now + poisson_gap(config_.handover_per_min);
+    }
+    if (now >= next_handover_at_) {
+      ++stats_.handovers;
+      const SimDuration detach =
+          std::max(config_.handover_detach_min,
+                   sec_f(rng_.exponential(
+                       to_seconds(config_.handover_detach_mean))));
+      const double gain =
+          rng_.uniform(config_.handover_gain_min, config_.handover_gain_max);
+      silent_until_ = std::max(silent_until_, now + detach);
+      if (handover_) handover_(detach, gain, config_.handover_gain_duration);
+      next_handover_at_ = now + detach + poisson_gap(config_.handover_per_min);
+    }
+  }
+  if (config_.stall_per_min > 0.0) {
+    if (!initialized_ || next_stall_at_ <= 0) {
+      next_stall_at_ = now + poisson_gap(config_.stall_per_min);
+    }
+    if (now >= next_stall_at_) {
+      ++stats_.stalls;
+      const SimDuration span =
+          std::max(config_.stall_min_duration,
+                   sec_f(rng_.exponential(
+                       to_seconds(config_.stall_mean_duration))));
+      silent_until_ = std::max(silent_until_, now + span);
+      next_stall_at_ = silent_until_ + poisson_gap(config_.stall_per_min);
+    }
+  }
+  initialized_ = true;
+}
+
+DiagReport DiagFaultModel::corrupt(DiagReport report) {
+  switch (rng_.uniform_int(0, 4)) {
+    case 0:  // sign garble of the buffer level
+      report.buffer_bytes = -report.buffer_bytes - 1;
+      break;
+    case 1:  // wild buffer value (misdecoded field)
+      report.buffer_bytes = (std::int64_t{1} << 40) + report.buffer_bytes;
+      break;
+    case 2:  // timestamp counter reset (modem crash/restart)
+      report.time = report.time % msec(100);
+      break;
+    case 3:  // broken report delta
+      report.interval = 0;
+      break;
+    default:  // garbage TBS accumulator
+      report.tbs_bytes = -1;
+      break;
+  }
+  return report;
+}
+
+void DiagFaultModel::deliver(const DiagReport& report) {
+  ++stats_.delivered;
+  sink_(report);
+}
+
+void DiagFaultModel::on_report(const DiagReport& report) {
+  ++stats_.received;
+  if (!config_.enabled) {
+    deliver(report);
+    return;
+  }
+
+  const SimTime now = sim_.now();
+  update_silence(now);
+  if (now < silent_until_ || rng_.bernoulli(config_.loss_prob)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  DiagReport out = report;
+  if (config_.garbage_prob > 0.0 && rng_.bernoulli(config_.garbage_prob)) {
+    ++stats_.corrupted;
+    out = corrupt(out);
+  }
+  int copies = 1;
+  if (config_.duplicate_prob > 0.0 &&
+      rng_.bernoulli(config_.duplicate_prob)) {
+    ++stats_.duplicated;
+    copies = 2;
+  }
+  for (int c = 0; c < copies; ++c) {
+    if (config_.delivery_jitter > 0) {
+      const SimDuration delay =
+          rng_.uniform_int(0, config_.delivery_jitter);
+      ++stats_.in_flight;
+      sim_.schedule_in(delay, [this, out]() {
+        --stats_.in_flight;
+        deliver(out);
+      });
+    } else {
+      deliver(out);
+    }
+  }
+}
+
+}  // namespace poi360::lte

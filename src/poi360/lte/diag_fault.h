@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "poi360/common/rng.h"
+#include "poi360/common/time.h"
+#include "poi360/lte/diag.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::lte {
+
+/// Failure modes of the modem diagnostic feed.
+///
+/// FBCC's sensor is a MobileInsight-style diag decoder, and on real phones
+/// that channel is far from the lossless, in-order 40 ms stream the uplink
+/// model emits: the decoder drops log packets under load, stalls for
+/// hundreds of milliseconds, timestamps reports late enough to reorder
+/// them, re-emits duplicates after its own retries, spews garbage after a
+/// modem crash/reset, and goes dark across handovers. Each knob below is
+/// one of those behaviours; all draws come from a dedicated seeded stream
+/// so a (config, seed) pair replays the exact same fault schedule.
+struct DiagFaultConfig {
+  /// Master switch; disabled is a byte-identical pass-through.
+  bool enabled = false;
+
+  /// Independent per-report loss (decoder drops the log packet).
+  double loss_prob = 0.0;
+
+  /// Stall bursts: the decoder goes silent for a while (Poisson arrivals,
+  /// exponential durations floored at `stall_min_duration`).
+  double stall_per_min = 0.0;
+  SimDuration stall_mean_duration = msec(400);
+  SimDuration stall_min_duration = msec(80);
+
+  /// Delivery delay, uniform in [0, delivery_jitter]. Anything beyond the
+  /// 40 ms report period makes reports overtake each other (reordering).
+  SimDuration delivery_jitter = 0;
+
+  /// A report is delivered twice (the copy rides the same jitter draw).
+  double duplicate_prob = 0.0;
+
+  /// A report's fields are corrupted before delivery: negated or absurd
+  /// buffer level, timestamp counter reset, zero interval, garbage TBS.
+  double garbage_prob = 0.0;
+
+  /// Handover events (Poisson arrivals): the UE detaches for a while (no
+  /// grants, firmware buffer flushed — surfaced through the handover hook
+  /// so the physical uplink reacts too), the diag feed stays dark for the
+  /// same span, and the new cell's grant capacity steps by a factor drawn
+  /// uniformly from [gain_min, gain_max] for `handover_gain_duration`.
+  double handover_per_min = 0.0;
+  SimDuration handover_detach_mean = msec(250);
+  SimDuration handover_detach_min = msec(60);
+  double handover_gain_min = 0.6;
+  double handover_gain_max = 1.4;
+  SimDuration handover_gain_duration = sec(3);
+};
+
+/// Seeded fault injector wrapped around the uplink's diag sink.
+///
+/// Sits between `LteUplink` and whoever consumes `DiagReport`s (the
+/// session's FBCC path); the consumer cannot tell it apart from a real,
+/// misbehaving diag feed. Diag-only faults (loss, stalls, jitter,
+/// duplicates, garbage) touch nothing but the report stream; handovers are
+/// physical events, so their buffer-flush/capacity-step half is delegated
+/// to the `HandoverHook` the session wires to the uplink — which is what
+/// keeps a GCC baseline run comparable: it suffers the same physical
+/// handovers while ignoring the sensor blackout.
+class DiagFaultModel {
+ public:
+  using Sink = std::function<void(const DiagReport&)>;
+  /// (detach duration, post-handover capacity gain, gain duration).
+  using HandoverHook =
+      std::function<void(SimDuration, double, SimDuration)>;
+
+  struct Stats {
+    std::int64_t received = 0;    // reports offered by the uplink
+    std::int64_t delivered = 0;   // reports handed to the sink (incl. dups)
+    std::int64_t dropped = 0;     // lost to loss_prob or silence windows
+    std::int64_t duplicated = 0;  // reports delivered twice
+    std::int64_t corrupted = 0;   // reports with garbled fields
+    std::int64_t stalls = 0;      // stall bursts begun
+    std::int64_t handovers = 0;   // handover events begun
+    std::int64_t in_flight = 0;   // jittered deliveries not yet due
+  };
+
+  DiagFaultModel(sim::Simulator& simulator, DiagFaultConfig config,
+                 std::uint64_t seed, Sink sink);
+
+  void set_handover_hook(HandoverHook hook) { handover_ = std::move(hook); }
+
+  /// The uplink's diag sink: decides this report's fate.
+  void on_report(const DiagReport& report);
+
+  const Stats& stats() const { return stats_; }
+  const DiagFaultConfig& config() const { return config_; }
+
+ private:
+  SimDuration poisson_gap(double per_min);
+  void update_silence(SimTime now);
+  DiagReport corrupt(DiagReport report);
+  void deliver(const DiagReport& report);
+
+  sim::Simulator& sim_;
+  DiagFaultConfig config_;
+  Rng rng_;
+  Sink sink_;
+  HandoverHook handover_;
+
+  bool initialized_ = false;
+  SimTime silent_until_ = 0;
+  SimTime next_stall_at_ = 0;
+  SimTime next_handover_at_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace poi360::lte

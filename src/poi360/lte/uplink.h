@@ -123,6 +123,31 @@ class LteUplink {
   std::int64_t dropped() const { return dropped_; }
   std::int64_t total_tbs_bytes() const { return total_tbs_bytes_; }
 
+  /// Discards everything queued in the firmware buffer (counted as drops).
+  /// Real modems do this on RRC re-establishment: the old cell's pending
+  /// transport blocks never make it across a handover.
+  void flush_buffer() {
+    dropped_ += static_cast<std::int64_t>(queue_.size());
+    queue_.clear();
+    buffer_bytes_ = 0;
+  }
+
+  /// Cell change: the firmware buffer is flushed, the UE earns no grants
+  /// while detached, and after re-attach the new cell's grant slope and
+  /// capacity are scaled by `post_gain` for `post_duration` (the new cell
+  /// may be better or worse than the old one).
+  void begin_handover(SimDuration detach, double post_gain,
+                      SimDuration post_duration) {
+    const SimTime now = sim_.now();
+    flush_buffer();
+    detached_until_ = now + std::max<SimDuration>(0, detach);
+    handover_gain_ = post_gain;
+    handover_gain_until_ =
+        detached_until_ + std::max<SimDuration>(0, post_duration);
+  }
+
+  bool detached() const { return sim_.now() < detached_until_; }
+
   void set_diag_sink(DiagSink sink) { diag_sink_ = std::move(sink); }
   void set_subframe_probe(SubframeProbe probe) { probe_ = std::move(probe); }
 
@@ -169,13 +194,17 @@ class LteUplink {
     ++subframe_index_;
     const int period = std::max(1, config_.grant_period);
     const std::int64_t before = buffer_bytes_;
-    if (subframe_index_ % period != 0) {
+    if (subframe_index_ % period != 0 || now < detached_until_) {
       if (probe_) probe_(now, before, 0);
       return;
     }
 
     double k = config_.grant_bps_per_byte;
     double cap = capacity;
+    if (now < handover_gain_until_) {
+      k *= handover_gain_;
+      cap *= handover_gain_;
+    }
     if (surging_) k *= config_.surge_gain;
     if (famine_) {
       // PRB starvation hits both the slope and the ceiling: no matter how
@@ -250,6 +279,9 @@ class LteUplink {
   bool famine_ = false;
   SimTime famine_until_ = 0;
   SimTime next_famine_at_ = 0;
+  SimTime detached_until_ = 0;
+  double handover_gain_ = 1.0;
+  SimTime handover_gain_until_ = 0;
   std::int64_t tbs_since_diag_ = 0;
   std::int64_t total_tbs_bytes_ = 0;
   SimTime last_diag_time_ = 0;

@@ -99,8 +99,19 @@ double SessionMetrics::std_video_rate() const {
   return s.stddev();
 }
 
+double SessionMetrics::degraded_sample_fraction() const {
+  if (rate_samples_.empty()) return 0.0;
+  std::int64_t degraded = 0;
+  for (const auto& r : rate_samples_) {
+    if (r.fbcc_degraded) ++degraded;
+  }
+  return static_cast<double>(degraded) /
+         static_cast<double>(rate_samples_.size());
+}
+
 SessionMetrics merge(const std::vector<SessionMetrics>& runs) {
   SessionMetrics all;
+  DiagRobustness robustness;
   for (const auto& run : runs) {
     for (const auto& f : run.frames()) all.add_frame(f);
     for (const auto& r : run.rate_samples()) all.add_rate_sample(r);
@@ -109,7 +120,11 @@ SessionMetrics merge(const std::vector<SessionMetrics>& runs) {
     for (std::int64_t s = 0; s < run.skipped_frames(); ++s) {
       all.note_sender_skipped_frame();
     }
+    robustness.fallback_episodes += run.diag_robustness().fallback_episodes;
+    robustness.degraded_time += run.diag_robustness().degraded_time;
+    robustness.rejected_reports += run.diag_robustness().rejected_reports;
   }
+  all.set_diag_robustness(robustness);
   return all;
 }
 

@@ -33,6 +33,15 @@ struct RateSample {
   std::int64_t app_buffer_bytes = 0;  // pacer (video buffer) backlog
   Bitrate rphy = 0.0;             // trailing TBS-derived PHY throughput
   bool congested = false;         // FBCC's J signal (always false for GCC)
+  bool fbcc_degraded = false;     // FBCC in sensor-fallback (pure GCC) mode
+};
+
+/// FBCC sensor-path health over a session: how often the controller had to
+/// stop trusting the diag feed and fall back to end-to-end (GCC) pacing.
+struct DiagRobustness {
+  std::int64_t fallback_episodes = 0;  // degraded-mode entries
+  SimDuration degraded_time = 0;       // total time spent degraded
+  std::int64_t rejected_reports = 0;   // diag reports failing validation
 };
 
 /// Point for the Fig. 15-style scatter: buffer occupancy vs. trailing
@@ -54,6 +63,7 @@ class SessionMetrics {
   void add_buffer_tbs_point(const BufferTbsPoint& point);
   void add_throughput_second(Bitrate received_rate);
   void note_sender_skipped_frame() { ++skipped_frames_; }
+  void set_diag_robustness(const DiagRobustness& r) { robustness_ = r; }
 
   // -- raw access ---------------------------------------------------------
   const std::vector<FrameRecord>& frames() const { return frames_; }
@@ -98,12 +108,17 @@ class SessionMetrics {
   }
   std::int64_t skipped_frames() const { return skipped_frames_; }
 
+  const DiagRobustness& diag_robustness() const { return robustness_; }
+  /// Fraction of rate samples taken while FBCC was in degraded mode.
+  double degraded_sample_fraction() const;
+
  private:
   std::vector<FrameRecord> frames_;
   std::vector<RateSample> rate_samples_;
   std::vector<BufferTbsPoint> buffer_tbs_;
   std::vector<double> throughput_bps_;
   std::int64_t skipped_frames_ = 0;
+  DiagRobustness robustness_;
 };
 
 /// Merges the per-figure aggregates of several runs (the paper repeats each

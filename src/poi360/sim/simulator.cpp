@@ -12,16 +12,20 @@ void Simulator::schedule_at(SimTime t, Callback cb) {
 
 void Simulator::schedule_periodic(SimTime start, SimDuration period,
                                   Callback cb) {
-  // Each firing re-schedules the next one; the shared_ptr lets the lambda
-  // reference itself without a self-owning cycle at destruction time (the
-  // queue owns the only live copy between firings).
-  auto fire = std::make_shared<std::function<void()>>();
-  auto shared_cb = std::make_shared<Callback>(std::move(cb));
-  *fire = [this, fire, shared_cb, period]() {
-    (*shared_cb)();
-    schedule_at(now_ + period, *fire);
-  };
-  schedule_at(start, *fire);
+  auto state =
+      std::make_shared<PeriodicState>(PeriodicState{period, std::move(cb)});
+  schedule_periodic_event(start, std::move(state));
+}
+
+void Simulator::schedule_periodic_event(SimTime t,
+                                        std::shared_ptr<PeriodicState> state) {
+  // Each firing schedules the next; the queued lambda owns the shared
+  // state but never a pointer to itself (a self-capturing std::function
+  // would be a shared_ptr cycle and leak every periodic timer).
+  schedule_at(t, [this, state]() {
+    state->cb();
+    schedule_periodic_event(now_ + state->period, state);
+  });
 }
 
 void Simulator::run_until(SimTime end) {

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
@@ -45,6 +46,13 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
 
  private:
+  struct PeriodicState {
+    SimDuration period;
+    Callback cb;
+  };
+  void schedule_periodic_event(SimTime t,
+                               std::shared_ptr<PeriodicState> state);
+
   struct Event {
     SimTime time;
     std::uint64_t seq;  // tie-breaker: FIFO among same-time events

@@ -194,6 +194,196 @@ TEST(Fbcc, RtpRateCappedRelativeToVideoRate) {
   EXPECT_LE(fbcc.rtp_rate(), 3.0 * fbcc.video_rate() + 1.0);
 }
 
+TEST(TbsEstimator, DropsOutOfOrderAndDuplicateReports) {
+  TbsWindowEstimator::Config config;
+  config.window = msec(400);
+  TbsWindowEstimator est(config);
+  for (int i = 1; i <= 5; ++i) {
+    est.on_report(report_at(msec(40 * i), 5000, 10'000));
+  }
+  const Bitrate clean = est.rphy();
+  // A duplicate timestamp and an out-of-order replay must not perturb the
+  // window sum (they would double-count TBS bytes).
+  est.on_report(report_at(msec(200), 5000, 10'000));  // duplicate of i=5
+  est.on_report(report_at(msec(80), 5000, 99'000));   // stale replay
+  EXPECT_DOUBLE_EQ(est.rphy(), clean);
+  // Time keeps advancing normally afterwards.
+  est.on_report(report_at(msec(240), 5000, 10'000));
+  EXPECT_NEAR(to_mbps(est.rphy()), 2.0, 0.01);
+}
+
+TEST(TbsEstimator, ResetClearsWindow) {
+  TbsWindowEstimator est;
+  est.on_report(report_at(msec(40), 5000, 10'000));
+  EXPECT_GT(est.rphy(), 0.0);
+  est.reset();
+  EXPECT_DOUBLE_EQ(est.rphy(), 0.0);
+}
+
+TEST(CongestionDetector, ResetForgetsIncreaseStreak) {
+  CongestionDetector::Config config;
+  config.k = 5;
+  config.allowed_decreases = 0;
+  CongestionDetector detector(config);
+  for (int i = 0; i < 10; ++i) detector.on_report(1000);
+  // Five increases: one report short of firing...
+  for (int i = 1; i <= 5; ++i) detector.on_report(1000 + i * 2000);
+  detector.reset();
+  // ...so without reset the next rising report would complete the streak;
+  // after reset it must not.
+  EXPECT_FALSE(detector.on_report(13'000));
+  EXPECT_FALSE(detector.last_signal());
+}
+
+TEST(Fbcc, StallTriggersGccFallbackWithinWatchdogPeriod) {
+  FbccController::Config config;
+  config.diag_timeout = msec(200);
+  FbccController fbcc(mbps(2), config);
+  fbcc.on_gcc_rate(mbps(3));
+  SimTime t = 0;
+  for (int i = 1; i <= 10; ++i) {
+    t += msec(40);
+    fbcc.on_diag(report_at(t, 4000), t);
+  }
+  EXPECT_FALSE(fbcc.degraded());
+
+  // >500 ms of diag silence: the very next watchdog tick past the timeout
+  // must enter degraded mode and pace by pure R_gcc with headroom.
+  fbcc.on_tick(t + msec(550));
+  EXPECT_TRUE(fbcc.degraded());
+  EXPECT_EQ(fbcc.fallback_episodes(), 1);
+  EXPECT_DOUBLE_EQ(fbcc.video_rate(), mbps(3));
+  EXPECT_NEAR(fbcc.rtp_rate(), mbps(3) * config.fallback_pacing_factor,
+              1.0);
+  EXPECT_GT(fbcc.degraded_time(t + msec(600)), 0);
+
+  // Degraded rates keep tracking GCC feedback with no diag reports at all.
+  fbcc.on_gcc_rate(mbps(1.5));
+  EXPECT_DOUBLE_EQ(fbcc.video_rate(), mbps(1.5));
+}
+
+TEST(Fbcc, NoStaleEq3SignalAcrossDiagGap) {
+  FbccController::Config config;
+  config.detector.k = 5;
+  config.detector.allowed_decreases = 0;
+  config.diag_timeout = msec(200);
+  config.recovery_reports = 2;
+  FbccController fbcc(mbps(3), config);
+  fbcc.on_gcc_rate(mbps(5));
+
+  // K rising reports — one short of a full K+1 window — then silence.
+  SimTime t = 0;
+  for (int i = 1; i <= 5; ++i) {
+    t += msec(40);
+    fbcc.on_diag(report_at(t, 2000 + i * 4000), t);
+  }
+  EXPECT_FALSE(fbcc.congested());
+  fbcc.on_tick(t + msec(600));
+  ASSERT_TRUE(fbcc.degraded());
+
+  // Reports resume with high-and-rising levels. Pre-gap history is gone,
+  // so no congestion signal may fire until a whole fresh window fills —
+  // and the hysteresis keeps rates on GCC while the feed re-proves itself.
+  SimTime r = t + msec(600);
+  for (int i = 1; i <= 2; ++i) {
+    r += msec(40);
+    fbcc.on_diag(report_at(r, 30'000 + i * 4000), r);
+    EXPECT_FALSE(fbcc.congested());
+  }
+  EXPECT_FALSE(fbcc.degraded());  // hysteresis satisfied
+  EXPECT_DOUBLE_EQ(fbcc.video_rate(), mbps(5));
+  // Still no J until the post-gap window is complete on its own terms.
+  r += msec(40);
+  fbcc.on_diag(report_at(r, 42'000), r);
+  EXPECT_FALSE(fbcc.congested());
+}
+
+TEST(Fbcc, RecoveryRequiresHealthyStreak) {
+  FbccController::Config config;
+  config.diag_timeout = msec(200);
+  config.recovery_reports = 4;
+  FbccController fbcc(mbps(2), config);
+  fbcc.on_gcc_rate(mbps(2));
+  fbcc.on_diag(report_at(msec(40), 3000), msec(40));
+  fbcc.on_tick(msec(500));
+  ASSERT_TRUE(fbcc.degraded());
+
+  // Two healthy reports, then a garbage one: the streak restarts.
+  fbcc.on_diag(report_at(msec(520), 3000), msec(520));
+  fbcc.on_diag(report_at(msec(560), 3000), msec(560));
+  fbcc.on_diag(report_at(msec(600), -5), msec(600));  // negative buffer
+  EXPECT_TRUE(fbcc.degraded());
+  for (int i = 1; i <= 3; ++i) {
+    fbcc.on_diag(report_at(msec(600 + 40 * i), 3000), msec(600 + 40 * i));
+    EXPECT_TRUE(fbcc.degraded());
+  }
+  fbcc.on_diag(report_at(msec(760), 3000), msec(760));
+  EXPECT_FALSE(fbcc.degraded());
+  EXPECT_EQ(fbcc.fallback_episodes(), 1);
+}
+
+TEST(Fbcc, RejectsImplausibleReports) {
+  FbccController fbcc(mbps(2));
+  fbcc.on_gcc_rate(mbps(2));
+  fbcc.on_diag(report_at(msec(40), 4000), msec(40));
+  const Bitrate rtp_before = fbcc.rtp_rate();
+
+  lte::DiagReport negative = report_at(msec(80), -100);
+  lte::DiagReport absurd = report_at(msec(120), std::int64_t{1} << 40);
+  lte::DiagReport duplicate = report_at(msec(40), 4000);
+  lte::DiagReport from_future = report_at(msec(900), 4000);
+  lte::DiagReport stale = report_at(msec(40), 4000);  // counter reset
+  lte::DiagReport broken_interval = report_at(msec(160), 4000);
+  broken_interval.interval = 0;
+  lte::DiagReport negative_tbs = report_at(msec(200), 4000, -7);
+
+  fbcc.on_diag(negative, msec(80));
+  fbcc.on_diag(absurd, msec(120));
+  fbcc.on_diag(duplicate, msec(120));
+  fbcc.on_diag(from_future, msec(160));
+  fbcc.on_diag(stale, msec(700));
+  fbcc.on_diag(broken_interval, msec(160));
+  fbcc.on_diag(negative_tbs, msec(200));
+  EXPECT_EQ(fbcc.rejected_reports(), 7);
+  // Rejected reports leave the controller's outputs untouched.
+  EXPECT_DOUBLE_EQ(fbcc.rtp_rate(), rtp_before);
+  EXPECT_FALSE(fbcc.congested());
+}
+
+TEST(Fbcc, ResetClearsHoldAndCongestion) {
+  FbccController::Config config;
+  config.detector.k = 3;
+  config.detector.allowed_decreases = 0;
+  FbccController fbcc(mbps(3), config);
+  fbcc.on_gcc_rate(mbps(5));
+  fbcc.set_rtt(msec(100));
+  SimTime t = 0;
+  for (int i = 1; i <= 8; ++i) {
+    t += msec(40);
+    fbcc.on_diag(report_at(t, 4000 + i * 4000, 10'000));
+  }
+  ASSERT_TRUE(fbcc.congested());
+  ASSERT_LT(fbcc.video_rate(), mbps(5));
+
+  fbcc.reset();
+  EXPECT_FALSE(fbcc.congested());
+  EXPECT_DOUBLE_EQ(fbcc.rphy(), 0.0);
+  // The Eq. 6 hold is gone: the next uncongested report follows R_gcc.
+  fbcc.on_diag(report_at(t + msec(40), 4000, 10'000));
+  EXPECT_DOUBLE_EQ(fbcc.video_rate(), mbps(5));
+}
+
+TEST(Fbcc, DeadFeedFromStartTripsWatchdog) {
+  FbccController::Config config;
+  config.diag_timeout = msec(200);
+  FbccController fbcc(mbps(2), config);
+  fbcc.on_gcc_rate(mbps(2));
+  fbcc.on_tick(msec(20));  // arms the staleness clock
+  EXPECT_FALSE(fbcc.degraded());
+  fbcc.on_tick(msec(240));
+  EXPECT_TRUE(fbcc.degraded());
+}
+
 TEST(Fbcc, RefiringCongestionExtendsHold) {
   FbccController::Config config;
   config.detector.k = 3;

@@ -123,6 +123,87 @@ TEST(FailureInjection, HighBlerChannel) {
   expect_sane(session.metrics());
 }
 
+TEST(FailureInjection, DiagFaultsPlusLossyFeedback) {
+  // The control plane fails on both ends at once: 30% of the receiver's
+  // ROI/congestion feedback vanishes while the diag sensor drops 30% of
+  // its reports and stalls for ~half-second bursts. FBCC must fall back
+  // to (stale) GCC pacing without wedging the pipeline.
+  SessionConfig config = presets::cellular_static();
+  config.feedback_loss = 0.30;
+  config.duration = sec(20);
+  config.seed = 61;
+  config.diag_faults.enabled = true;
+  config.diag_faults.loss_prob = 0.30;
+  config.diag_faults.stall_per_min = 8.0;
+  config.diag_faults.stall_mean_duration = msec(500);
+  config.diag_faults.stall_min_duration = msec(250);
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  EXPECT_GT(m.displayed_frames(), 400);
+  EXPECT_GE(m.diag_robustness().fallback_episodes, 1);
+  expect_sane(m);
+}
+
+TEST(FailureInjection, DiagFaultsDuringTraceOutages) {
+  // Capacity outages and a faulty sensor together: the one scenario where
+  // a naive FBCC would read pre-outage buffer history and slam the rate.
+  // The hardened controller resets across gaps and recovers every cycle.
+  auto trace = std::make_shared<lte::CapacityTrace>();
+  trace->add(0, mbps(4));
+  trace->add(sec(6), 0.0);
+  trace->add(sec(8), mbps(4));
+  trace->add(sec(10) - msec(1), mbps(4));
+
+  SessionConfig config = presets::cellular_static();
+  config.channel.capacity_trace = trace;
+  config.duration = sec(40);
+  config.seed = 62;
+  config.diag_faults.enabled = true;
+  config.diag_faults.loss_prob = 0.20;
+  config.diag_faults.stall_per_min = 6.0;
+  config.diag_faults.garbage_prob = 0.10;
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  EXPECT_GT(m.displayed_frames(), 250);
+  EXPECT_GT(m.diag_robustness().rejected_reports, 0);
+  expect_sane(m);
+  // Recovery: the tail of the run (post final outage) still displays
+  // frames, so the session is not latched in a stalled state.
+  std::int64_t late_frames = 0;
+  for (const auto& f : m.frames()) {
+    if (f.display_time > sec(35)) ++late_frames;
+  }
+  EXPECT_GT(late_frames, 30);
+}
+
+TEST(FailureInjection, EverythingAtOnce) {
+  // Kitchen sink: media loss, feedback loss, jitter, high BLER, diag
+  // faults with handovers. Pure survivability — accounting stays sane
+  // and the session terminates with frames on screen.
+  SessionConfig config = presets::cellular_static();
+  config.core_loss = 0.03;
+  config.feedback_loss = 0.20;
+  config.core_jitter = msec(40);
+  config.uplink.bler = 0.15;
+  config.duration = sec(25);
+  config.seed = 63;
+  config.diag_faults.enabled = true;
+  config.diag_faults.loss_prob = 0.25;
+  config.diag_faults.stall_per_min = 6.0;
+  config.diag_faults.delivery_jitter = msec(120);
+  config.diag_faults.duplicate_prob = 0.05;
+  config.diag_faults.garbage_prob = 0.05;
+  config.diag_faults.handover_per_min = 3.0;
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  EXPECT_GT(m.displayed_frames(), 200);
+  EXPECT_LE(m.diag_robustness().degraded_time, config.duration);
+  expect_sane(m);
+}
+
 TEST(FailureInjection, ViewerSpinningConstantly) {
   SessionConfig config = presets::cellular_static();
   config.head_motion.pursuit_prob = 1.0;

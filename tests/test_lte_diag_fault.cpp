@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "poi360/lte/diag_fault.h"
+#include "poi360/lte/uplink.h"
+#include "poi360/sim/simulator.h"
+
+namespace poi360::lte {
+namespace {
+
+/// Pushes a clean 40 ms report stream through the fault model for
+/// `duration` and returns everything the sink saw.
+std::vector<DiagReport> run_feed(const DiagFaultConfig& config,
+                                 std::uint64_t seed, SimDuration duration,
+                                 DiagFaultModel::Stats* stats = nullptr,
+                                 int* handover_hooks = nullptr) {
+  sim::Simulator sim;
+  std::vector<DiagReport> delivered;
+  DiagFaultModel model(sim, config, seed,
+                       [&](const DiagReport& r) { delivered.push_back(r); });
+  if (handover_hooks) {
+    model.set_handover_hook(
+        [&](SimDuration, double, SimDuration) { ++*handover_hooks; });
+  }
+  sim.schedule_periodic(msec(40), msec(40), [&]() {
+    model.on_report(DiagReport{
+        .time = sim.now(),
+        .buffer_bytes = 5000,
+        .tbs_bytes = 10'000,
+        .interval = msec(40),
+    });
+  });
+  sim.run_until(duration);
+  if (stats) *stats = model.stats();
+  return delivered;
+}
+
+TEST(DiagFaultModel, DisabledIsPassThrough) {
+  DiagFaultConfig config;  // enabled = false
+  DiagFaultModel::Stats stats;
+  const auto delivered = run_feed(config, 7, sec(10), &stats);
+  EXPECT_EQ(delivered.size(), 250u);
+  EXPECT_EQ(stats.delivered, 250);
+  EXPECT_EQ(stats.dropped, 0);
+  for (std::size_t i = 0; i < delivered.size(); ++i) {
+    EXPECT_EQ(delivered[i].time, msec(40) * static_cast<std::int64_t>(i + 1));
+    EXPECT_EQ(delivered[i].buffer_bytes, 5000);
+  }
+}
+
+TEST(DiagFaultModel, LossDropsNearConfiguredRate) {
+  DiagFaultConfig config;
+  config.enabled = true;
+  config.loss_prob = 0.5;
+  DiagFaultModel::Stats stats;
+  const auto delivered = run_feed(config, 11, sec(40), &stats);
+  const double rate =
+      static_cast<double>(delivered.size()) / static_cast<double>(stats.received);
+  EXPECT_NEAR(rate, 0.5, 0.08);
+  EXPECT_EQ(stats.delivered + stats.dropped, stats.received);
+}
+
+TEST(DiagFaultModel, StallsOpenSilenceWindows) {
+  DiagFaultConfig config;
+  config.enabled = true;
+  config.stall_per_min = 30.0;
+  config.stall_mean_duration = msec(500);
+  config.stall_min_duration = msec(200);
+  DiagFaultModel::Stats stats;
+  const auto delivered = run_feed(config, 3, sec(30), &stats);
+  EXPECT_GT(stats.stalls, 5);
+  SimDuration max_gap = 0;
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    max_gap = std::max(max_gap, delivered[i].time - delivered[i - 1].time);
+  }
+  // At least one gap spans the stall floor (plus the 40 ms cadence).
+  EXPECT_GE(max_gap, msec(200));
+}
+
+TEST(DiagFaultModel, DuplicatesAndGarbageAreCountedAndDelivered) {
+  DiagFaultConfig config;
+  config.enabled = true;
+  config.duplicate_prob = 0.2;
+  config.garbage_prob = 0.2;
+  DiagFaultModel::Stats stats;
+  const auto delivered = run_feed(config, 5, sec(40), &stats);
+  EXPECT_GT(stats.duplicated, 0);
+  EXPECT_GT(stats.corrupted, 0);
+  EXPECT_EQ(stats.delivered,
+            static_cast<std::int64_t>(delivered.size()));
+  EXPECT_EQ(stats.delivered, stats.received + stats.duplicated);
+  // Some delivered report must carry a corrupted field.
+  bool saw_garbage = false;
+  for (const auto& r : delivered) {
+    if (r.buffer_bytes != 5000 || r.tbs_bytes != 10'000 ||
+        r.interval != msec(40)) {
+      saw_garbage = true;
+    }
+  }
+  EXPECT_TRUE(saw_garbage);
+}
+
+TEST(DiagFaultModel, JitterReordersDelivery) {
+  DiagFaultConfig config;
+  config.enabled = true;
+  config.delivery_jitter = msec(150);  // >> the 40 ms cadence
+  const auto delivered = run_feed(config, 9, sec(20));
+  ASSERT_GT(delivered.size(), 100u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < delivered.size(); ++i) {
+    if (delivered[i].time < delivered[i - 1].time) reordered = true;
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(DiagFaultModel, HandoversFireHookAndSilenceFeed) {
+  DiagFaultConfig config;
+  config.enabled = true;
+  config.handover_per_min = 20.0;
+  config.handover_detach_mean = msec(300);
+  config.handover_detach_min = msec(100);
+  DiagFaultModel::Stats stats;
+  int hooks = 0;
+  const auto delivered = run_feed(config, 13, sec(30), &stats, &hooks);
+  EXPECT_GT(stats.handovers, 3);
+  EXPECT_EQ(hooks, stats.handovers);
+  EXPECT_LT(delivered.size(), 750u);  // blackouts cost reports
+}
+
+TEST(DiagFaultModel, SameSeedReplaysIdenticalSchedule) {
+  DiagFaultConfig config;
+  config.enabled = true;
+  config.loss_prob = 0.3;
+  config.stall_per_min = 10.0;
+  config.delivery_jitter = msec(100);
+  config.duplicate_prob = 0.1;
+  config.garbage_prob = 0.1;
+  config.handover_per_min = 2.0;
+  int hooks_a = 0, hooks_b = 0;
+  DiagFaultModel::Stats stats_a, stats_b;
+  const auto a = run_feed(config, 21, sec(20), &stats_a, &hooks_a);
+  const auto b = run_feed(config, 21, sec(20), &stats_b, &hooks_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].buffer_bytes, b[i].buffer_bytes);
+    EXPECT_EQ(a[i].tbs_bytes, b[i].tbs_bytes);
+  }
+  EXPECT_EQ(stats_a.dropped, stats_b.dropped);
+  EXPECT_EQ(hooks_a, hooks_b);
+  // A different seed produces a different realization.
+  const auto c = run_feed(config, 22, sec(20));
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].time != c[i].time;
+  }
+  EXPECT_TRUE(differs);
+}
+
+struct Blob {
+  int id = 0;
+  std::int64_t bytes = 0;
+};
+
+TEST(LteUplink, HandoverFlushesBufferAndSuspendsGrants) {
+  sim::Simulator sim;
+  ChannelConfig channel;
+  channel.load_std = 0.0;
+  channel.fading_std = 0.0;
+  channel.outage_per_min = 0.0;
+  UplinkConfig config;
+  config.bler = 0.0;
+  config.surge_mean_interval = sec(100000);
+  config.famine_mean_interval = sec(100000);
+
+  std::int64_t delivered = 0;
+  LteUplink<Blob> uplink(sim, channel, config, 1,
+                         [&](Blob b, SimTime) { delivered += b.bytes; });
+  std::int64_t tbs_during_detach = 0;
+  uplink.set_subframe_probe([&](SimTime t, std::int64_t, std::int64_t tbs) {
+    if (t >= msec(500) && t < msec(800)) tbs_during_detach += tbs;
+  });
+  uplink.start();
+  sim.schedule_periodic(msec(5), msec(5), [&]() {
+    uplink.push({0, bytes_at_rate(mbps(2), msec(5))});
+  });
+  sim.schedule_at(msec(500), [&]() {
+    EXPECT_GT(uplink.buffer_bytes(), 0);
+    uplink.begin_handover(msec(300), 1.0, sec(1));
+    EXPECT_EQ(uplink.buffer_bytes(), 0);  // firmware buffer flushed
+    EXPECT_GT(uplink.dropped(), 0);
+    EXPECT_TRUE(uplink.detached());
+  });
+  sim.run_until(sec(5));
+  EXPECT_EQ(tbs_during_detach, 0);  // no grants while detached
+  EXPECT_GT(delivered, 0);          // service resumes after re-attach
+}
+
+}  // namespace
+}  // namespace poi360::lte
