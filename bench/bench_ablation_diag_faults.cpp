@@ -31,7 +31,8 @@ lte::DiagFaultConfig faulty_profile() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   struct Cell {
     const char* transport;
     core::RateControl rc;
@@ -45,13 +46,28 @@ int main() {
       {"GCC", core::RateControl::kGcc, "faulty", true},
   };
 
+  runner::ExperimentSpec spec(
+      bench::transport_config(core::RateControl::kFbcc, sec(60)));
+  spec.name("ablation_diag_faults").repeats(4);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (const Cell& cell : cells) {
+      points.push_back({std::string(cell.transport) + " / " + cell.sensor,
+                        [cell](core::SessionConfig& c) {
+                          c.rate_control = cell.rc;
+                          if (cell.faults) c.diag_faults = faulty_profile();
+                        }});
+    }
+    spec.axis("cell", std::move(points));
+  }
+  const auto batch = bench::run(spec);
+
   Table t({"transport", "diag sensor", "displayed", "freeze ratio",
            "mean PSNR (dB)", "thpt (Mbps)", "fallbacks", "degraded %",
            "rejected"});
   for (const Cell& cell : cells) {
-    auto config = bench::transport_config(cell.rc, sec(60));
-    if (cell.faults) config.diag_faults = faulty_profile();
-    const auto merged = bench::run_merged(config, 4);
+    const auto merged = batch.merged(
+        {{"cell", std::string(cell.transport) + " / " + cell.sensor}});
     const auto& r = merged.diag_robustness();
     t.add_row({cell.transport, cell.sensor,
                std::to_string(merged.displayed_frames()),

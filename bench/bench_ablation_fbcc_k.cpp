@@ -12,15 +12,24 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::vector<int> ks = {3, 5, 10, 15, 25};
+
+  runner::ExperimentSpec spec(
+      bench::transport_config(core::RateControl::kFbcc, sec(150)));
+  spec.name("ablation_fbcc_k")
+      .sweep("K", ks,
+             [](core::SessionConfig& c, int k) { c.fbcc.detector.k = k; })
+      .repeats(4);
+  const auto batch = bench::run(spec);
+
   Table t({"K", "detect time (ms)", "freeze ratio", "mean PSNR (dB)",
            "thpt (Mbps)", "thpt std"});
-  for (int k : {3, 5, 10, 15, 25}) {
-    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
-    config.fbcc.detector.k = k;
-    const auto merged = bench::run_merged(config, 4);
-    t.add_row({std::to_string(k),
-               fmt(k * to_millis(config.uplink.diag_interval), 0),
+  const SimDuration diag_interval = spec.base().uplink.diag_interval;
+  for (int k : ks) {
+    const auto merged = batch.merged({{"K", std::to_string(k)}});
+    t.add_row({std::to_string(k), fmt(k * to_millis(diag_interval), 0),
                fmt_pct(merged.freeze_ratio()), fmt(merged.mean_roi_psnr(), 1),
                fmt(to_mbps(merged.mean_throughput()), 2),
                fmt(to_mbps(merged.std_throughput()), 2)});

@@ -14,24 +14,34 @@
 
 using namespace poi360;
 
-int main() {
-  struct Case {
-    const char* name;
-    core::SessionConfig config;
-  } cases[] = {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::pair<const char*, core::SessionConfig> cases[] = {
       {"Internet path (today's LTE)", core::presets::cellular_static()},
       {"edge relay (MEC)", core::presets::cellular_mec()},
   };
 
+  runner::ExperimentSpec spec;
+  spec.name("ablation_mec").repeats(6);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (const auto& [name, config] : cases) {
+      core::SessionConfig c = config;
+      c.duration = sec(150);
+      points.push_back({name, [c](core::SessionConfig& out) { out = c; }});
+    }
+    spec.axis("path", std::move(points));
+  }
+  const auto batch = bench::run(spec);
+
   Table t({"path", "median delay (ms)", "mean PSNR (dB)", "freeze",
            "avg mode (1=aggr)"});
-  for (auto& c : cases) {
-    c.config.duration = sec(150);
-    const auto runs = bench::run_sessions(c.config, 6);
+  for (const auto& [name, config] : cases) {
+    const auto runs = batch.metrics_where({{"path", name}});
     const auto merged = metrics::merge(runs);
     double mode_sum = 0.0;
     for (const auto& f : merged.frames()) mode_sum += f.mode_id;
-    t.add_row({c.name, fmt(bench::pooled_delays_ms(runs).median(), 0),
+    t.add_row({name, fmt(bench::pooled_delays_ms(runs).median(), 0),
                fmt(merged.mean_roi_psnr(), 2), fmt_pct(merged.freeze_ratio()),
                fmt(mode_sum / static_cast<double>(merged.displayed_frames()),
                    2)});

@@ -12,20 +12,30 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::vector<int> mode_counts = {1, 2, 4, 8, 16};
+
+  runner::ExperimentSpec spec(bench::micro_config(
+      core::CompressionScheme::kPoi360, core::NetworkType::kCellular,
+      sec(150)));
+  spec.name("ablation_modes")
+      .sweep("modes", mode_counts,
+             [](core::SessionConfig& c, int modes) {
+               c.adaptive.num_modes = modes;
+               // Keep the M range covered by the table constant (~1.6 s).
+               c.adaptive.bucket = msec(1600 / modes);
+             })
+      .repeats(4);
+  const auto batch = bench::run(spec);
+
   Table t({"modes", "bucket (ms)", "mean PSNR (dB)", "freeze ratio",
            "ROI level std (mean)"});
-  for (int modes : {1, 2, 4, 8, 16}) {
-    auto config = bench::micro_config(core::CompressionScheme::kPoi360,
-                                      core::NetworkType::kCellular, sec(150));
-    config.adaptive.num_modes = modes;
-    // Keep the M range covered by the table constant (~1.6 s).
-    config.adaptive.bucket = msec(1600 / modes);
-    const auto runs = bench::run_sessions(config, 4);
+  for (int modes : mode_counts) {
+    const auto runs = batch.metrics_where({{"modes", std::to_string(modes)}});
     const auto merged = metrics::merge(runs);
     const auto var = bench::pooled_level_variation(runs);
-    t.add_row({std::to_string(modes),
-               fmt(to_millis(config.adaptive.bucket), 0),
+    t.add_row({std::to_string(modes), fmt(1600.0 / modes, 0),
                fmt(merged.mean_roi_psnr(), 1),
                fmt_pct(merged.freeze_ratio()), fmt(var.mean(), 2)});
   }

@@ -15,22 +15,30 @@
 
 using namespace poi360;
 
-int main() {
-  Table t({"cell model", "mean PSNR (dB)", "freeze", "thpt (Mbps)"});
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::vector<int> user_counts = {0, 3, 6, 12, 24};
 
+  runner::ExperimentSpec spec(
+      bench::transport_config(core::RateControl::kFbcc, sec(150)));
+  spec.name("ablation_multiuser").repeats(5);
   {
-    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
-    const auto merged = bench::run_merged(config, 5);
-    t.add_row({"abstract load process", fmt(merged.mean_roi_psnr(), 2),
-               fmt_pct(merged.freeze_ratio()),
-               fmt(to_mbps(merged.mean_throughput()), 2)});
+    std::vector<runner::AxisPoint> points;
+    points.push_back({"abstract load process", {}});
+    for (int users : user_counts) {
+      points.push_back({"explicit PF cell, " + std::to_string(users) + " UEs",
+                        [users](core::SessionConfig& c) {
+                          c.channel.explicit_users = users;
+                        }});
+    }
+    spec.axis("cell model", std::move(points));
   }
-  for (int users : {0, 3, 6, 12, 24}) {
-    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
-    config.channel.explicit_users = users;
-    const auto merged = bench::run_merged(config, 5);
-    t.add_row({"explicit PF cell, " + std::to_string(users) + " UEs",
-               fmt(merged.mean_roi_psnr(), 2),
+  const auto batch = bench::run(spec);
+
+  Table t({"cell model", "mean PSNR (dB)", "freeze", "thpt (Mbps)"});
+  for (const auto& axis_point : spec.axes().front().points) {
+    const auto merged = batch.merged({{"cell model", axis_point.label}});
+    t.add_row({axis_point.label, fmt(merged.mean_roi_psnr(), 2),
                fmt_pct(merged.freeze_ratio()),
                fmt(to_mbps(merged.mean_throughput()), 2)});
   }

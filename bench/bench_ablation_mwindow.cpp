@@ -9,14 +9,26 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::vector<int> windows_ms = {125, 250, 500, 1000, 2000, 4000};
+
+  runner::ExperimentSpec spec(bench::micro_config(
+      core::CompressionScheme::kPoi360, core::NetworkType::kCellular,
+      sec(150)));
+  spec.name("ablation_mwindow")
+      .sweep("M window (ms)", windows_ms,
+             [](core::SessionConfig& c, int ms) {
+               c.mismatch.window = msec(ms);
+             })
+      .repeats(4);
+  const auto batch = bench::run(spec);
+
   Table t({"M window (ms)", "mean PSNR (dB)", "freeze ratio",
            "ROI level std (mean)"});
-  for (int ms : {125, 250, 500, 1000, 2000, 4000}) {
-    auto config = bench::micro_config(core::CompressionScheme::kPoi360,
-                                      core::NetworkType::kCellular, sec(150));
-    config.mismatch.window = msec(ms);
-    const auto runs = bench::run_sessions(config, 4);
+  for (int ms : windows_ms) {
+    const auto runs =
+        batch.metrics_where({{"M window (ms)", std::to_string(ms)}});
     const auto merged = metrics::merge(runs);
     const auto var = bench::pooled_level_variation(runs);
     t.add_row({std::to_string(ms), fmt(merged.mean_roi_psnr(), 1),

@@ -15,14 +15,26 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::vector<int> horizons_ms = {0, 60, 120, 300, 600, 1000};
+
+  runner::ExperimentSpec spec(bench::micro_config(
+      core::CompressionScheme::kPoi360, core::NetworkType::kCellular,
+      sec(150)));
+  spec.name("ablation_prediction")
+      .sweep("horizon (ms)", horizons_ms,
+             [](core::SessionConfig& c, int ms) {
+               c.roi_prediction_horizon = msec(ms);
+             })
+      .repeats(6);
+  const auto batch = bench::run(spec);
+
   Table t({"horizon (ms)", "mean PSNR (dB)", "freeze ratio",
            "mismatched frames"});
-  for (int ms : {0, 60, 120, 300, 600, 1000}) {
-    auto config = bench::micro_config(core::CompressionScheme::kPoi360,
-                                      core::NetworkType::kCellular, sec(150));
-    config.roi_prediction_horizon = msec(ms);
-    const auto merged = bench::run_merged(config, 6);
+  for (int ms : horizons_ms) {
+    const auto merged =
+        batch.merged({{"horizon (ms)", std::to_string(ms)}});
     std::int64_t mismatched = 0;
     for (const auto& f : merged.frames()) {
       if (f.roi_mismatch) ++mismatched;

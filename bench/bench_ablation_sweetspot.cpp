@@ -11,23 +11,39 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  const std::vector<int> kbs = {2, 5, 9, 14, 24};
+
+  runner::ExperimentSpec spec(
+      bench::transport_config(core::RateControl::kFbcc, sec(150)));
+  spec.name("ablation_sweetspot").repeats(4);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (int kb : kbs) {
+      points.push_back({std::to_string(kb), [kb](core::SessionConfig& c) {
+                          c.fbcc.learn_sweet_spot = false;
+                          c.fbcc.sweet_spot.prior_bytes = kb * 1024;
+                        }});
+    }
+    points.push_back({"learned", [](core::SessionConfig& c) {
+                        c.fbcc.learn_sweet_spot = true;
+                      }});
+    spec.axis("B*", std::move(points));
+  }
+  const auto batch = bench::run(spec);
+
   Table t({"B* (KB)", "learned?", "thpt (Mbps)", "freeze ratio",
            "mean PSNR (dB)"});
-  for (int kb : {2, 5, 9, 14, 24}) {
-    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
-    config.fbcc.learn_sweet_spot = false;
-    config.fbcc.sweet_spot.prior_bytes = kb * 1024;
-    const auto merged = bench::run_merged(config, 4);
+  for (int kb : kbs) {
+    const auto merged = batch.merged({{"B*", std::to_string(kb)}});
     t.add_row({std::to_string(kb), "no",
                fmt(to_mbps(merged.mean_throughput()), 2),
                fmt_pct(merged.freeze_ratio()),
                fmt(merged.mean_roi_psnr(), 1)});
   }
   {
-    auto config = bench::transport_config(core::RateControl::kFbcc, sec(150));
-    config.fbcc.learn_sweet_spot = true;
-    const auto merged = bench::run_merged(config, 4);
+    const auto merged = batch.merged({{"B*", "learned"}});
     t.add_row({"-", "yes", fmt(to_mbps(merged.mean_throughput()), 2),
                fmt_pct(merged.freeze_ratio()),
                fmt(merged.mean_roi_psnr(), 1)});

@@ -26,7 +26,8 @@ struct Blob {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   // One bin per kB of occupancy, up to 25 kB like the paper's axis.
   constexpr int kBins = 25;
   RunningStats bin_stats[kBins + 1];

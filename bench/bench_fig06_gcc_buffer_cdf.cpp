@@ -13,7 +13,8 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto config = bench::transport_config(core::RateControl::kGcc, sec(200));
   const auto runs = bench::run_sessions(config, 5);
 

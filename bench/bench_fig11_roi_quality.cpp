@@ -14,13 +14,40 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   constexpr int kRuns = 10;
   const core::CompressionScheme schemes[] = {
       core::CompressionScheme::kPoi360, core::CompressionScheme::kConduit,
       core::CompressionScheme::kPyramid};
   const core::NetworkType networks[] = {core::NetworkType::kWireline,
                                         core::NetworkType::kCellular};
+
+  runner::ExperimentSpec spec(bench::micro_config(
+      core::CompressionScheme::kPoi360, core::NetworkType::kWireline));
+  spec.name("fig11_roi_quality").repeats(kRuns);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (auto network : networks) {
+      points.push_back({core::to_string(network),
+                        [network](core::SessionConfig& c) {
+                          c = bench::micro_config(c.compression, network,
+                                                  c.duration);
+                        }});
+    }
+    spec.axis("network", std::move(points));
+  }
+  {
+    std::vector<runner::AxisPoint> points;
+    for (auto scheme : schemes) {
+      points.push_back({core::to_string(scheme),
+                        [scheme](core::SessionConfig& c) {
+                          c.compression = scheme;
+                        }});
+    }
+    spec.axis("scheme", std::move(points));
+  }
+  const auto batch = bench::run(spec);
 
   std::printf("=== Fig. 11(a)/(b): ROI PSNR (dB) ===\n");
   Table psnr({"network", "scheme", "mean PSNR (dB)", "std (dB)"});
@@ -29,9 +56,8 @@ int main() {
 
   for (auto network : networks) {
     for (auto scheme : schemes) {
-      const auto runs =
-          bench::run_sessions(bench::micro_config(scheme, network), kRuns);
-      const auto merged = metrics::merge(runs);
+      const auto merged = batch.merged({{"network", core::to_string(network)},
+                                        {"scheme", core::to_string(scheme)}});
       psnr.add_row({core::to_string(network), core::to_string(scheme),
                     fmt(merged.mean_roi_psnr(), 1),
                     fmt(merged.std_roi_psnr(), 1)});

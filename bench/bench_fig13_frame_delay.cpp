@@ -12,7 +12,8 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   constexpr int kRuns = 10;
   const core::CompressionScheme schemes[] = {
       core::CompressionScheme::kPoi360, core::CompressionScheme::kConduit,
@@ -20,14 +21,40 @@ int main() {
   const core::NetworkType networks[] = {core::NetworkType::kWireline,
                                         core::NetworkType::kCellular};
 
+  runner::ExperimentSpec spec(bench::micro_config(
+      core::CompressionScheme::kPoi360, core::NetworkType::kWireline));
+  spec.name("fig13_frame_delay").repeats(kRuns);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (auto network : networks) {
+      points.push_back({core::to_string(network),
+                        [network](core::SessionConfig& c) {
+                          c = bench::micro_config(c.compression, network,
+                                                  c.duration);
+                        }});
+    }
+    spec.axis("network", std::move(points));
+  }
+  {
+    std::vector<runner::AxisPoint> points;
+    for (auto scheme : schemes) {
+      points.push_back({core::to_string(scheme),
+                        [scheme](core::SessionConfig& c) {
+                          c.compression = scheme;
+                        }});
+    }
+    spec.axis("scheme", std::move(points));
+  }
+  const auto batch = bench::run(spec);
+
   for (auto network : networks) {
     std::printf("=== Fig. 13 (%s): frame delay ===\n",
                 core::to_string(network).c_str());
     Table t({"scheme", "median (ms)", "p90 (ms)", "p99 (ms)"});
     for (auto scheme : schemes) {
-      const auto runs =
-          bench::run_sessions(bench::micro_config(scheme, network), kRuns);
-      const auto delays = bench::pooled_delays_ms(runs);
+      const auto delays = bench::pooled_delays_ms(
+          batch.metrics_where({{"network", core::to_string(network)},
+                               {"scheme", core::to_string(scheme)}}));
       t.add_row({core::to_string(scheme), fmt(delays.median(), 0),
                  fmt(delays.percentile(0.9), 0),
                  fmt(delays.percentile(0.99), 0)});

@@ -13,7 +13,8 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   constexpr int kRuns = 10;
   const core::CompressionScheme schemes[] = {
       core::CompressionScheme::kPoi360, core::CompressionScheme::kConduit,

@@ -66,7 +66,8 @@ void summarize(const char* label,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   std::printf("=== Fig. 15: buffer level vs UL TBS/s, FBCC vs GCC ===\n\n");
   for (auto rc : {core::RateControl::kFbcc, core::RateControl::kGcc}) {
     const auto runs =

@@ -13,8 +13,25 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   constexpr int kRuns = 5;
+  const core::RateControl rcs[] = {core::RateControl::kFbcc,
+                                   core::RateControl::kGcc};
+
+  runner::ExperimentSpec spec(
+      bench::transport_config(core::RateControl::kFbcc, sec(200)));
+  spec.name("fig16_fbcc_vs_gcc").repeats(kRuns);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (auto rc : rcs) {
+      points.push_back({core::to_string(rc), [rc](core::SessionConfig& c) {
+                          c.rate_control = rc;
+                        }});
+    }
+    spec.axis("rc", std::move(points));
+  }
+  const auto batch = bench::run(spec);
 
   std::printf("=== Fig. 16(a): throughput & freeze ratio ===\n");
   Table t({"rate control", "mean thpt (Mbps)", "thpt std (Mbps)",
@@ -23,9 +40,8 @@ int main() {
   std::vector<std::string> labels;
   double stds[2] = {0, 0};
   int idx = 0;
-  for (auto rc : {core::RateControl::kFbcc, core::RateControl::kGcc}) {
-    const auto merged =
-        bench::run_merged(bench::transport_config(rc, sec(200)), kRuns);
+  for (auto rc : rcs) {
+    const auto merged = batch.merged({{"rc", core::to_string(rc)}});
     t.add_row({core::to_string(rc), fmt(to_mbps(merged.mean_throughput()), 2),
                fmt(to_mbps(merged.std_throughput()), 2),
                fmt_pct(merged.freeze_ratio()),

@@ -27,11 +27,12 @@ struct Condition {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   constexpr int kRuns = 5;
   const SimDuration kDuration = sec(150);
 
-  std::vector<Condition> conditions = {
+  const std::vector<Condition> conditions = {
       {"load", "idle cell", core::presets::cellular_idle_cell()},
       {"load", "busy cell", core::presets::cellular_busy_cell()},
       {"rss", "weak (-115 dBm)", core::presets::cellular_rss(-115.0)},
@@ -42,18 +43,32 @@ int main() {
       {"speed", "50 mph", core::presets::cellular_driving(50.0)},
   };
 
+  runner::ExperimentSpec spec;
+  spec.name("fig17_system").repeats(kRuns);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (const Condition& c : conditions) {
+      core::SessionConfig config = c.config;
+      config.duration = kDuration;
+      config.compression = core::CompressionScheme::kPoi360;
+      config.rate_control = core::RateControl::kFbcc;
+      points.push_back({c.group + " / " + c.name,
+                        [config](core::SessionConfig& out) { out = config; }});
+    }
+    spec.axis("condition", std::move(points));
+  }
+  const auto batch = bench::run(spec);
+
   Table t({"group", "condition", "mean PSNR (dB)", "freeze ratio",
            "thpt (Mbps)"});
   std::vector<std::pair<std::string, std::vector<double>>> mos_rows;
-  for (auto& c : conditions) {
-    c.config.duration = kDuration;
-    c.config.compression = core::CompressionScheme::kPoi360;
-    c.config.rate_control = core::RateControl::kFbcc;
-    const auto merged = bench::run_merged(c.config, kRuns);
+  for (const Condition& c : conditions) {
+    const std::string label = c.group + " / " + c.name;
+    const auto merged = batch.merged({{"condition", label}});
     t.add_row({c.group, c.name, fmt(merged.mean_roi_psnr(), 1),
                fmt_pct(merged.freeze_ratio()),
                fmt(to_mbps(merged.mean_throughput()), 2)});
-    mos_rows.emplace_back(c.group + " / " + c.name, merged.mos_pdf());
+    mos_rows.emplace_back(label, merged.mos_pdf());
   }
 
   std::printf("=== Fig. 17(a)(c)(e): PSNR & freeze ratio ===\n%s\n",

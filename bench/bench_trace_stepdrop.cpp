@@ -14,7 +14,8 @@
 
 using namespace poi360;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
   auto trace = std::make_shared<lte::CapacityTrace>();
   trace->add(0, mbps(4.5));
   trace->add(sec(10), mbps(1.2));   // hard drop

@@ -1,21 +1,148 @@
 #include "util/experiment.h"
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
 
 #include "poi360/common/table.h"
 
 namespace poi360::bench {
 
+namespace {
+
+// Per-bench harness state: flag values plus the wall-clock / run counters
+// reported at exit. All harness output goes to stderr so bench stdout stays
+// byte-identical across --jobs settings.
+struct HarnessState {
+  std::string bench_name = "bench";
+  int jobs = 0;  // 0 = auto (POI360_JOBS, else hardware_concurrency)
+  bool progress = false;
+  std::string out_json;
+  std::chrono::steady_clock::time_point start;
+  long total_runs = 0;
+  long failed_runs = 0;
+  bool initialized = false;
+};
+
+HarnessState& state() {
+  static HarnessState s;
+  return s;
+}
+
+void report_at_exit() {
+  HarnessState& s = state();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    s.start)
+          .count();
+  const int resolved = runner::BatchRunner::resolve_jobs(s.jobs);
+  std::fprintf(stderr, "[bench] %s runs=%ld failed=%ld jobs=%d wall_s=%.3f\n",
+               s.bench_name.c_str(), s.total_runs, s.failed_runs, resolved,
+               wall);
+  if (!s.out_json.empty()) {
+    std::ofstream out(s.out_json, std::ios::trunc);
+    if (out) {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"bench\":\"%s\",\"jobs\":%d,\"runs\":%ld,"
+                    "\"failed\":%ld,\"wall_s\":%.3f}\n",
+                    s.bench_name.c_str(), resolved, s.total_runs,
+                    s.failed_runs, wall);
+      out << buf;
+    } else {
+      std::fprintf(stderr, "[bench] cannot write %s\n", s.out_json.c_str());
+    }
+  }
+}
+
+[[noreturn]] void harness_usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--jobs N] [--out-json PATH] [--progress]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+void init(int argc, char** argv) {
+  HarnessState& s = state();
+  s.start = std::chrono::steady_clock::now();
+  if (argc > 0) {
+    const char* slash = std::strrchr(argv[0], '/');
+    s.bench_name = slash ? slash + 1 : argv[0];
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) harness_usage(argv[0]);
+      return argv[++i];
+    };
+    if (flag == "--jobs") {
+      s.jobs = std::atoi(value());
+      if (s.jobs < 1) harness_usage(argv[0]);
+    } else if (flag == "--out-json") {
+      s.out_json = value();
+    } else if (flag == "--progress") {
+      s.progress = true;
+    } else {
+      harness_usage(argv[0]);
+    }
+  }
+  if (!s.initialized) {
+    s.initialized = true;
+    std::atexit(report_at_exit);
+  }
+}
+
+int jobs() { return runner::BatchRunner::resolve_jobs(state().jobs); }
+
+runner::BatchResult run(const runner::ExperimentSpec& spec) {
+  HarnessState& s = state();
+  if (!s.initialized) {
+    // Bench skipped init(): still time the sweep from the first batch.
+    s.start = std::chrono::steady_clock::now();
+    s.initialized = true;
+    std::atexit(report_at_exit);
+  }
+  runner::BatchRunner::Options options;
+  options.jobs = s.jobs;
+  if (s.progress) {
+    options.on_progress = [](const runner::RunResult& r, int done,
+                             int total) {
+      std::fprintf(stderr, "[bench] %d/%d %s%s%s\n", done, total,
+                   r.spec.label().c_str(), r.ok ? "" : " FAILED: ",
+                   r.ok ? "" : r.error.c_str());
+    };
+  }
+  runner::BatchResult batch = runner::BatchRunner(options).run(spec);
+  s.total_runs += static_cast<long>(batch.runs.size());
+  s.failed_runs += static_cast<long>(batch.failed_count());
+  for (const runner::RunResult& r : batch.runs) {
+    if (!r.ok && !s.progress) {
+      std::fprintf(stderr, "[bench] run %s failed: %s\n",
+                   r.spec.label().c_str(), r.error.c_str());
+    }
+  }
+  return batch;
+}
+
 std::vector<metrics::SessionMetrics> run_sessions(
     const core::SessionConfig& base, int runs, std::uint64_t seed0) {
+  runner::ExperimentSpec spec(base);
+  spec.repeats(runs).seed0(seed0);
+  const runner::BatchResult batch = run(spec);
   std::vector<metrics::SessionMetrics> out;
-  out.reserve(static_cast<std::size_t>(runs));
-  for (int r = 0; r < runs; ++r) {
-    core::SessionConfig config = base;
-    config.seed = seed0 + static_cast<std::uint64_t>(r) * 7919;
-    core::Session session(config);
-    session.run();
-    out.push_back(session.metrics());
+  out.reserve(batch.runs.size());
+  for (const runner::RunResult& r : batch.runs) {
+    // Preserve the historical contract: a failed run propagates.
+    if (!r.ok) {
+      throw std::runtime_error("run " + r.spec.label() +
+                               " failed: " + r.error);
+    }
+    out.push_back(r.metrics);
   }
   return out;
 }
@@ -25,23 +152,46 @@ metrics::SessionMetrics run_merged(const core::SessionConfig& base, int runs,
   return metrics::merge(run_sessions(base, runs, seed0));
 }
 
+namespace {
+
+template <typename Runs, typename Sampler>
+SampleSet pooled(const Runs& runs, Sampler sampler) {
+  SampleSet out;
+  for (const auto& run : runs) {
+    const SampleSet samples = sampler(run);
+    for (double v : samples.samples()) out.add(v);
+  }
+  return out;
+}
+
+}  // namespace
+
 SampleSet pooled_level_variation(
     const std::vector<metrics::SessionMetrics>& runs, SimDuration window) {
-  SampleSet pooled;
-  for (const auto& run : runs) {
-    const SampleSet variation = run.roi_level_variation(window);
-    for (double v : variation.samples()) pooled.add(v);
-  }
-  return pooled;
+  return pooled(runs, [&](const metrics::SessionMetrics& m) {
+    return m.roi_level_variation(window);
+  });
+}
+
+SampleSet pooled_level_variation(
+    const std::vector<const metrics::SessionMetrics*>& runs,
+    SimDuration window) {
+  return pooled(runs, [&](const metrics::SessionMetrics* m) {
+    return m->roi_level_variation(window);
+  });
 }
 
 SampleSet pooled_delays_ms(const std::vector<metrics::SessionMetrics>& runs) {
-  SampleSet pooled;
-  for (const auto& run : runs) {
-    const SampleSet delays = run.frame_delays_ms();
-    for (double v : delays.samples()) pooled.add(v);
-  }
-  return pooled;
+  return pooled(runs, [](const metrics::SessionMetrics& m) {
+    return m.frame_delays_ms();
+  });
+}
+
+SampleSet pooled_delays_ms(
+    const std::vector<const metrics::SessionMetrics*>& runs) {
+  return pooled(runs, [](const metrics::SessionMetrics* m) {
+    return m->frame_delays_ms();
+  });
 }
 
 void print_cdf(const std::string& title, const SampleSet& samples,

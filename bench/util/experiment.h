@@ -8,32 +8,64 @@
 #include "poi360/core/config.h"
 #include "poi360/core/session.h"
 #include "poi360/metrics/session_metrics.h"
+#include "poi360/runner/batch_runner.h"
+#include "poi360/runner/experiment_spec.h"
+#include "poi360/runner/result_io.h"
 
-// Shared harness for the paper-reproduction benchmarks: runs batches of
-// sessions (the paper repeats each condition with 5 users x 10 runs; we use
-// several seeds per condition) and prints the rows/series each figure
-// reports.
+// Shared harness for the paper-reproduction benchmarks. Benches declare an
+// runner::ExperimentSpec (base config + axes + repeats) and execute it with
+// bench::run(), which farms the grid over the --jobs worker pool; results
+// come back in grid order, so every figure is byte-identical no matter how
+// many workers ran it. The legacy run_sessions/run_merged entry points are
+// thin shims over the same runner.
 
 namespace poi360::bench {
 
-/// Runs `runs` sessions of `base` with distinct seeds; returns each run's
-/// metrics. Seeds are derived deterministically from `seed0`.
-std::vector<metrics::SessionMetrics> run_sessions(
-    const core::SessionConfig& base, int runs, std::uint64_t seed0 = 1000);
+/// Parses the shared harness flags and starts the wall-clock that the
+/// harness reports at exit (to stderr, plus --out-json when given — the
+/// BENCH_*.json sweep-cost record). Call first in every bench main().
+///
+///   --jobs N        worker threads (default: POI360_JOBS env var, else
+///                   hardware_concurrency)
+///   --out-json P    write {"bench","jobs","runs","wall_s",...} to P at exit
+///   --progress      report per-run completion on stderr
+void init(int argc, char** argv);
 
-/// Runs and pools everything into one metrics object (distribution metrics
-/// that need per-run time continuity are computed per run by callers).
+/// Resolved worker count the harness will use (after --jobs / POI360_JOBS).
+int jobs();
+
+/// Executes a spec on the harness's BatchRunner (jobs + progress wiring)
+/// and accounts its runs/wall-clock into the per-bench report.
+runner::BatchResult run(const runner::ExperimentSpec& spec);
+
+/// Legacy shim: runs `runs` sessions of `base` with distinct seeds; returns
+/// each run's metrics in seed order. Seeds follow the single documented
+/// contract, runner::derive_seed (seed0 + r * kSeedStride). Prefer building
+/// an ExperimentSpec — the shim throws on the first failed run instead of
+/// reporting it, and cannot name axes in emitted results.
+std::vector<metrics::SessionMetrics> run_sessions(
+    const core::SessionConfig& base, int runs,
+    std::uint64_t seed0 = runner::kDefaultSeed0);
+
+/// Legacy shim over run_sessions that pools everything into one metrics
+/// object (distribution metrics that need per-run time continuity are
+/// computed per run by callers).
 metrics::SessionMetrics run_merged(const core::SessionConfig& base, int runs,
-                                   std::uint64_t seed0 = 1000);
+                                   std::uint64_t seed0 = runner::kDefaultSeed0);
 
 /// Pools the per-run ROI-compression-level sliding-window variation samples
 /// (Fig. 12) — must be computed per run, then pooled.
 SampleSet pooled_level_variation(
     const std::vector<metrics::SessionMetrics>& runs,
     SimDuration window = sec(2));
+SampleSet pooled_level_variation(
+    const std::vector<const metrics::SessionMetrics*>& runs,
+    SimDuration window = sec(2));
 
 /// Pools per-run frame-delay samples (ms).
 SampleSet pooled_delays_ms(const std::vector<metrics::SessionMetrics>& runs);
+SampleSet pooled_delays_ms(
+    const std::vector<const metrics::SessionMetrics*>& runs);
 
 /// Prints an evenly spaced CDF of `samples` ("value unit -> cdf").
 void print_cdf(const std::string& title, const SampleSet& samples,

@@ -17,6 +17,10 @@
 //   --playout                           enable the adaptive jitter buffer
 //   --duration <s>, --seed <n>
 //   --csv frames|rates                  dump per-frame / per-sample CSV
+//   --runs <n>                          seeded repeats (seed, seed+7919, ...)
+//   --jobs <n>                          worker threads for --runs > 1
+//   --out-json / --out-csv <path>       structured per-run results
+//   --progress                          per-run completion on stderr
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +29,9 @@
 
 #include "poi360/core/config.h"
 #include "poi360/core/session.h"
+#include "poi360/runner/batch_runner.h"
+#include "poi360/runner/experiment_spec.h"
+#include "poi360/runner/result_io.h"
 
 using namespace poi360;
 
@@ -37,9 +44,35 @@ namespace {
                        "[--diag-loss f] [--diag-stalls per_min] "
                        "[--diag-handovers per_min] "
                        "[--predict ms] [--playout] [--duration s] "
-                       "[--seed n] [--csv frames|rates]\n",
+                       "[--seed n] [--csv frames|rates] "
+                       "[--runs n] [--jobs n] [--out-json path] "
+                       "[--out-csv path] [--progress]\n",
                argv0);
   std::exit(2);
+}
+
+void print_summary(const core::SessionConfig& config,
+                   const metrics::SessionMetrics& m) {
+  const auto pdf = m.mos_pdf();
+  const auto delays = m.frame_delays_ms();
+  std::printf("frames=%lld skipped=%lld psnr=%.1fdB freeze=%.1f%% "
+              "thpt=%.2fMbps delay_p50=%.0fms p99=%.0fms\n",
+              static_cast<long long>(m.displayed_frames()),
+              static_cast<long long>(m.skipped_frames()), m.mean_roi_psnr(),
+              m.freeze_ratio() * 100.0, to_mbps(m.mean_throughput()),
+              delays.median(), delays.percentile(0.99));
+  std::printf("mos: bad=%.1f%% poor=%.1f%% fair=%.1f%% good=%.1f%% "
+              "excellent=%.1f%%\n",
+              pdf[0] * 100, pdf[1] * 100, pdf[2] * 100, pdf[3] * 100,
+              pdf[4] * 100);
+  if (config.diag_faults.enabled) {
+    const auto& r = m.diag_robustness();
+    std::printf("diag: fallbacks=%lld degraded=%.1f%% rejected=%lld\n",
+                static_cast<long long>(r.fallback_episodes),
+                to_seconds(r.degraded_time) / to_seconds(config.duration) *
+                    100.0,
+                static_cast<long long>(r.rejected_reports));
+  }
 }
 
 }  // namespace
@@ -48,6 +81,10 @@ int main(int argc, char** argv) {
   core::SessionConfig config = core::presets::cellular_static();
   std::string csv;
   double speed = -1.0;
+  int runs = 1;
+  int jobs = 0;  // 0 = auto (POI360_JOBS env var, else hardware_concurrency)
+  bool progress = false;
+  std::string out_json, out_csv;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -104,9 +141,26 @@ int main(int argc, char** argv) {
     } else if (flag == "--csv") {
       csv = value();
       if (csv != "frames" && csv != "rates") usage(argv[0]);
+    } else if (flag == "--runs") {
+      runs = std::atoi(value().c_str());
+      if (runs < 1) usage(argv[0]);
+    } else if (flag == "--jobs") {
+      jobs = std::atoi(value().c_str());
+      if (jobs < 1) usage(argv[0]);
+    } else if (flag == "--out-json") {
+      out_json = value();
+    } else if (flag == "--out-csv") {
+      out_csv = value();
+    } else if (flag == "--progress") {
+      progress = true;
     } else {
       usage(argv[0]);
     }
+  }
+  if (!csv.empty() && runs > 1) {
+    std::fprintf(stderr, "--csv dumps one run; use --out-json/--out-csv for "
+                         "multi-run batches\n");
+    return 2;
   }
   if (speed >= 0.0) {
     const double rss = config.channel.rss_dbm;
@@ -115,9 +169,30 @@ int main(int argc, char** argv) {
     config.channel.rss_dbm = rss;  // keep an explicit --rss override
   }
 
-  core::Session session(config);
-  session.run();
-  const auto& m = session.metrics();
+  runner::ExperimentSpec spec(config);
+  spec.name("poi360_cli").repeats(runs).seed0(config.seed);
+  runner::BatchRunner::Options options;
+  options.jobs = jobs;
+  if (progress) {
+    options.on_progress = [](const runner::RunResult& r, int done,
+                             int total) {
+      std::fprintf(stderr, "[cli] %d/%d seed=%llu %s%s\n", done, total,
+                   static_cast<unsigned long long>(r.spec.seed),
+                   r.ok ? "ok" : "FAILED: ", r.ok ? "" : r.error.c_str());
+    };
+  }
+  const runner::BatchResult batch = runner::BatchRunner(options).run(spec);
+  if (!out_json.empty()) runner::write_json(out_json, batch);
+  if (!out_csv.empty()) runner::write_csv(out_csv, batch);
+  for (const runner::RunResult& r : batch.runs) {
+    if (!r.ok) {
+      std::fprintf(stderr, "run seed=%llu failed: %s\n",
+                   static_cast<unsigned long long>(r.spec.seed),
+                   r.error.c_str());
+    }
+  }
+  if (batch.ok_count() == 0) return 1;
+  const auto& m = batch.runs.front().metrics;
 
   if (csv == "frames") {
     std::printf("frame_id,capture_us,display_us,delay_ms,roi_level,"
@@ -146,31 +221,19 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  const auto pdf = m.mos_pdf();
-  const auto delays = m.frame_delays_ms();
   std::printf("scheme=%s rc=%s net=%s duration=%.0fs seed=%llu\n",
               core::to_string(config.compression).c_str(),
               core::to_string(config.rate_control).c_str(),
               core::to_string(config.network).c_str(),
               to_seconds(config.duration),
               static_cast<unsigned long long>(config.seed));
-  std::printf("frames=%lld skipped=%lld psnr=%.1fdB freeze=%.1f%% "
-              "thpt=%.2fMbps delay_p50=%.0fms p99=%.0fms\n",
-              static_cast<long long>(m.displayed_frames()),
-              static_cast<long long>(m.skipped_frames()), m.mean_roi_psnr(),
-              m.freeze_ratio() * 100.0, to_mbps(m.mean_throughput()),
-              delays.median(), delays.percentile(0.99));
-  std::printf("mos: bad=%.1f%% poor=%.1f%% fair=%.1f%% good=%.1f%% "
-              "excellent=%.1f%%\n",
-              pdf[0] * 100, pdf[1] * 100, pdf[2] * 100, pdf[3] * 100,
-              pdf[4] * 100);
-  if (config.diag_faults.enabled) {
-    const auto& r = m.diag_robustness();
-    std::printf("diag: fallbacks=%lld degraded=%.1f%% rejected=%lld\n",
-                static_cast<long long>(r.fallback_episodes),
-                to_seconds(r.degraded_time) / to_seconds(config.duration) *
-                    100.0,
-                static_cast<long long>(r.rejected_reports));
+  if (runs == 1) {
+    print_summary(config, m);
+  } else {
+    std::printf("runs=%d ok=%d failed=%d jobs=%d\n", runs,
+                static_cast<int>(batch.ok_count()),
+                static_cast<int>(batch.failed_count()), batch.jobs);
+    print_summary(config, batch.merged());
   }
-  return 0;
+  return batch.failed_count() == 0 ? 0 : 1;
 }

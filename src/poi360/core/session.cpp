@@ -36,7 +36,7 @@ Session::Session(SessionConfig config)
 
   if (config_.motion_trace && !config_.motion_trace->empty()) {
     head_motion_ =
-        std::make_unique<roi::MotionTrace>(*config_.motion_trace);
+        std::make_unique<roi::MotionTraceView>(config_.motion_trace);
   } else {
     head_motion_ = std::make_unique<roi::StochasticHeadMotion>(
         config_.head_motion, rng_.fork(0xA11CE).engine()());

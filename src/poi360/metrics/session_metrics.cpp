@@ -1,5 +1,7 @@
 #include "poi360/metrics/session_metrics.h"
 
+#include <algorithm>
+
 namespace poi360::metrics {
 
 void SessionMetrics::add_frame(const FrameRecord& record) {
@@ -109,23 +111,41 @@ double SessionMetrics::degraded_sample_fraction() const {
          static_cast<double>(rate_samples_.size());
 }
 
-SessionMetrics merge(const std::vector<SessionMetrics>& runs) {
+SessionMetrics merge(std::span<const SessionMetrics* const> runs) {
+  // Concatenate in run-id order (stable for ties) so the pooled result is
+  // the same no matter which order a parallel runner delivered the inputs.
+  std::vector<const SessionMetrics*> ordered(runs.begin(), runs.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SessionMetrics* a, const SessionMetrics* b) {
+                     return a->run_id() < b->run_id();
+                   });
   SessionMetrics all;
   DiagRobustness robustness;
-  for (const auto& run : runs) {
-    for (const auto& f : run.frames()) all.add_frame(f);
-    for (const auto& r : run.rate_samples()) all.add_rate_sample(r);
-    for (const auto& p : run.buffer_tbs()) all.add_buffer_tbs_point(p);
-    for (double t : run.throughput_samples()) all.add_throughput_second(t);
-    for (std::int64_t s = 0; s < run.skipped_frames(); ++s) {
+  for (const SessionMetrics* run : ordered) {
+    for (const auto& f : run->frames()) all.add_frame(f);
+    for (const auto& r : run->rate_samples()) all.add_rate_sample(r);
+    for (const auto& p : run->buffer_tbs()) all.add_buffer_tbs_point(p);
+    for (double t : run->throughput_samples()) all.add_throughput_second(t);
+    for (std::int64_t s = 0; s < run->skipped_frames(); ++s) {
       all.note_sender_skipped_frame();
     }
-    robustness.fallback_episodes += run.diag_robustness().fallback_episodes;
-    robustness.degraded_time += run.diag_robustness().degraded_time;
-    robustness.rejected_reports += run.diag_robustness().rejected_reports;
+    robustness.fallback_episodes += run->diag_robustness().fallback_episodes;
+    robustness.degraded_time += run->diag_robustness().degraded_time;
+    robustness.rejected_reports += run->diag_robustness().rejected_reports;
   }
   all.set_diag_robustness(robustness);
   return all;
+}
+
+SessionMetrics merge(const std::vector<const SessionMetrics*>& runs) {
+  return merge(std::span<const SessionMetrics* const>(runs));
+}
+
+SessionMetrics merge(const std::vector<SessionMetrics>& runs) {
+  std::vector<const SessionMetrics*> ptrs;
+  ptrs.reserve(runs.size());
+  for (const auto& run : runs) ptrs.push_back(&run);
+  return merge(std::span<const SessionMetrics* const>(ptrs));
 }
 
 }  // namespace poi360::metrics

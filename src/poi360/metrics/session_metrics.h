@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "poi360/common/stats.h"
@@ -64,6 +65,11 @@ class SessionMetrics {
   void add_throughput_second(Bitrate received_rate);
   void note_sender_skipped_frame() { ++skipped_frames_; }
   void set_diag_robustness(const DiagRobustness& r) { robustness_ = r; }
+  /// Identity of the run these metrics came from (the runner assigns the
+  /// grid index); merge() orders its inputs by this so pooled distributions
+  /// are invariant to completion order. -1 = unassigned (input order kept).
+  void set_run_id(std::int64_t id) { run_id_ = id; }
+  std::int64_t run_id() const { return run_id_; }
 
   // -- raw access ---------------------------------------------------------
   const std::vector<FrameRecord>& frames() const { return frames_; }
@@ -119,10 +125,17 @@ class SessionMetrics {
   std::vector<double> throughput_bps_;
   std::int64_t skipped_frames_ = 0;
   DiagRobustness robustness_;
+  std::int64_t run_id_ = -1;
 };
 
 /// Merges the per-figure aggregates of several runs (the paper repeats each
 /// experiment 10 times per user and reports pooled distributions).
+///
+/// Order-invariant: inputs are concatenated in ascending run_id() order
+/// (stable for ties, so unassigned ids preserve input order) — a parallel
+/// sweep's completion order can never change a pooled CDF.
+SessionMetrics merge(std::span<const SessionMetrics* const> runs);
+SessionMetrics merge(const std::vector<const SessionMetrics*>& runs);
 SessionMetrics merge(const std::vector<SessionMetrics>& runs);
 
 }  // namespace poi360::metrics

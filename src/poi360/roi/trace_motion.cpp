@@ -17,7 +17,7 @@ void MotionTrace::add(SimTime t, Orientation orientation) {
   orientations_.push_back(orientation);
 }
 
-Orientation MotionTrace::orientation_at(SimTime t) {
+Orientation MotionTrace::orientation_at(SimTime t) const {
   if (times_.empty()) throw std::logic_error("empty motion trace");
   if (t <= times_.front()) return orientations_.front();
   if (t >= times_.back()) return orientations_.back();

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "poi360/roi/head_motion.h"
@@ -20,8 +22,12 @@ class MotionTrace : public HeadMotionModel {
   std::size_t size() const { return times_.size(); }
 
   /// Linear interpolation between samples (shortest-path in yaw); clamps at
-  /// the ends. Throws when empty.
-  Orientation orientation_at(SimTime t) override;
+  /// the ends. Throws when empty. Const (a trace is pure recorded data), so
+  /// one trace can be read concurrently by every run of a parallel grid.
+  Orientation orientation_at(SimTime t) const;
+  Orientation orientation_at(SimTime t) override {
+    return std::as_const(*this).orientation_at(t);
+  }
 
   /// Records `duration` of another model at `step` granularity.
   static MotionTrace record(HeadMotionModel& model, SimDuration duration,
@@ -34,6 +40,22 @@ class MotionTrace : public HeadMotionModel {
  private:
   std::vector<SimTime> times_;
   std::vector<Orientation> orientations_;
+};
+
+/// Replays a shared immutable trace through the HeadMotionModel interface
+/// without copying it: the sessions of a parallel sweep all hold the same
+/// `shared_ptr<const MotionTrace>` and only ever call the const accessor.
+class MotionTraceView : public HeadMotionModel {
+ public:
+  explicit MotionTraceView(std::shared_ptr<const MotionTrace> trace)
+      : trace_(std::move(trace)) {}
+
+  Orientation orientation_at(SimTime t) override {
+    return trace_->orientation_at(t);
+  }
+
+ private:
+  std::shared_ptr<const MotionTrace> trace_;
 };
 
 }  // namespace poi360::roi

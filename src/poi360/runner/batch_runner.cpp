@@ -1,0 +1,129 @@
+#include "poi360/runner/batch_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "poi360/core/session.h"
+
+namespace poi360::runner {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool matches(const RunResult& run, const BatchResult::Where& where) {
+  for (const auto& [axis, label] : where) {
+    if (run.spec.param(axis) != label) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t BatchResult::ok_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(runs.begin(), runs.end(),
+                    [](const RunResult& r) { return r.ok; }));
+}
+
+std::vector<const RunResult*> BatchResult::select(const Where& where) const {
+  std::vector<const RunResult*> out;
+  for (const RunResult& run : runs) {
+    if (matches(run, where)) out.push_back(&run);
+  }
+  return out;
+}
+
+std::vector<const metrics::SessionMetrics*> BatchResult::metrics_where(
+    const Where& where) const {
+  std::vector<const metrics::SessionMetrics*> out;
+  for (const RunResult& run : runs) {
+    if (run.ok && matches(run, where)) out.push_back(&run.metrics);
+  }
+  return out;
+}
+
+metrics::SessionMetrics BatchResult::merged(const Where& where) const {
+  return metrics::merge(metrics_where(where));
+}
+
+RunResult execute_run(const RunSpec& spec) {
+  RunResult out;
+  out.spec = spec;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    core::Session session(spec.config);
+    session.run();
+    out.metrics = session.metrics();
+    out.metrics.set_run_id(spec.run_id);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  } catch (...) {
+    out.error = "unknown exception";
+  }
+  out.wall_seconds = seconds_since(t0);
+  return out;
+}
+
+int BatchRunner::resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  if (const char* env = std::getenv("POI360_JOBS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
+  return run(spec.expand(), spec.name());
+}
+
+BatchResult BatchRunner::run(std::vector<RunSpec> specs,
+                             std::string experiment) const {
+  BatchResult result;
+  result.experiment = std::move(experiment);
+  const int total = static_cast<int>(specs.size());
+  result.jobs = std::max(1, std::min(resolve_jobs(options_.jobs), total));
+  result.runs.resize(specs.size());
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Each worker claims the next unstarted index and writes its own result
+  // slot, so the output order is the grid order by construction.
+  std::atomic<std::size_t> next{0};
+  std::mutex progress_mutex;
+  int completed = 0;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= specs.size()) return;
+      result.runs[i] = execute_run(specs[i]);
+      if (options_.on_progress) {
+        std::lock_guard<std::mutex> lock(progress_mutex);
+        options_.on_progress(result.runs[i], ++completed, total);
+      }
+    }
+  };
+
+  if (result.jobs == 1) {
+    worker();  // inline: no thread overhead for serial batches
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(result.jobs));
+    for (int j = 0; j < result.jobs; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  result.wall_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace poi360::runner

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "poi360/metrics/session_metrics.h"
+#include "poi360/runner/experiment_spec.h"
+
+// Parallel batch execution of experiment grids. Each core::Session owns its
+// own Simulator and Rng and shares nothing mutable, so runs are
+// embarrassingly parallel; the runner farms the expanded grid over a fixed
+// worker pool and returns results in grid order regardless of which worker
+// finished when.
+
+namespace poi360::runner {
+
+/// Outcome of one run: the spec it executed, its metrics (when it
+/// completed), or the captured error (when it threw). A crashed run never
+/// aborts the batch.
+struct RunResult {
+  RunSpec spec;
+  bool ok = false;
+  std::string error;
+  metrics::SessionMetrics metrics;  // run_id() == spec.run_id when ok
+  double wall_seconds = 0.0;
+};
+
+/// Results of a whole batch, always in grid (run_id) order.
+struct BatchResult {
+  /// Conjunction of (axis name, value label) requirements.
+  using Where = std::vector<std::pair<std::string, std::string>>;
+
+  std::string experiment;
+  int jobs = 1;           // worker count actually used
+  double wall_seconds = 0.0;
+  std::vector<RunResult> runs;
+
+  std::size_t ok_count() const;
+  std::size_t failed_count() const { return runs.size() - ok_count(); }
+
+  /// Runs (in grid order) whose axis labels match all `where` clauses.
+  std::vector<const RunResult*> select(const Where& where = {}) const;
+
+  /// Metrics of the *successful* matching runs, in grid order.
+  std::vector<const metrics::SessionMetrics*> metrics_where(
+      const Where& where = {}) const;
+
+  /// Pools the successful matching runs into one metrics object
+  /// (deterministic: merge order is grid order, never completion order).
+  metrics::SessionMetrics merged(const Where& where = {}) const;
+};
+
+/// Executes one RunSpec on the calling thread, capturing any exception.
+RunResult execute_run(const RunSpec& spec);
+
+/// Fixed-worker-pool batch executor.
+class BatchRunner {
+ public:
+  struct Options {
+    /// Worker threads; 0 = auto (POI360_JOBS env var when set, else
+    /// std::thread::hardware_concurrency). Clamped to the batch size.
+    int jobs = 0;
+    /// Invoked after each run completes, serialized under a lock, with the
+    /// result and the completed/total counts. Completion order is
+    /// scheduling-dependent; only the *results* are ordered.
+    std::function<void(const RunResult&, int completed, int total)>
+        on_progress;
+  };
+
+  BatchRunner() = default;
+  explicit BatchRunner(Options options) : options_(std::move(options)) {}
+
+  /// Resolves `jobs = 0` the way run() will (env override, hardware
+  /// concurrency), before clamping to any batch size.
+  static int resolve_jobs(int jobs);
+
+  BatchResult run(const ExperimentSpec& spec) const;
+  BatchResult run(std::vector<RunSpec> specs,
+                  std::string experiment = {}) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace poi360::runner

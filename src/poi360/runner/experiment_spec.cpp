@@ -1,0 +1,104 @@
+#include "poi360/runner/experiment_spec.h"
+
+#include <stdexcept>
+
+namespace poi360::runner {
+
+std::uint64_t derive_seed(std::uint64_t seed0, int repeat) {
+  if (repeat < 0) throw std::invalid_argument("negative repeat index");
+  return seed0 + static_cast<std::uint64_t>(repeat) * kSeedStride;
+}
+
+std::string RunSpec::param(const std::string& axis) const {
+  for (const auto& [name, label] : params) {
+    if (name == axis) return label;
+  }
+  return {};
+}
+
+std::string RunSpec::label() const {
+  std::string out;
+  for (const auto& [name, value] : params) {
+    if (!out.empty()) out += '/';
+    out += name + '=' + value;
+  }
+  if (out.empty()) out = experiment.empty() ? "run" : experiment;
+  return out + '#' + std::to_string(repeat);
+}
+
+ExperimentSpec& ExperimentSpec::axis(std::string axis_name,
+                                     std::vector<AxisPoint> points) {
+  if (points.empty()) {
+    throw std::invalid_argument("axis '" + axis_name + "' has no values");
+  }
+  for (const auto& existing : axes_) {
+    if (existing.name == axis_name) {
+      throw std::invalid_argument("duplicate axis '" + axis_name + "'");
+    }
+  }
+  axes_.push_back({std::move(axis_name), std::move(points)});
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::repeats(int n) {
+  if (n < 1) throw std::invalid_argument("repeats must be >= 1");
+  repeats_ = n;
+  return *this;
+}
+
+std::vector<std::uint64_t> ExperimentSpec::seed_set() const {
+  if (!explicit_seeds_.empty()) return explicit_seeds_;
+  std::vector<std::uint64_t> out;
+  out.reserve(static_cast<std::size_t>(repeats_));
+  for (int r = 0; r < repeats_; ++r) out.push_back(derive_seed(seed0_, r));
+  return out;
+}
+
+std::size_t ExperimentSpec::total_runs() const {
+  std::size_t n = explicit_seeds_.empty() ? static_cast<std::size_t>(repeats_)
+                                          : explicit_seeds_.size();
+  for (const auto& axis : axes_) n *= axis.points.size();
+  return n;
+}
+
+std::vector<RunSpec> ExperimentSpec::expand() const {
+  const std::vector<std::uint64_t> seeds = seed_set();
+  std::vector<RunSpec> out;
+  out.reserve(total_runs());
+
+  // Row-major multi-index over the axes (first axis outermost).
+  std::vector<std::size_t> index(axes_.size(), 0);
+  while (true) {
+    core::SessionConfig config = base_;
+    std::vector<std::pair<std::string, std::string>> params;
+    params.reserve(axes_.size());
+    for (std::size_t a = 0; a < axes_.size(); ++a) {
+      const AxisPoint& point = axes_[a].points[index[a]];
+      if (point.apply) point.apply(config);
+      params.emplace_back(axes_[a].name, point.label);
+    }
+    for (std::size_t r = 0; r < seeds.size(); ++r) {
+      RunSpec run;
+      run.run_id = static_cast<int>(out.size());
+      run.experiment = name_;
+      run.params = params;
+      run.repeat = static_cast<int>(r);
+      run.seed = seeds[r];
+      run.config = config;
+      run.config.seed = seeds[r];
+      out.push_back(std::move(run));
+    }
+
+    // Advance the multi-index (last axis fastest); done when it wraps.
+    std::size_t a = axes_.size();
+    while (a > 0) {
+      --a;
+      if (++index[a] < axes_[a].points.size()) break;
+      index[a] = 0;
+      if (a == 0) return out;
+    }
+    if (axes_.empty()) return out;
+  }
+}
+
+}  // namespace poi360::runner

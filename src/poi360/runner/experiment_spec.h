@@ -1,0 +1,164 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "poi360/core/config.h"
+
+// Declarative experiment grids. An ExperimentSpec is a base SessionConfig
+// plus named parameter axes and a seed set; `expand()` turns it into a
+// deterministic list of fully-resolved runs that a BatchRunner executes in
+// parallel. This replaces the per-bench for-loops: the grid (not the loop
+// nesting) is the source of truth, so results can be selected, merged and
+// emitted by axis value.
+
+namespace poi360::runner {
+
+/// Default first seed of a repeat set (matches the historical bench
+/// harness, keeping every recorded figure replayable).
+inline constexpr std::uint64_t kDefaultSeed0 = 1000;
+
+/// Stride between consecutive repeat seeds (prime, for decorrelation).
+inline constexpr std::uint64_t kSeedStride = 7919;
+
+/// THE seed-derivation contract — documented and implemented exactly once.
+///
+/// Repeat `r` of *any* grid point runs with `seed0 + r * kSeedStride`.
+/// Seeds are a function of the repeat index only, never of the axis point,
+/// so (a) every condition in a grid faces the same viewer/channel
+/// realizations (paired comparisons, as the paper's 5-users x 10-runs
+/// protocol intends), and (b) adding or removing axes or axis values never
+/// changes the seeds of the conditions that stay — grids remain replayable
+/// across spec edits.
+std::uint64_t derive_seed(std::uint64_t seed0, int repeat);
+
+/// One labeled value on an axis: a name for reports plus the config
+/// mutation it stands for. Mutations are applied to a copy of the base
+/// config, in axis-declaration order.
+struct AxisPoint {
+  std::string label;
+  std::function<void(core::SessionConfig&)> apply;
+};
+
+/// One named parameter axis.
+struct Axis {
+  std::string name;
+  std::vector<AxisPoint> points;
+};
+
+/// One fully-resolved run of the expanded grid. `run_id` is the run's
+/// identity: its position in the deterministic row-major expansion, used to
+/// order results independently of scheduling.
+struct RunSpec {
+  int run_id = 0;
+  std::string experiment;
+  /// (axis name, value label) in axis-declaration order.
+  std::vector<std::pair<std::string, std::string>> params;
+  int repeat = 0;
+  std::uint64_t seed = 0;
+  core::SessionConfig config;
+
+  /// Label of the given axis; empty when the axis does not exist.
+  std::string param(const std::string& axis) const;
+
+  /// Human-readable identity, e.g. "network=cellular/scheme=POI360#3".
+  std::string label() const;
+};
+
+/// Builder for an experiment grid.
+///
+///   auto spec = ExperimentSpec(bench::micro_config(...))
+///                   .name("fig11")
+///                   .axis("scheme", {{"POI360", set_poi360}, ...})
+///                   .sweep("K", {3, 5, 10}, [](auto& c, int k) { ... })
+///                   .repeats(10);
+///
+/// Expansion is row-major over the axes in declaration order (first axis
+/// outermost), with the repeat index innermost — the same order the old
+/// hand-written bench loops used.
+class ExperimentSpec {
+ public:
+  ExperimentSpec() = default;
+  explicit ExperimentSpec(core::SessionConfig base) : base_(std::move(base)) {}
+
+  ExperimentSpec& name(std::string n) {
+    name_ = std::move(n);
+    return *this;
+  }
+  ExperimentSpec& base(core::SessionConfig b) {
+    base_ = std::move(b);
+    return *this;
+  }
+
+  /// Adds a named axis. Throws on an empty axis or a duplicate name.
+  ExperimentSpec& axis(std::string axis_name, std::vector<AxisPoint> points);
+
+  /// Numeric/string axis convenience: labels each value with to-string and
+  /// applies `fn(config, value)`.
+  template <typename T, typename Fn>
+  ExperimentSpec& sweep(std::string axis_name, std::initializer_list<T> values,
+                        Fn fn) {
+    return sweep(std::move(axis_name), std::vector<T>(values), std::move(fn));
+  }
+  template <typename T, typename Fn>
+  ExperimentSpec& sweep(std::string axis_name, const std::vector<T>& values,
+                        Fn fn) {
+    std::vector<AxisPoint> points;
+    points.reserve(values.size());
+    for (const T& v : values) {
+      points.push_back(
+          {axis_label(v), [fn, v](core::SessionConfig& c) { fn(c, v); }});
+    }
+    return axis(std::move(axis_name), std::move(points));
+  }
+
+  /// Number of seeded repeats per grid point (default 1). Throws on n < 1.
+  ExperimentSpec& repeats(int n);
+
+  /// First seed of the derived repeat set (see derive_seed).
+  ExperimentSpec& seed0(std::uint64_t s) {
+    seed0_ = s;
+    return *this;
+  }
+
+  /// Explicit seed set; overrides repeats()/seed0() when non-empty.
+  ExperimentSpec& seeds(std::vector<std::uint64_t> explicit_seeds) {
+    explicit_seeds_ = std::move(explicit_seeds);
+    return *this;
+  }
+
+  const std::string& name() const { return name_; }
+  const core::SessionConfig& base() const { return base_; }
+  const std::vector<Axis>& axes() const { return axes_; }
+
+  /// Seeds one grid point will run with (explicit set, or derived).
+  std::vector<std::uint64_t> seed_set() const;
+
+  /// Total number of runs in the expanded grid.
+  std::size_t total_runs() const;
+
+  /// Deterministic row-major expansion into fully-resolved runs.
+  std::vector<RunSpec> expand() const;
+
+ private:
+  static std::string axis_label(const std::string& v) { return v; }
+  static std::string axis_label(const char* v) { return v; }
+  static std::string axis_label(bool v) { return v ? "true" : "false"; }
+  template <typename T>
+  static std::string axis_label(T v) {
+    return std::to_string(v);
+  }
+
+  std::string name_;
+  core::SessionConfig base_{};
+  std::vector<Axis> axes_;
+  int repeats_ = 1;
+  std::uint64_t seed0_ = kDefaultSeed0;
+  std::vector<std::uint64_t> explicit_seeds_;
+};
+
+}  // namespace poi360::runner

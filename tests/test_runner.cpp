@@ -1,0 +1,256 @@
+// Tests for the ExperimentSpec/BatchRunner subsystem: grid expansion and
+// the seed contract, deterministic (byte-identical) parallel execution,
+// per-run exception capture, order-invariant metrics::merge, and the
+// result emitters. Built as a separate binary carrying the ctest label
+// "runner" so it can be exercised under -DPOI360_SANITIZE=thread with
+// `ctest -L runner`.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "poi360/core/config.h"
+#include "poi360/runner/batch_runner.h"
+#include "poi360/runner/experiment_spec.h"
+#include "poi360/runner/result_io.h"
+#include "util/experiment.h"
+
+namespace poi360::runner {
+namespace {
+
+core::SessionConfig short_config(SimDuration duration = sec(5)) {
+  return bench::micro_config(core::CompressionScheme::kPoi360,
+                             core::NetworkType::kCellular, duration);
+}
+
+BatchRunner::Options jobs_opts(int jobs) {
+  BatchRunner::Options options;
+  options.jobs = jobs;
+  return options;
+}
+
+// Strips the scheduling-dependent metadata (timing, worker count) so
+// emitter output can be compared byte-for-byte between serial and
+// parallel executions of the same grid.
+BatchResult without_wall_clock(BatchResult batch) {
+  batch.wall_seconds = 0.0;
+  batch.jobs = 1;
+  for (RunResult& r : batch.runs) r.wall_seconds = 0.0;
+  return batch;
+}
+
+TEST(DeriveSeed, MatchesContract) {
+  EXPECT_EQ(derive_seed(kDefaultSeed0, 0), 1000u);
+  EXPECT_EQ(derive_seed(kDefaultSeed0, 1), 1000u + kSeedStride);
+  EXPECT_EQ(derive_seed(5, 4), 5u + 4u * kSeedStride);
+}
+
+TEST(ExperimentSpec, ExpandsRowMajorWithRepeatInnermost) {
+  ExperimentSpec spec(short_config());
+  spec.name("grid")
+      .axis("net", {{"a", {}}, {"b", {}}})
+      .sweep("K", {3, 5},
+             [](core::SessionConfig& c, int k) { c.fbcc.detector.k = k; })
+      .repeats(2);
+
+  ASSERT_EQ(spec.total_runs(), 8u);
+  const auto runs = spec.expand();
+  ASSERT_EQ(runs.size(), 8u);
+  // First axis outermost, repeats innermost.
+  EXPECT_EQ(runs[0].param("net"), "a");
+  EXPECT_EQ(runs[0].param("K"), "3");
+  EXPECT_EQ(runs[1].param("K"), "3");
+  EXPECT_EQ(runs[1].repeat, 1);
+  EXPECT_EQ(runs[2].param("K"), "5");
+  EXPECT_EQ(runs[4].param("net"), "b");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].run_id, static_cast<int>(i));
+    // The seed contract: seeds depend on the repeat index only.
+    EXPECT_EQ(runs[i].seed, derive_seed(kDefaultSeed0, runs[i].repeat));
+    EXPECT_EQ(runs[i].config.seed, runs[i].seed);
+  }
+  EXPECT_EQ(runs[2].config.fbcc.detector.k, 5);
+  EXPECT_EQ(runs[0].config.fbcc.detector.k, 3);
+}
+
+TEST(ExperimentSpec, ExplicitSeedsOverrideRepeats) {
+  ExperimentSpec spec(short_config());
+  spec.repeats(4).seeds({42, 99});
+  const auto runs = spec.expand();
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0].seed, 42u);
+  EXPECT_EQ(runs[1].seed, 99u);
+}
+
+TEST(ExperimentSpec, RejectsMalformedGrids) {
+  ExperimentSpec spec(short_config());
+  EXPECT_THROW(spec.axis("empty", {}), std::invalid_argument);
+  spec.axis("dup", {{"x", {}}});
+  EXPECT_THROW(spec.axis("dup", {{"y", {}}}), std::invalid_argument);
+  EXPECT_THROW(spec.repeats(0), std::invalid_argument);
+}
+
+TEST(BatchRunner, ParallelResultsAreByteIdenticalToSerial) {
+  ExperimentSpec spec(short_config());
+  spec.name("determinism")
+      .axis("rc", {{"fbcc",
+                    [](core::SessionConfig& c) {
+                      c.rate_control = core::RateControl::kFbcc;
+                    }},
+                   {"gcc",
+                    [](core::SessionConfig& c) {
+                      c.rate_control = core::RateControl::kGcc;
+                    }}})
+      .repeats(3);
+
+  const auto serial =
+      without_wall_clock(BatchRunner(jobs_opts(1)).run(spec));
+  const auto parallel =
+      without_wall_clock(BatchRunner(jobs_opts(4)).run(spec));
+
+  ASSERT_EQ(serial.runs.size(), parallel.runs.size());
+  EXPECT_EQ(to_csv(serial), to_csv(parallel));
+  EXPECT_EQ(to_json(serial), to_json(parallel));
+  // Beyond the summary rows: the full per-frame streams must agree.
+  for (std::size_t i = 0; i < serial.runs.size(); ++i) {
+    ASSERT_TRUE(serial.runs[i].ok);
+    const auto& a = serial.runs[i].metrics.frames();
+    const auto& b = parallel.runs[i].metrics.frames();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t f = 0; f < a.size(); ++f) {
+      EXPECT_EQ(a[f].frame_id, b[f].frame_id);
+      EXPECT_EQ(a[f].display_time, b[f].display_time);
+      EXPECT_DOUBLE_EQ(a[f].roi_psnr_db, b[f].roi_psnr_db);
+    }
+  }
+}
+
+TEST(BatchRunner, CapturesPerRunExceptionsWithoutAbortingTheBatch) {
+  // FBCC over wireline is rejected by the Session constructor; the
+  // poisoned grid point must be recorded as a failure while every other
+  // run completes normally.
+  ExperimentSpec spec(short_config());
+  spec.name("poisoned")
+      .axis("cfg", {{"ok", {}},
+                    {"poisoned",
+                     [](core::SessionConfig& c) {
+                       c.network = core::NetworkType::kWireline;
+                       c.rate_control = core::RateControl::kFbcc;
+                     }}})
+      .repeats(2);
+
+  const auto batch = BatchRunner(jobs_opts(2)).run(spec);
+  ASSERT_EQ(batch.runs.size(), 4u);
+  EXPECT_EQ(batch.ok_count(), 2u);
+  EXPECT_EQ(batch.failed_count(), 2u);
+  for (const RunResult& r : batch.runs) {
+    if (r.spec.param("cfg") == "ok") {
+      EXPECT_TRUE(r.ok);
+      EXPECT_GT(r.metrics.displayed_frames(), 0);
+      EXPECT_EQ(r.metrics.run_id(), r.spec.run_id);
+    } else {
+      EXPECT_FALSE(r.ok);
+      EXPECT_NE(r.error.find("FBCC requires the cellular network"),
+                std::string::npos);
+    }
+  }
+  // Selection helpers skip failed runs but keep grid order.
+  EXPECT_EQ(batch.metrics_where({{"cfg", "poisoned"}}).size(), 0u);
+  EXPECT_EQ(batch.metrics_where({{"cfg", "ok"}}).size(), 2u);
+  EXPECT_GT(batch.merged({{"cfg", "ok"}}).displayed_frames(), 0);
+}
+
+TEST(BatchRunner, JobsOneMatchesJobsNOnMicroConfig) {
+  // The --jobs golden check from the bench harness, in miniature.
+  ExperimentSpec spec(bench::micro_config(core::CompressionScheme::kPoi360,
+                                          core::NetworkType::kCellular,
+                                          sec(5)));
+  spec.name("micro").repeats(4);
+  const auto j1 = without_wall_clock(BatchRunner(jobs_opts(1)).run(spec));
+  const auto j8 = without_wall_clock(BatchRunner(jobs_opts(8)).run(spec));
+  EXPECT_EQ(to_csv(j1), to_csv(j8));
+  EXPECT_DOUBLE_EQ(j1.merged().mean_roi_psnr(), j8.merged().mean_roi_psnr());
+}
+
+TEST(BatchRunner, ProgressCallbackSeesEveryRunExactlyOnce) {
+  ExperimentSpec spec(short_config(sec(2)));
+  spec.repeats(5);
+  std::atomic<int> calls{0};
+  std::vector<bool> seen(5, false);
+  std::atomic<int> max_completed{0};
+  BatchRunner::Options options;
+  options.jobs = 3;
+  options.on_progress = [&](const RunResult& r, int completed, int total) {
+    // The callback itself is serialized by the runner.
+    ++calls;
+    EXPECT_EQ(total, 5);
+    EXPECT_GE(completed, 1);
+    EXPECT_LE(completed, 5);
+    ASSERT_LT(static_cast<std::size_t>(r.spec.run_id), seen.size());
+    EXPECT_FALSE(seen[r.spec.run_id]);
+    seen[r.spec.run_id] = true;
+    max_completed = std::max(max_completed.load(), completed);
+  };
+  const auto batch = BatchRunner(options).run(spec);
+  EXPECT_EQ(batch.runs.size(), 5u);
+  EXPECT_EQ(calls.load(), 5);
+  EXPECT_EQ(max_completed.load(), 5);
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool b) { return b; }));
+}
+
+TEST(BatchRunner, ResolveJobs) {
+  EXPECT_EQ(BatchRunner::resolve_jobs(3), 3);
+  EXPECT_GE(BatchRunner::resolve_jobs(0), 1);
+#ifndef _WIN32
+  ::setenv("POI360_JOBS", "2", 1);
+  EXPECT_EQ(BatchRunner::resolve_jobs(0), 2);
+  EXPECT_EQ(BatchRunner::resolve_jobs(5), 5);  // explicit wins over env
+  ::unsetenv("POI360_JOBS");
+#endif
+}
+
+TEST(MetricsMerge, OrderInvariant) {
+  ExperimentSpec spec(short_config(sec(3)));
+  spec.repeats(3);
+  const auto batch = BatchRunner(jobs_opts(1)).run(spec);
+  ASSERT_EQ(batch.ok_count(), 3u);
+
+  std::vector<const metrics::SessionMetrics*> fwd = batch.metrics_where();
+  std::vector<const metrics::SessionMetrics*> rev(fwd.rbegin(), fwd.rend());
+  std::vector<const metrics::SessionMetrics*> rot = {fwd[1], fwd[2], fwd[0]};
+
+  const auto a = metrics::merge(fwd);
+  const auto b = metrics::merge(rev);
+  const auto c = metrics::merge(rot);
+  EXPECT_EQ(a.displayed_frames(), b.displayed_frames());
+  EXPECT_DOUBLE_EQ(a.mean_roi_psnr(), b.mean_roi_psnr());
+  EXPECT_DOUBLE_EQ(a.mean_roi_psnr(), c.mean_roi_psnr());
+  ASSERT_EQ(a.frames().size(), b.frames().size());
+  for (std::size_t i = 0; i < a.frames().size(); ++i) {
+    // Identical frame streams element-for-element, not just in aggregate.
+    EXPECT_EQ(a.frames()[i].frame_id, b.frames()[i].frame_id);
+    EXPECT_EQ(a.frames()[i].capture_time, c.frames()[i].capture_time);
+    EXPECT_DOUBLE_EQ(a.frames()[i].roi_psnr_db, c.frames()[i].roi_psnr_db);
+  }
+}
+
+TEST(ResultIo, CsvEscapesAndJsonParsesShape) {
+  ExperimentSpec spec(short_config(sec(2)));
+  spec.name("io,with \"quotes\"")
+      .axis("label", {{"a,b \"c\"", {}}})
+      .repeats(1);
+  const auto batch = BatchRunner(jobs_opts(1)).run(spec);
+  const std::string csv = to_csv(batch);
+  EXPECT_NE(csv.find("\"a,b \"\"c\"\"\""), std::string::npos);
+  const std::string json = to_json(batch);
+  EXPECT_NE(json.find("\\\"c\\\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+}  // namespace
+}  // namespace poi360::runner
