@@ -6,6 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iterator>
+#include <string>
+#include <string_view>
+#include <vector>
+
 #include "poi360/core/adaptive_compression.h"
 #include "poi360/core/fbcc.h"
 #include "poi360/core/mismatch.h"
@@ -28,11 +33,26 @@ static void BM_CompressionMatrix(benchmark::State& state) {
 }
 BENCHMARK(BM_CompressionMatrix);
 
+// The per-frame path in Session: the (mode, ROI) matrix comes out of the
+// ModeMatrixCache instead of being rebuilt.
+static void BM_CompressionMatrixCached(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  const video::GeometricMode mode(1.4);
+  video::ModeMatrixCache cache(grid);
+  cache.add_mode(3, mode);
+  int i = 0;
+  for (auto _ : state) {
+    auto m = cache.matrix(3, {i++ % grid.cols(), 4});
+    benchmark::DoNotOptimize(m.effective_tiles());
+  }
+}
+BENCHMARK(BM_CompressionMatrixCached);
+
 static void BM_EncodeFrame(benchmark::State& state) {
   const auto grid = video::TileGrid::paper_default();
   video::PanoramicEncoder encoder(grid, {});
   const video::GeometricMode mode(1.4);
-  const auto matrix = mode.matrix_for(grid, {6, 4});
+  const video::CompressionMatrixView matrix(mode.matrix_for(grid, {6, 4}));
   for (auto _ : state) {
     auto frame = encoder.encode(0, {6, 4}, 3, matrix, mbps(3));
     benchmark::DoNotOptimize(frame.bytes);
@@ -116,4 +136,79 @@ static void BM_SimulatorEvents(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEvents);
 
-BENCHMARK_MAIN();
+// One-shot events whose capture is the size of a DelayLink packet delivery
+// ([this, RtpPacket, SimTime] = 72 bytes) — far past std::function's
+// inline buffer, so this is the allocation behaviour of every packet
+// crossing a link.
+static void BM_SimulatorPayloadEvents(benchmark::State& state) {
+  struct Payload {
+    std::int64_t words[9];
+  };
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    long counter = 0;
+    Payload payload{};
+    payload.words[0] = 1;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_at(
+          msec(i), [&counter, payload]() { counter += payload.words[0]; });
+    }
+    simulator.run_until(sec(2));
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorPayloadEvents);
+
+// A session's fixed-cadence streams over one simulated second: the 1 ms
+// subframe tick, the 5 ms pacer tick, frame capture (~28 ms), and the
+// 40 ms diag report. This is the dominant event population of every run.
+static void BM_SimulatorPeriodic(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    long counter = 0;
+    simulator.schedule_periodic(msec(1), msec(1), [&counter]() { ++counter; });
+    simulator.schedule_periodic(msec(5), msec(5), [&counter]() { ++counter; });
+    simulator.schedule_periodic(msec(28), msec(28),
+                                [&counter]() { ++counter; });
+    simulator.schedule_periodic(msec(40), msec(40),
+                                [&counter]() { ++counter; });
+    simulator.run_until(sec(1));
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * 1285);
+}
+BENCHMARK(BM_SimulatorPeriodic);
+
+// Entry point: google-benchmark's main plus an `--out-json <path>` alias for
+// `--benchmark_out=<path> --benchmark_out_format=json`, matching the flag
+// the experiment benches take and what tools/check_perf.py consumes.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  for (auto it = args.begin(); it != args.end(); ++it) {
+    const std::string_view a(*it);
+    if (a == "--out-json" && std::next(it) != args.end()) {
+      out_flag = std::string("--benchmark_out=") + *std::next(it);
+      it = args.erase(it, it + 2);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+    if (a.rfind("--out-json=", 0) == 0) {
+      out_flag =
+          std::string("--benchmark_out=") + std::string(a.substr(11));
+      it = args.erase(it);
+      args.push_back(out_flag.data());
+      args.push_back(fmt_flag.data());
+      break;
+    }
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,17 @@
+# Helper for the perf_gate ctest target: run bench_micro_perf with JSON
+# output, then compare against the committed baseline with check_perf.py.
+# Variables: BENCH_BIN, CHECK_PY, BASELINE, PYTHON, OUT_JSON.
+
+execute_process(
+  COMMAND ${BENCH_BIN} --benchmark_min_time=0.5 --out-json ${OUT_JSON}
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_micro_perf failed (rc=${bench_rc})")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${CHECK_PY} --baseline ${BASELINE} --current ${OUT_JSON}
+  RESULT_VARIABLE gate_rc)
+if(NOT gate_rc EQUAL 0)
+  message(FATAL_ERROR "perf gate failed (rc=${gate_rc})")
+endif()

@@ -18,6 +18,9 @@ class ConduitMode : public video::CompressionMode {
   /// (1 -> a 3x3-tile window, ~90° x 67° on the 12x8 grid).
   explicit ConduitMode(int fov_radius_tiles = 1, double non_roi_level = 256.0);
 
+  /// Pure in (dx, dy): evaluated once per distinct distance when the
+  /// session's ModeMatrixCache builds this mode's level LUT (keyed by
+  /// kModeId); per-frame paths never call it.
   double level(int dx, int dy) const override;
   std::string name() const override { return "conduit"; }
 

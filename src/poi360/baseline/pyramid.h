@@ -16,6 +16,9 @@ class PyramidMode : public video::CompressionMode {
  public:
   explicit PyramidMode(double c = 1.3, double max_level = 64.0);
 
+  /// Pure in (dx, dy): evaluated once per distinct distance when the
+  /// session's ModeMatrixCache builds this mode's level LUT (keyed by
+  /// kModeId); per-frame paths never call it.
   double level(int dx, int dy) const override;
   std::string name() const override { return "pyramid"; }
 

@@ -75,6 +75,8 @@ class AdaptiveCompressionController {
   }
 
   /// Convenience: full compression matrix for the sender's ROI knowledge.
+  /// Builds from scratch — per-frame paths should go through the session's
+  /// ModeMatrixCache (keyed by `mode_index()`) instead.
   video::CompressionMatrix matrix_for(const video::TileGrid& grid,
                                       video::TileIndex sender_roi) const {
     return current_mode().matrix_for(grid, sender_roi);

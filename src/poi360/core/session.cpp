@@ -16,6 +16,7 @@ Session::Session(SessionConfig config)
     : config_(config),
       grid_(config.grid_cols, config.grid_rows, config.frame_width_px,
             config.frame_height_px),
+      matrix_cache_(grid_),
       rng_(config.seed),
       encoder_(grid_, config.encoder),
       packetizer_(),
@@ -42,18 +43,27 @@ Session::Session(SessionConfig config)
         config_.head_motion, rng_.fork(0xA11CE).engine()());
   }
 
+  // One matrix cache serves every per-frame compression lookup: the adaptive
+  // table's K modes plus both baselines, keyed by mode id.
+  for (int m = 1; m <= config_.adaptive.num_modes; ++m) {
+    matrix_cache_.add_mode(m, adaptive_.table().mode(m));
+  }
+  matrix_cache_.add_mode(baseline::ConduitMode::kModeId, conduit_);
+  matrix_cache_.add_mode(baseline::PyramidMode::kModeId, pyramid_);
+
   // Per-mode quality-floor bitrates for the adaptive controller: the least
   // bits each mode's surviving pixels can cost at the encoder's maximum
   // quantizer (evaluated with the ROI on the equator; the row position only
-  // changes the clamped pitch distances marginally).
+  // changes the clamped pitch distances marginally). The matrices come out
+  // of the cache, which the capture path reuses for the same (mode, ROI).
   {
     std::vector<Bitrate> floors(
         static_cast<std::size_t>(config_.adaptive.num_modes) + 1, 0.0);
     const video::TileIndex center{grid_.cols() / 2, grid_.rows() / 2};
     for (int m = 1; m <= config_.adaptive.num_modes; ++m) {
-      const auto matrix = adaptive_.table().mode(m).matrix_for(grid_, center);
       floors[static_cast<std::size_t>(m)] =
-          config_.encoder.floor_bpp * matrix.effective_tiles() *
+          config_.encoder.floor_bpp *
+          matrix_cache_.matrix(m, center).effective_tiles() *
           static_cast<double>(grid_.tile_pixels()) * config_.encoder.fps;
     }
     adaptive_.set_mode_floor_rates(std::move(floors));
@@ -181,15 +191,15 @@ Bitrate Session::current_video_rate() const {
   return fbcc_ ? fbcc_->video_rate() : gcc_sender_.target();
 }
 
-video::CompressionMatrix Session::current_matrix_for(
+video::CompressionMatrixView Session::current_matrix_for(
     video::TileIndex roi) const {
   switch (config_.compression) {
     case CompressionScheme::kPoi360:
-      return adaptive_.matrix_for(grid_, roi);
+      return matrix_cache_.matrix(adaptive_.mode_index(), roi);
     case CompressionScheme::kConduit:
-      return conduit_.matrix_for(grid_, roi);
+      return matrix_cache_.matrix(baseline::ConduitMode::kModeId, roi);
     case CompressionScheme::kPyramid:
-      return pyramid_.matrix_for(grid_, roi);
+      return matrix_cache_.matrix(baseline::PyramidMode::kModeId, roi);
   }
   throw std::logic_error("unknown compression scheme");
 }
@@ -377,7 +387,7 @@ void Session::on_display(const rtp::RtpReceiver::CompletedFrame& f) {
   mismatch_tracker_.on_frame(now, delay, roi_level, min_level, actual_roi);
 
   const double psnr = video::roi_region_psnr(config_.quality, grid_,
-                                              frame.levels, actual_roi,
+                                              *frame.levels, actual_roi,
                                               frame.bpp);
   metrics_.add_frame(metrics::FrameRecord{
       .frame_id = f.frame_id,

@@ -90,7 +90,7 @@ class Session {
   void on_nack(const NackMsg& msg);
   void on_diag(const lte::DiagReport& report);
   Bitrate current_video_rate() const;
-  video::CompressionMatrix current_matrix_for(video::TileIndex roi) const;
+  video::CompressionMatrixView current_matrix_for(video::TileIndex roi) const;
   int current_mode_id() const;
 
   // Viewer side.
@@ -106,6 +106,9 @@ class Session {
 
   SessionConfig config_;
   video::TileGrid grid_;
+  // Memoized (mode, ROI) compression matrices shared by every per-frame
+  // lookup — adaptive modes 1..K plus both baselines (see compression.h).
+  video::ModeMatrixCache matrix_cache_;
   sim::Simulator sim_;
   Rng rng_;
 

@@ -1,50 +1,92 @@
 #include "poi360/sim/simulator.h"
 
-#include <memory>
+#include <limits>
 #include <utility>
 
 namespace poi360::sim {
 
+std::uint32_t Simulator::acquire_slot(Callback cb) {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(cb);
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(slots_.size());
+  slots_.push_back(std::move(cb));
+  return slot;
+}
+
 void Simulator::schedule_at(SimTime t, Callback cb) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(cb)});
+  queue_.push(Event{t, next_seq_++, acquire_slot(std::move(cb))});
 }
 
 void Simulator::schedule_periodic(SimTime start, SimDuration period,
                                   Callback cb) {
-  auto state =
-      std::make_shared<PeriodicState>(PeriodicState{period, std::move(cb)});
-  schedule_periodic_event(start, std::move(state));
+  if (start < now_) start = now_;
+  periodics_.push_back(PeriodicTimer{start, next_seq_++, period,
+                                     std::move(cb)});
 }
 
-void Simulator::schedule_periodic_event(SimTime t,
-                                        std::shared_ptr<PeriodicState> state) {
-  // Each firing schedules the next; the queued lambda owns the shared
-  // state but never a pointer to itself (a self-capturing std::function
-  // would be a shared_ptr cycle and leak every periodic timer).
-  schedule_at(t, [this, state]() {
-    state->cb();
-    schedule_periodic_event(now_ + state->period, state);
-  });
+bool Simulator::fire_next(SimTime horizon) {
+  // The earliest firing is the globally smallest (time, seq) across the
+  // one-shot heap and the periodic lane. Sessions run a handful of timers,
+  // so a linear scan beats maintaining a second heap.
+  bool from_periodic = false;
+  std::size_t timer_index = 0;
+  SimTime best_time = 0;
+  std::uint64_t best_seq = 0;
+  bool found = false;
+
+  if (!queue_.empty()) {
+    best_time = queue_.top().time;
+    best_seq = queue_.top().seq;
+    found = true;
+  }
+  for (std::size_t i = 0; i < periodics_.size(); ++i) {
+    const PeriodicTimer& timer = periodics_[i];
+    if (!found || timer.next < best_time ||
+        (timer.next == best_time && timer.seq < best_seq)) {
+      best_time = timer.next;
+      best_seq = timer.seq;
+      from_periodic = true;
+      timer_index = i;
+      found = true;
+    }
+  }
+  if (!found || best_time > horizon) return false;
+
+  now_ = best_time;
+  if (from_periodic) {
+    periodics_[timer_index].cb();
+    // Re-arm in place. The next firing draws its sequence number *after*
+    // the callback ran, exactly as when each firing re-scheduled itself
+    // through the queue: events the callback just scheduled at the same
+    // future timestamp keep their FIFO slot ahead of the timer's next turn.
+    PeriodicTimer& timer = periodics_[timer_index];
+    timer.seq = next_seq_++;
+    timer.next = now_ + timer.period;
+  } else {
+    const Event ev = queue_.top();
+    queue_.pop();
+    // Move the callback out before invoking: the callback may schedule new
+    // events, which can grow `slots_` and recycle this slot.
+    Callback cb = std::move(slots_[ev.slot]);
+    free_slots_.push_back(ev.slot);
+    cb();
+  }
+  return true;
 }
 
 void Simulator::run_until(SimTime end) {
-  while (!queue_.empty() && queue_.top().time <= end) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.time;
-    ev.cb();
+  while (fire_next(end)) {
   }
   if (now_ < end) now_ = end;
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.time;
-  ev.cb();
-  return true;
+  return fire_next(std::numeric_limits<SimTime>::max());
 }
 
 }  // namespace poi360::sim

@@ -1,12 +1,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <deque>
 #include <queue>
 #include <vector>
 
 #include "poi360/common/time.h"
+#include "poi360/sim/callback.h"
 
 namespace poi360::sim {
 
@@ -17,9 +17,29 @@ namespace poi360::sim {
 /// diagnostic reports, packet deliveries, and controller timers. Events at
 /// the same timestamp run in scheduling order (FIFO), which makes runs fully
 /// deterministic for a given seed.
+///
+/// Two lanes share one logical (time, seq) order:
+///
+///  * one-shot events go through a binary heap of 24-byte POD entries whose
+///    callbacks live in a recycled slot pool — `InlineCallback` keeps
+///    typical captures (an RTP packet, a completed frame) out of the heap
+///    allocator, and keeping the callable out of the priority queue keeps
+///    sift operations cheap;
+///  * periodic timers — the fixed-cadence streams that dominate a session
+///    (the 1 ms subframe tick, pacer ticks, diag reports, frame capture) —
+///    live in a dedicated lane: each firing advances the timer in place,
+///    so after setup a periodic stream never touches the heap *or* the
+///    priority queue.
+///
+/// The FIFO contract is preserved exactly across both lanes: every firing
+/// (one-shot or periodic) carries a sequence number, a periodic timer's
+/// next firing draws its sequence number after the current callback ran
+/// (so events the callback schedules sort ahead of the timer's next turn,
+/// just as when each firing re-scheduled itself through the queue), and
+/// the engine always fires the globally smallest (time, seq).
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   /// Current simulated time.
   SimTime now() const { return now_; }
@@ -43,20 +63,15 @@ class Simulator {
   /// Runs a single event if one is pending; returns false when idle.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const {
+    return queue_.size() + periodics_.size();
+  }
 
  private:
-  struct PeriodicState {
-    SimDuration period;
-    Callback cb;
-  };
-  void schedule_periodic_event(SimTime t,
-                               std::shared_ptr<PeriodicState> state);
-
   struct Event {
     SimTime time;
-    std::uint64_t seq;  // tie-breaker: FIFO among same-time events
-    Callback cb;
+    std::uint64_t seq;   // tie-breaker: FIFO among same-time events
+    std::uint32_t slot;  // index of the callback in slots_
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -64,10 +79,29 @@ class Simulator {
       return a.seq > b.seq;
     }
   };
+  struct PeriodicTimer {
+    SimTime next;
+    std::uint64_t seq;  // refreshed after every firing
+    SimDuration period;
+    Callback cb;
+  };
+
+  /// Fires the earliest pending event across both lanes if its time is
+  /// <= `horizon`; returns false when nothing qualified.
+  bool fire_next(SimTime horizon);
+
+  std::uint32_t acquire_slot(Callback cb);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // One-shot callbacks, indexed by Event::slot and recycled through the
+  // free list; at steady state scheduling allocates nothing.
+  std::vector<Callback> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  // Timers are never cancelled; a deque keeps references stable while a
+  // firing callback registers new periodic streams.
+  std::deque<PeriodicTimer> periodics_;
 };
 
 }  // namespace poi360::sim

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace poi360::video {
 
@@ -14,6 +15,19 @@ CompressionMatrix::CompressionMatrix(int cols, int rows, double initial)
   }
 }
 
+CompressionMatrix::CompressionMatrix(int cols, int rows,
+                                     std::vector<double> levels)
+    : cols_(cols), rows_(rows), levels_(std::move(levels)) {
+  if (cols <= 0 || rows <= 0 ||
+      levels_.size() != static_cast<std::size_t>(cols) * rows) {
+    throw std::invalid_argument("bad CompressionMatrix");
+  }
+  for (double l : levels_) {
+    if (l < 1.0) throw std::invalid_argument("compression level < 1");
+  }
+  freeze();
+}
+
 std::size_t CompressionMatrix::index(TileIndex t) const {
   if (t.i < 0 || t.i >= cols_ || t.j < 0 || t.j >= rows_) {
     throw std::out_of_range("tile outside CompressionMatrix");
@@ -21,25 +35,83 @@ std::size_t CompressionMatrix::index(TileIndex t) const {
   return static_cast<std::size_t>(t.j) * cols_ + t.i;
 }
 
-double CompressionMatrix::min_level() const {
-  return *std::min_element(levels_.begin(), levels_.end());
-}
-
-double CompressionMatrix::effective_tiles() const {
+void CompressionMatrix::freeze() const {
+  // Same scans, same order as the old per-call implementations — the frozen
+  // values are bit-identical to what every call used to recompute.
+  min_level_ = *std::min_element(levels_.begin(), levels_.end());
   double sum = 0.0;
   for (double l : levels_) sum += 1.0 / l;
-  return sum;
+  effective_tiles_ = sum;
+  log2_levels_.resize(levels_.size());
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    log2_levels_[k] = std::log2(levels_[k]);
+  }
+  frozen_ = true;
 }
+
+std::vector<double> CompressionMode::level_lut(const TileGrid& grid) const {
+  const int max_dx = grid.cols() / 2;
+  const int rows = grid.rows();
+  std::vector<double> lut(static_cast<std::size_t>(max_dx + 1) * rows);
+  for (int dx = 0; dx <= max_dx; ++dx) {
+    for (int dy = 0; dy < rows; ++dy) {
+      lut[static_cast<std::size_t>(dx) * rows + dy] = level(dx, dy);
+    }
+  }
+  return lut;
+}
+
+namespace {
+
+/// Gathers the per-tile matrix for `roi` out of a mode's level LUT.
+/// The tile visit order matches the old direct construction, so the level
+/// vector — and therefore every frozen aggregate — is bit-identical.
+CompressionMatrix gather_from_lut(const std::vector<double>& lut,
+                                  const TileGrid& grid, TileIndex roi) {
+  const int rows = grid.rows();
+  std::vector<double> levels(static_cast<std::size_t>(grid.cols()) * rows);
+  for (int j = 0; j < rows; ++j) {
+    const int dy = grid.dy(j, roi.j);
+    for (int i = 0; i < grid.cols(); ++i) {
+      const int dx = grid.dx(i, roi.i);
+      levels[static_cast<std::size_t>(j) * grid.cols() + i] =
+          lut[static_cast<std::size_t>(dx) * rows + dy];
+    }
+  }
+  return CompressionMatrix(grid.cols(), rows, std::move(levels));
+}
+
+}  // namespace
 
 CompressionMatrix CompressionMode::matrix_for(const TileGrid& grid,
                                               TileIndex roi) const {
-  CompressionMatrix m(grid.cols(), grid.rows());
-  for (int j = 0; j < grid.rows(); ++j) {
-    for (int i = 0; i < grid.cols(); ++i) {
-      m.set({i, j}, level(grid.dx(i, roi.i), grid.dy(j, roi.j)));
-    }
+  return gather_from_lut(level_lut(grid), grid, roi);
+}
+
+ModeMatrixCache::ModeMatrixCache(const TileGrid& grid) : grid_(grid) {}
+
+void ModeMatrixCache::add_mode(int mode_id, const CompressionMode& mode) {
+  ModeEntry entry;
+  entry.lut = mode.level_lut(grid_);
+  entry.matrices.assign(static_cast<std::size_t>(grid_.tile_count()), nullptr);
+  modes_[mode_id] = std::move(entry);
+}
+
+CompressionMatrixView ModeMatrixCache::matrix(int mode_id,
+                                              TileIndex roi) const {
+  const auto it = modes_.find(mode_id);
+  if (it == modes_.end()) {
+    throw std::out_of_range("mode not registered in ModeMatrixCache");
   }
-  return m;
+  if (!grid_.contains(roi)) {
+    throw std::out_of_range("roi outside grid");
+  }
+  auto& slot = it->second.matrices[static_cast<std::size_t>(grid_.flat(roi))];
+  if (!slot) {
+    slot = std::make_shared<const CompressionMatrix>(
+        gather_from_lut(it->second.lut, grid_, roi));
+  }
+  return CompressionMatrixView(slot);
 }
 
 GeometricMode::GeometricMode(double c, double max_level)

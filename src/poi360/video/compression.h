@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cassert>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "poi360/video/tile_grid.h"
@@ -12,29 +14,107 @@ namespace poi360::video {
 ///
 /// The level l_ij is the paper's "ratio of tile size before and after
 /// compression" — i.e. the area reduction factor; l = 1 means uncompressed.
+///
+/// Aggregate views of the matrix — `min_level()`, `effective_tiles()`, and
+/// the per-tile `log2(l_ij)` the quality model charges as its downsampling
+/// penalty — are frozen on first use and invalidated by `set()`, so the
+/// immutable matrices served by `ModeMatrixCache` pay the scans exactly once
+/// instead of on every frame.
 class CompressionMatrix {
  public:
   CompressionMatrix(int cols, int rows, double initial = 1.0);
 
+  /// Builds directly from a row-major level vector (cache/builder path).
+  /// The aggregates are frozen immediately, so the result is safe to share
+  /// immutably.
+  CompressionMatrix(int cols, int rows, std::vector<double> levels);
+
   double at(TileIndex t) const { return levels_[index(t)]; }
-  void set(TileIndex t, double level) { levels_[index(t)] = level; }
+  void set(TileIndex t, double level) {
+    levels_[index(t)] = level;
+    frozen_ = false;
+  }
+
+  /// Unchecked hot-loop accessors: bounds are the caller's contract
+  /// (debug-asserted). The throwing `at()` stays the module-edge API.
+  double at_unchecked(int i, int j) const {
+    return levels_[unchecked_index(i, j)];
+  }
+  double at_unchecked(TileIndex t) const { return at_unchecked(t.i, t.j); }
+
+  /// Memoized log2 of the tile's level — the quality model's downsampling
+  /// penalty is `downsample_db_per_octave * log2(l)`, and recomputing the
+  /// log on all 15 FOV tiles of every displayed frame was pure waste.
+  double log2_at_unchecked(int i, int j) const {
+    if (!frozen_) freeze();
+    return log2_levels_[unchecked_index(i, j)];
+  }
 
   int cols() const { return cols_; }
   int rows() const { return rows_; }
 
   /// Minimum level across all tiles (the ROI center's level by design).
-  double min_level() const;
+  double min_level() const {
+    if (!frozen_) freeze();
+    return min_level_;
+  }
 
   /// Sum over tiles of 1/l_ij: the fraction of original pixels that survive
   /// compression, in units of tiles. Drives the encoder's pixel budget.
-  double effective_tiles() const;
+  double effective_tiles() const {
+    if (!frozen_) freeze();
+    return effective_tiles_;
+  }
 
  private:
   std::size_t index(TileIndex t) const;
+  std::size_t unchecked_index(int i, int j) const {
+    assert(i >= 0 && i < cols_ && j >= 0 && j < rows_);
+    return static_cast<std::size_t>(j) * cols_ + i;
+  }
+  void freeze() const;
 
   int cols_;
   int rows_;
   std::vector<double> levels_;
+
+  // Frozen aggregates (not thread-safe to race with first access; freeze
+  // before sharing across threads — the cache and matrix_for both do).
+  mutable std::vector<double> log2_levels_;
+  mutable double min_level_ = 1.0;
+  mutable double effective_tiles_ = 0.0;
+  mutable bool frozen_ = false;
+};
+
+/// Shared immutable handle to a CompressionMatrix, in the spirit of
+/// roi::MotionTraceView: every frame of a session points at the cache's
+/// matrix for its (mode, ROI) instead of carrying a private copy, so
+/// encoding, in-flight frame bookkeeping, and display-side quality
+/// evaluation are all allocation-free per frame.
+class CompressionMatrixView {
+ public:
+  CompressionMatrixView() = default;
+  explicit CompressionMatrixView(std::shared_ptr<const CompressionMatrix> m)
+      : matrix_(std::move(m)) {}
+  /// Owning wrap of an ad-hoc matrix (module edges, tests); copies once.
+  CompressionMatrixView(CompressionMatrix m)  // NOLINT: implicit by design
+      : matrix_(std::make_shared<const CompressionMatrix>(std::move(m))) {}
+
+  const CompressionMatrix& operator*() const { return *matrix_; }
+  const CompressionMatrix* operator->() const { return matrix_.get(); }
+  const CompressionMatrix* get() const { return matrix_.get(); }
+
+  // Forwarders so call sites read like the value type they replaced.
+  double at(TileIndex t) const { return matrix_->at(t); }
+  double min_level() const { return matrix_->min_level(); }
+  double effective_tiles() const { return matrix_->effective_tiles(); }
+  int cols() const { return matrix_->cols(); }
+  int rows() const { return matrix_->rows(); }
+
+  explicit operator bool() const noexcept { return matrix_ != nullptr; }
+
+ private:
+  std::shared_ptr<const CompressionMatrix> matrix_;
 };
 
 /// A compression mode F: maps the (cyclic) tile distance from the ROI center
@@ -49,8 +129,54 @@ class CompressionMode {
 
   virtual std::string name() const = 0;
 
+  /// Levels for every distinct tile distance on `grid`, laid out as
+  /// `lut[dx * rows + dy]` with dx in [0, cols/2] (cyclic column distance)
+  /// and dy in [0, rows-1]. One virtual call — and one argument validation,
+  /// e.g. GeometricMode's negative-distance throw — per distinct distance,
+  /// instead of per tile per frame.
+  std::vector<double> level_lut(const TileGrid& grid) const;
+
   /// Builds the full per-tile matrix for an ROI centered at `roi`.
+  /// Goes through the level LUT, so building is a gather; the returned
+  /// matrix has its aggregates frozen.
   CompressionMatrix matrix_for(const TileGrid& grid, TileIndex roi) const;
+};
+
+/// Memoized per-(mode, ROI-tile) compression matrices.
+///
+/// Levels depend only on (mode, dx, dy), so a grid admits exactly
+/// `num_modes × cols × rows` distinct matrices per session — yet the hot
+/// loop used to rebuild one (96 `std::pow` calls and a heap allocation) for
+/// every captured frame. The cache stores each mode's level LUT eagerly and
+/// materializes the (mode, ROI) matrix on first use, frozen and shared
+/// immutably ever after.
+///
+/// Not thread-safe: intended as per-session state (BatchRunner sessions
+/// each own one), like every other Session member.
+class ModeMatrixCache {
+ public:
+  explicit ModeMatrixCache(const TileGrid& grid);
+
+  /// Registers `mode` under `mode_id`, precomputing its level LUT.
+  /// Re-registering an id replaces the entry (and its cached matrices).
+  void add_mode(int mode_id, const CompressionMode& mode);
+
+  bool has_mode(int mode_id) const { return modes_.count(mode_id) != 0; }
+
+  /// Shared immutable matrix for (mode, roi). Throws on an unregistered
+  /// mode or an out-of-grid roi (module edge; the per-frame path hits the
+  /// memoized slot).
+  CompressionMatrixView matrix(int mode_id, TileIndex roi) const;
+
+ private:
+  struct ModeEntry {
+    std::vector<double> lut;  // [dx * rows + dy]
+    // One slot per ROI tile, materialized on first use.
+    mutable std::vector<std::shared_ptr<const CompressionMatrix>> matrices;
+  };
+
+  TileGrid grid_;
+  std::unordered_map<int, ModeEntry> modes_;
 };
 
 /// The paper's geometric mode family: l_ij = C^(dx + dy)  (Eq. 1), clamped

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace poi360::video {
 
@@ -14,7 +15,7 @@ PanoramicEncoder::PanoramicEncoder(TileGrid grid, EncoderConfig config)
 
 EncodedFrame PanoramicEncoder::encode(SimTime capture_time,
                                       TileIndex sender_roi, int mode_id,
-                                      const CompressionMatrix& levels,
+                                      CompressionMatrixView levels,
                                       Bitrate rv) {
   if (levels.cols() != grid_.cols() || levels.rows() != grid_.rows()) {
     throw std::invalid_argument("compression matrix does not match grid");
@@ -31,15 +32,20 @@ EncodedFrame PanoramicEncoder::encode(SimTime capture_time,
 
   // Intra refresh: pixels whose resolution improved since the previous
   // frame lack a temporal reference and cost extra bits at this frame's
-  // quality level.
+  // quality level. Consecutive frames under an unchanged (mode, ROI) share
+  // the same cached matrix object, so identical pointers mean zero refresh
+  // without scanning.
   double refresh_bits = 0.0;
-  if (prev_levels_ && prev_levels_->cols() == levels.cols() &&
-      prev_levels_->rows() == levels.rows()) {
+  if (prev_levels_ && prev_levels_.get() != levels.get() &&
+      prev_levels_.cols() == levels.cols() &&
+      prev_levels_.rows() == levels.rows()) {
+    const CompressionMatrix& cur = *levels;
+    const CompressionMatrix& prev = *prev_levels_;
     double upgraded_tiles = 0.0;
-    for (int j = 0; j < levels.rows(); ++j) {
-      for (int i = 0; i < levels.cols(); ++i) {
+    for (int j = 0; j < cur.rows(); ++j) {
+      for (int i = 0; i < cur.cols(); ++i) {
         const double gain =
-            1.0 / levels.at({i, j}) - 1.0 / prev_levels_->at({i, j});
+            1.0 / cur.at_unchecked(i, j) - 1.0 / prev.at_unchecked(i, j);
         if (gain > 0.0) upgraded_tiles += gain;
       }
     }
@@ -53,7 +59,7 @@ EncodedFrame PanoramicEncoder::encode(SimTime capture_time,
       .capture_time = capture_time,
       .sender_roi = sender_roi,
       .mode_id = mode_id,
-      .levels = levels,
+      .levels = std::move(levels),
       .bytes = static_cast<std::int64_t>((bits + refresh_bits) / 8.0) +
                config_.overhead_bytes,
       .bpp = bpp,

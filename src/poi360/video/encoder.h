@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <optional>
 
 #include "poi360/common/units.h"
 #include "poi360/video/frame.h"
@@ -51,9 +50,11 @@ class PanoramicEncoder {
   PanoramicEncoder(TileGrid grid, EncoderConfig config);
 
   /// Encodes one frame under compression matrix `levels` at target bitrate
-  /// `rv`. `sender_roi` and `mode_id` are embedded as metadata.
+  /// `rv`. `sender_roi` and `mode_id` are embedded as metadata. Accepts a
+  /// shared view (a plain CompressionMatrix converts implicitly, copying
+  /// once — hot paths should pass a cached view).
   EncodedFrame encode(SimTime capture_time, TileIndex sender_roi, int mode_id,
-                      const CompressionMatrix& levels, Bitrate rv);
+                      CompressionMatrixView levels, Bitrate rv);
 
   const TileGrid& grid() const { return grid_; }
   const EncoderConfig& config() const { return config_; }
@@ -66,7 +67,7 @@ class PanoramicEncoder {
   TileGrid grid_;
   EncoderConfig config_;
   std::int64_t next_id_ = 0;
-  std::optional<CompressionMatrix> prev_levels_;
+  CompressionMatrixView prev_levels_;  // empty until the first frame
 };
 
 }  // namespace poi360::video

@@ -26,8 +26,10 @@ struct EncodedFrame {
   /// or a scheme-specific constant for the baselines).
   int mode_id = 0;
 
-  /// Per-tile compression levels actually applied.
-  CompressionMatrix levels;
+  /// Per-tile compression levels actually applied. A shared view: frames
+  /// reference the session's cached (mode, ROI) matrix instead of carrying
+  /// a private copy, so capturing/relaying a frame never copies the matrix.
+  CompressionMatrixView levels;
 
   /// Encoded size on the wire.
   std::int64_t bytes = 0;

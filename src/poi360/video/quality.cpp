@@ -37,8 +37,7 @@ double QualityModel::encode_psnr(double bpp) const {
 
 double QualityModel::tile_psnr(double bpp, double level) const {
   if (level < 1.0) throw std::invalid_argument("compression level < 1");
-  const double penalty = downsample_db_per_octave * std::log2(level);
-  return std::max(floor_db, encode_psnr(bpp) - penalty);
+  return tile_psnr_from(encode_psnr(bpp), std::log2(level));
 }
 
 double roi_region_psnr(const QualityModel& model, const TileGrid& grid,
@@ -48,6 +47,10 @@ double roi_region_psnr(const QualityModel& model, const TileGrid& grid,
   // periphery contributes but cannot rescue a degraded center (and vice
   // versa a degraded periphery is still clearly visible).
   constexpr double kRingWeight[] = {0.55, 0.37, 0.08};
+  // The encoder term depends only on bpp, never on the tile — hoisted out
+  // of the 15-tile scan so the loop pays only the per-tile downsampling
+  // penalty (whose log2 the matrix memoizes).
+  const double enc_psnr = model.encode_psnr(bpp);
   double weighted_mse = 0.0;
   double total_weight = 0.0;
   for (int ring = 0; ring <= 2; ++ring) {
@@ -61,7 +64,8 @@ double roi_region_psnr(const QualityModel& model, const TileGrid& grid,
         if (std::max(std::abs(di), std::abs(dj)) != ring) continue;
         int i = (center.i + di) % grid.cols();
         if (i < 0) i += grid.cols();
-        const double psnr = model.tile_psnr(bpp, levels.at({i, j}));
+        const double psnr =
+            model.tile_psnr_from(enc_psnr, levels.log2_at_unchecked(i, j));
         ring_mse += std::pow(10.0, -psnr / 10.0);
         ++ring_count;
       }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <string>
 
 namespace poi360::video {
@@ -44,6 +45,15 @@ struct QualityModel {
   /// PSNR of a displayed tile whose compression level is `level` (>= 1)
   /// inside a frame encoded at `bpp` bits per effective pixel.
   double tile_psnr(double bpp, double level) const;
+
+  /// Hot-path variant of `tile_psnr` with the encoder term precomputed by
+  /// the caller (it depends only on bpp, not the tile) and log2(level)
+  /// memoized (CompressionMatrix caches it at freeze). Same arithmetic as
+  /// `tile_psnr`, bit for bit.
+  double tile_psnr_from(double encode_psnr_db, double log2_level) const {
+    const double penalty = downsample_db_per_octave * log2_level;
+    return std::max(floor_db, encode_psnr_db - penalty);
+  }
 };
 
 class CompressionMatrix;  // compression.h

@@ -1,5 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+#include <utility>
 #include <vector>
 
 #include "poi360/sim/simulator.h"
@@ -101,6 +106,194 @@ TEST(Simulator, NestedSchedulingDuringEvent) {
   });
   s.run_until(msec(10));
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+// A one-shot scheduled *during* a periodic firing at the timestamp of the
+// timer's next firing must run first: the timer's next turn draws its
+// sequence number after the callback, exactly as when each firing
+// re-scheduled itself through the queue.
+TEST(Simulator, OneShotFromPeriodicCallbackBeatsNextFiring) {
+  Simulator s;
+  std::vector<std::pair<char, SimTime>> order;
+  bool scheduled = false;
+  s.schedule_periodic(msec(10), msec(10), [&]() {
+    order.push_back({'p', s.now()});
+    if (!scheduled) {
+      scheduled = true;
+      s.schedule_at(msec(20), [&]() { order.push_back({'o', s.now()}); });
+    }
+  });
+  s.run_until(msec(20));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], (std::pair<char, SimTime>{'p', msec(10)}));
+  EXPECT_EQ(order[1], (std::pair<char, SimTime>{'o', msec(20)}));
+  EXPECT_EQ(order[2], (std::pair<char, SimTime>{'p', msec(20)}));
+}
+
+// Coincident periodic timers fire in sequence-number order, and each firing
+// refreshes the timer's sequence number. Timers 1 and 2 keep registration
+// order among themselves; timer 3's *first* firing at t=20 carries its
+// (older) registration sequence number and therefore precedes the t=10
+// timers' re-armed turns — exactly the order the self-rescheduling
+// wrapper-event implementation produced.
+TEST(Simulator, CoincidentPeriodicsKeepSequenceOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule_periodic(msec(10), msec(10), [&]() { order.push_back(1); });
+  s.schedule_periodic(msec(10), msec(10), [&]() { order.push_back(2); });
+  s.schedule_periodic(msec(20), msec(20), [&]() { order.push_back(3); });
+  s.run_until(msec(40));
+  // t=10: 1,2 | t=20: 3,1,2 | t=30: 1,2 | t=40: 3,1,2
+  EXPECT_EQ(order,
+            (std::vector<int>{1, 2, 3, 1, 2, 1, 2, 3, 1, 2}));
+}
+
+TEST(Simulator, PeriodicRegisteredDuringCallbackStartsOnTime) {
+  Simulator s;
+  std::vector<SimTime> fires;
+  s.schedule_at(msec(10), [&]() {
+    s.schedule_periodic(msec(15), msec(5), [&]() { fires.push_back(s.now()); });
+  });
+  s.run_until(msec(30));
+  EXPECT_EQ(fires, (std::vector<SimTime>{msec(15), msec(20), msec(25),
+                                         msec(30)}));
+}
+
+// Reference engine replicating the pre-optimization Simulator semantics
+// exactly: a single (time, seq) ordered pool where schedule_periodic wraps
+// the callback in a self-rescheduling closure (the next firing's sequence
+// number is drawn after the callback runs). The production engine, with its
+// dedicated periodic lane, must be observationally indistinguishable.
+class ReferenceEngine {
+ public:
+  SimTime now() const { return now_; }
+
+  void schedule_at(SimTime t, std::function<void()> cb) {
+    if (t < now_) t = now_;
+    events_.push_back(Ev{t, seq_++, std::move(cb)});
+  }
+
+  void schedule_periodic(SimTime start, SimDuration period,
+                         std::function<void()> cb) {
+    if (start < now_) start = now_;
+    auto shared = std::make_shared<std::function<void()>>(std::move(cb));
+    schedule_at(start, [this, shared, period]() {
+      (*shared)();
+      schedule_periodic_again(shared, period);
+    });
+  }
+
+  void run_until(SimTime end) {
+    while (true) {
+      std::size_t best = events_.size();
+      for (std::size_t i = 0; i < events_.size(); ++i) {
+        if (best == events_.size() || events_[i].time < events_[best].time ||
+            (events_[i].time == events_[best].time &&
+             events_[i].seq < events_[best].seq)) {
+          best = i;
+        }
+      }
+      if (best == events_.size() || events_[best].time > end) break;
+      Ev ev = std::move(events_[best]);
+      events_.erase(events_.begin() + static_cast<std::ptrdiff_t>(best));
+      now_ = ev.time;
+      ev.cb();
+    }
+    if (now_ < end) now_ = end;
+  }
+
+ private:
+  struct Ev {
+    SimTime time;
+    std::uint64_t seq;
+    std::function<void()> cb;
+  };
+
+  void schedule_periodic_again(std::shared_ptr<std::function<void()>> shared,
+                               SimDuration period) {
+    schedule_at(now_ + period, [this, shared, period]() {
+      (*shared)();
+      schedule_periodic_again(shared, period);
+    });
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::vector<Ev> events_;
+};
+
+// Drives one engine through a deterministic pseudo-random scenario of
+// one-shots and periodics (millisecond granularity to force timestamp
+// collisions), where some firings schedule follow-up events at the current
+// timestamp. Returns the full (tag, time) firing log.
+template <typename Engine>
+std::vector<std::pair<int, SimTime>> run_scenario(Engine& e, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> time_ms(0, 200);
+  std::vector<std::pair<int, SimTime>> log;
+
+  for (int n = 0; n < 60; ++n) {
+    const int tag = n;
+    const SimTime t = msec(time_ms(rng));
+    const bool chain = (n % 4 == 0);
+    e.schedule_at(t, [&e, &log, tag, chain]() {
+      log.push_back({tag, e.now()});
+      if (chain) {
+        e.schedule_at(e.now(), [&e, &log, tag]() {  // same-time follow-up
+          log.push_back({tag + 1000, e.now()});
+        });
+      }
+    });
+  }
+  const SimDuration periods[] = {msec(1), msec(5), msec(7), msec(28),
+                                 msec(40)};
+  for (int p = 0; p < 5; ++p) {
+    const int tag = 2000 + p;
+    const SimTime start = msec(time_ms(rng) % 50);
+    e.schedule_periodic(start, periods[p], [&e, &log, tag]() {
+      log.push_back({tag, e.now()});
+      if (tag == 2001 && to_millis(e.now()) == 25) {
+        e.schedule_at(e.now(), [&e, &log]() { log.push_back({3000, e.now()}); });
+      }
+    });
+  }
+  e.run_until(msec(400));
+  return log;
+}
+
+// Differential property test: the production engine's firing order equals
+// the reference engine's, event for event, across several seeds.
+TEST(Simulator, MatchesReferenceEngineOnRandomizedSchedules) {
+  for (unsigned seed : {1u, 7u, 42u, 1234u}) {
+    Simulator fast;
+    ReferenceEngine ref;
+    const auto got = run_scenario(fast, seed);
+    const auto want = run_scenario(ref, seed);
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "seed " << seed << " index " << i;
+    }
+    EXPECT_EQ(fast.now(), ref.now());
+  }
+}
+
+// Move-only callables (impossible with std::function) are accepted, and
+// large captures fall back to the heap transparently.
+TEST(Simulator, AcceptsMoveOnlyAndOversizedCallbacks) {
+  Simulator s;
+  auto payload = std::make_unique<int>(7);
+  int got = 0;
+  s.schedule_at(msec(1), [p = std::move(payload), &got]() { got = *p; });
+  struct Big {
+    std::int64_t words[32];  // past the inline buffer
+  };
+  Big big{};
+  big.words[31] = 9;
+  std::int64_t big_got = 0;
+  s.schedule_at(msec(2), [big, &big_got]() { big_got = big.words[31]; });
+  s.run_until(msec(5));
+  EXPECT_EQ(got, 7);
+  EXPECT_EQ(big_got, 9);
 }
 
 }  // namespace

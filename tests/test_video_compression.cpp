@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
+#include "poi360/baseline/conduit.h"
+#include "poi360/baseline/pyramid.h"
 #include "poi360/video/compression.h"
 
 namespace poi360::video {
@@ -167,6 +170,142 @@ INSTANTIATE_TEST_SUITE_P(
                       MatrixCase{4, 0, 7}, MatrixCase{5, 6, 4},
                       MatrixCase{6, 2, 2}, MatrixCase{7, 9, 6},
                       MatrixCase{8, 6, 4}, MatrixCase{8, 11, 0}));
+
+TEST(CompressionMatrix, AggregatesRefreshAfterSet) {
+  CompressionMatrix m(4, 4);
+  EXPECT_DOUBLE_EQ(m.effective_tiles(), 16.0);
+  m.set({1, 1}, 2.0);  // must invalidate the frozen aggregates
+  EXPECT_DOUBLE_EQ(m.effective_tiles(), 15.5);
+  EXPECT_DOUBLE_EQ(m.min_level(), 1.0);
+  m.set({1, 1}, 4.0);
+  EXPECT_DOUBLE_EQ(m.effective_tiles(), 15.25);
+}
+
+TEST(CompressionMatrix, Log2CacheMatchesStdLog2) {
+  CompressionMatrix m(4, 4, 1.0);
+  m.set({2, 1}, 5.0);
+  m.set({0, 3}, 64.0);
+  for (int j = 0; j < 4; ++j) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(m.log2_at_unchecked(i, j), std::log2(m.at({i, j})));
+    }
+  }
+  m.set({2, 1}, 9.0);  // cache refreshes after mutation
+  EXPECT_EQ(m.log2_at_unchecked(2, 1), std::log2(9.0));
+}
+
+TEST(CompressionMatrix, VectorConstructorValidates) {
+  EXPECT_NO_THROW(CompressionMatrix(2, 2, std::vector<double>{1, 2, 3, 4}));
+  EXPECT_THROW(CompressionMatrix(2, 2, std::vector<double>{1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(CompressionMatrix(2, 2, std::vector<double>{1, 2, 3, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(CompressionMatrixView, ForwardsAndShares) {
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode mode(1.4);
+  const CompressionMatrixView view(mode.matrix_for(grid, {6, 4}));
+  EXPECT_TRUE(static_cast<bool>(view));
+  EXPECT_EQ(view.cols(), grid.cols());
+  EXPECT_EQ(view.at({6, 4}), 1.0);
+  EXPECT_EQ(view.min_level(), 1.0);
+  const CompressionMatrixView copy = view;  // shares, no deep copy
+  EXPECT_EQ(copy.get(), view.get());
+  EXPECT_FALSE(static_cast<bool>(CompressionMatrixView{}));
+}
+
+// Golden equivalence: for every mode in the adaptive table and every ROI
+// tile on the grid, the cached matrix is bitwise identical to a direct
+// (uncached) build — values, min_level, and effective_tiles. EXPECT_EQ on
+// doubles is exact comparison, which is the point: the cache must not
+// change a single bit.
+TEST(ModeMatrixCache, CachedMatchesUncachedBitwiseAllModesAllRois) {
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  ModeMatrixCache cache(grid);
+  for (int m = 1; m <= table.size(); ++m) cache.add_mode(m, table.mode(m));
+
+  for (int m = 1; m <= table.size(); ++m) {
+    for (int rj = 0; rj < grid.rows(); ++rj) {
+      for (int ri = 0; ri < grid.cols(); ++ri) {
+        const CompressionMatrix direct =
+            table.mode(m).matrix_for(grid, {ri, rj});
+        const CompressionMatrixView cached = cache.matrix(m, {ri, rj});
+        ASSERT_EQ(cached.min_level(), direct.min_level());
+        ASSERT_EQ(cached.effective_tiles(), direct.effective_tiles());
+        for (int j = 0; j < grid.rows(); ++j) {
+          for (int i = 0; i < grid.cols(); ++i) {
+            ASSERT_EQ(cached.at({i, j}), direct.at({i, j}))
+                << "mode " << m << " roi (" << ri << "," << rj << ") tile ("
+                << i << "," << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(ModeMatrixCache, CachedMatchesUncachedForBaselines) {
+  const TileGrid grid = TileGrid::paper_default();
+  const baseline::ConduitMode conduit(1, 256.0);
+  const baseline::PyramidMode pyramid(1.3, 64.0);
+  ModeMatrixCache cache(grid);
+  cache.add_mode(baseline::ConduitMode::kModeId, conduit);
+  cache.add_mode(baseline::PyramidMode::kModeId, pyramid);
+
+  for (int rj = 0; rj < grid.rows(); ++rj) {
+    for (int ri = 0; ri < grid.cols(); ++ri) {
+      const auto c_direct = conduit.matrix_for(grid, {ri, rj});
+      const auto p_direct = pyramid.matrix_for(grid, {ri, rj});
+      const auto c_cached =
+          cache.matrix(baseline::ConduitMode::kModeId, {ri, rj});
+      const auto p_cached =
+          cache.matrix(baseline::PyramidMode::kModeId, {ri, rj});
+      for (int j = 0; j < grid.rows(); ++j) {
+        for (int i = 0; i < grid.cols(); ++i) {
+          ASSERT_EQ(c_cached.at({i, j}), c_direct.at({i, j}));
+          ASSERT_EQ(p_cached.at({i, j}), p_direct.at({i, j}));
+        }
+      }
+    }
+  }
+}
+
+TEST(ModeMatrixCache, RepeatedLookupsShareOneMatrix) {
+  const TileGrid grid = TileGrid::paper_default();
+  ModeMatrixCache cache(grid);
+  cache.add_mode(1, GeometricMode(1.4));
+  const auto a = cache.matrix(1, {6, 4});
+  const auto b = cache.matrix(1, {6, 4});
+  EXPECT_EQ(a.get(), b.get());  // same immutable object, not a rebuild
+  EXPECT_NE(a.get(), cache.matrix(1, {7, 4}).get());
+}
+
+TEST(ModeMatrixCache, ModuleEdgeValidation) {
+  const TileGrid grid = TileGrid::paper_default();
+  ModeMatrixCache cache(grid);
+  cache.add_mode(1, GeometricMode(1.4));
+  EXPECT_TRUE(cache.has_mode(1));
+  EXPECT_FALSE(cache.has_mode(2));
+  EXPECT_THROW(cache.matrix(2, {0, 0}), std::out_of_range);
+  EXPECT_THROW(cache.matrix(1, {grid.cols(), 0}), std::out_of_range);
+  EXPECT_THROW(cache.matrix(1, {0, -1}), std::out_of_range);
+}
+
+TEST(CompressionMode, LevelLutCoversDistinctDistances) {
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode mode(1.5, 1e9);
+  const auto lut = mode.level_lut(grid);
+  ASSERT_EQ(lut.size(),
+            static_cast<std::size_t>(grid.cols() / 2 + 1) * grid.rows());
+  for (int dx = 0; dx <= grid.cols() / 2; ++dx) {
+    for (int dy = 0; dy < grid.rows(); ++dy) {
+      EXPECT_EQ(lut[static_cast<std::size_t>(dx) * grid.rows() + dy],
+                mode.level(dx, dy));
+    }
+  }
+}
 
 // Property: more aggressive modes keep fewer effective pixels.
 TEST(ModeTable, EffectiveTilesMonotoneInConservativeness) {

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for bench_micro_perf.
+
+Compares a google-benchmark JSON report (produced with
+`bench_micro_perf --out-json current.json`) against the committed
+BENCH_baseline.json and fails when any benchmark's cpu_time regressed
+beyond the tolerance. Intended use:
+
+    build/bench/bench_micro_perf --benchmark_min_time=0.5 \
+        --out-json /tmp/micro.json
+    python3 tools/check_perf.py --baseline BENCH_baseline.json \
+        --current /tmp/micro.json --tolerance 0.35
+
+or, via CTest (label `perf`, excluded from the default tier-1 run):
+
+    ctest -C perf -L perf --output-on-failure
+
+Microbenchmark timings on a shared/1-core box are noisy, so the default
+tolerance is generous (35%): the gate is meant to catch algorithmic
+regressions (an accidental O(n) scan, a reintroduced per-event
+allocation), not 5% jitter. Baselines can be refreshed with --update.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev) if repetitions were used.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = {
+            "cpu_time": float(b["cpu_time"]),
+            "time_unit": b.get("time_unit", "ns"),
+        }
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True,
+                    help="committed BENCH_baseline.json")
+    ap.add_argument("--current", required=True,
+                    help="fresh bench_micro_perf --out-json report")
+    ap.add_argument("--tolerance", type=float, default=0.35,
+                    help="allowed fractional cpu_time regression "
+                         "(default 0.35 = 35%%)")
+    ap.add_argument("--update", action="store_true",
+                    help="overwrite the baseline with the current report "
+                         "instead of comparing")
+    args = ap.parse_args()
+
+    if args.update:
+        with open(args.current) as src, open(args.baseline, "w") as dst:
+            dst.write(src.read())
+        print(f"baseline updated from {args.current}")
+        return 0
+
+    baseline = load_benchmarks(args.baseline)
+    current = load_benchmarks(args.current)
+
+    missing = sorted(set(baseline) - set(current))
+    regressions = []
+    width = max((len(n) for n in baseline), default=10)
+    print(f"{'benchmark':<{width}}  {'base':>12}  {'now':>12}  ratio")
+    for name in sorted(baseline):
+        if name not in current:
+            continue
+        base = baseline[name]["cpu_time"]
+        now = current[name]["cpu_time"]
+        unit = baseline[name]["time_unit"]
+        ratio = now / base if base > 0 else float("inf")
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            regressions.append((name, base, now, ratio))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}}  {base:>10.1f}{unit}  {now:>10.1f}{unit}  "
+              f"{ratio:5.2f}{flag}")
+
+    ok = True
+    if missing:
+        ok = False
+        print(f"\nmissing from current run: {', '.join(missing)}",
+              file=sys.stderr)
+    if regressions:
+        ok = False
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.0%}:", file=sys.stderr)
+        for name, base, now, ratio in regressions:
+            print(f"  {name}: {base:.1f} -> {now:.1f} ({ratio:.2f}x)",
+                  file=sys.stderr)
+    if ok:
+        print("\nperf gate OK")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
