@@ -1,0 +1,121 @@
+// Ablation: transport-path chaos vs. bounded loss recovery. The paper's
+// evaluation runs on live networks whose faults arrive in bursts (fades,
+// handovers, cross-traffic spikes); the simulator's clean i.i.d.-loss links
+// hide what recovery machinery that takes. This ablation crosses
+// {FBCC, GCC} with escalating fault profiles: clean links (legacy receiver),
+// Gilbert-Elliott burst loss, and full chaos (bursts + blackouts +
+// reordering + duplication + delay spikes on the media path, blackout
+// windows on the feedback path). The bounded receiver must keep its state
+// capped and convert unrecoverable losses into abandoned frames; the
+// feedback guard must carry the sender across dark reverse-path windows.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "poi360/common/table.h"
+#include "util/experiment.h"
+
+using namespace poi360;
+
+namespace {
+
+enum class Faults { kClean, kBurst, kChaos };
+
+rtp::RtpReceiver::Config bounded_receiver() {
+  rtp::RtpReceiver::Config r;
+  r.nack_retry_budget = 4;
+  r.nack_backoff = true;
+  r.frame_deadline = msec(600);
+  r.max_assemblies = 64;
+  r.max_outstanding_nacks = 512;
+  return r;
+}
+
+net::ChaosConfig burst_profile() {
+  net::ChaosConfig c;
+  c.ge_p_good_bad = 0.02;
+  c.ge_p_bad_good = 0.2;   // ~9% loss in fades of ~5 packets
+  c.ge_loss_bad = 0.95;
+  return c;
+}
+
+void apply(Faults faults, core::SessionConfig& c) {
+  if (faults == Faults::kClean) return;
+  c.receiver = bounded_receiver();
+  c.media_chaos = burst_profile();
+  if (faults == Faults::kChaos) {
+    c.media_chaos.blackout_per_min = 6.0;
+    c.media_chaos.blackout_mean_duration = msec(800);
+    c.media_chaos.blackout_min_duration = msec(500);
+    c.media_chaos.reorder_prob = 0.02;
+    c.media_chaos.duplicate_prob = 0.01;
+    c.media_chaos.spike_per_min = 4.0;
+    c.feedback_chaos.blackout_per_min = 4.0;
+    c.feedback_chaos.blackout_mean_duration = msec(1200);
+    c.feedback_chaos.blackout_min_duration = msec(800);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::init(argc, argv);
+  struct Cell {
+    const char* transport;
+    core::RateControl rc;
+    const char* label;
+    Faults faults;
+  };
+  const Cell cells[] = {
+      {"FBCC", core::RateControl::kFbcc, "clean", Faults::kClean},
+      {"FBCC", core::RateControl::kFbcc, "burst", Faults::kBurst},
+      {"FBCC", core::RateControl::kFbcc, "chaos", Faults::kChaos},
+      {"GCC", core::RateControl::kGcc, "clean", Faults::kClean},
+      {"GCC", core::RateControl::kGcc, "burst", Faults::kBurst},
+      {"GCC", core::RateControl::kGcc, "chaos", Faults::kChaos},
+  };
+
+  runner::ExperimentSpec spec(
+      bench::transport_config(core::RateControl::kFbcc, sec(60)));
+  spec.name("ablation_transport_faults").repeats(4);
+  {
+    std::vector<runner::AxisPoint> points;
+    for (const Cell& cell : cells) {
+      points.push_back({std::string(cell.transport) + " / " + cell.label,
+                        [cell](core::SessionConfig& c) {
+                          c.rate_control = cell.rc;
+                          apply(cell.faults, c);
+                        }});
+    }
+    spec.axis("cell", std::move(points));
+  }
+  const auto batch = bench::run(spec);
+
+  Table t({"transport", "faults", "displayed", "freeze ratio",
+           "mean PSNR (dB)", "thpt (Mbps)", "abandoned", "give-ups",
+           "stale eps", "stale time (s)"});
+  for (const Cell& cell : cells) {
+    const auto merged = batch.merged(
+        {{"cell", std::string(cell.transport) + " / " + cell.label}});
+    const auto& r = merged.transport_robustness();
+    t.add_row({cell.transport, cell.label,
+               std::to_string(merged.displayed_frames()),
+               fmt_pct(merged.freeze_ratio()),
+               fmt(merged.mean_roi_psnr(), 1),
+               fmt(to_mbps(merged.mean_throughput()), 2),
+               std::to_string(r.frames_abandoned),
+               std::to_string(r.nack_give_ups),
+               std::to_string(r.feedback_stale_episodes),
+               fmt(to_seconds(r.feedback_stale_time), 1)});
+  }
+  std::printf(
+      "=== Ablation: transport chaos vs. bounded loss recovery ===\n%s"
+      "(burst: Gilbert-Elliott ~9%% loss in ~5-packet fades; chaos adds\n"
+      " 6 blackouts/min of ~800 ms, 2%% reorder, 1%% dup, 4 delay\n"
+      " spikes/min on media plus 4 feedback blackouts/min of ~1.2 s;\n"
+      " faulted rows run the bounded receiver: NACK budget 4 with backoff,\n"
+      " 600 ms frame deadline, 64-assembly / 512-NACK caps)\n",
+      t.to_string().c_str());
+  return 0;
+}

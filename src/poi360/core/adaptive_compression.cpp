@@ -44,6 +44,22 @@ void AdaptiveCompressionController::on_feedback(SimDuration mismatch_avg,
   mode_index_ = mode;
 }
 
+void AdaptiveCompressionController::nudge_conservative(Bitrate current_rate,
+                                                       SimTime now) {
+  int mode = std::min(mode_index_ + 1, config_.num_modes);
+  if (current_rate > 0.0 && !mode_floor_rates_.empty()) {
+    while (mode > 1 &&
+           static_cast<std::size_t>(mode) < mode_floor_rates_.size() &&
+           mode_floor_rates_[static_cast<std::size_t>(mode)] >
+               config_.floor_budget_fraction * current_rate) {
+      --mode;
+    }
+  }
+  if (mode <= mode_index_) return;  // the budget blocks the step
+  mode_index_ = mode;
+  if (now >= 0) last_switch_ = now;
+}
+
 void AdaptiveCompressionController::set_mode_floor_rates(
     std::vector<Bitrate> floors) {
   mode_floor_rates_ = std::move(floors);

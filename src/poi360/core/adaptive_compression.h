@@ -62,6 +62,15 @@ class AdaptiveCompressionController {
   void on_feedback(SimDuration mismatch_avg, Bitrate current_rate = 0.0,
                    SimTime now = -1);
 
+  /// Steps one mode toward the conservative end (F_K direction), used by
+  /// the session's feedback-staleness watchdog: with no fresh ROI the only
+  /// safe assumption is that the viewer may be anywhere, so the falloff is
+  /// flattened. Respects the same quality-floor budget as `on_feedback`
+  /// (a conservative mode whose floor does not fit the rate is not taken)
+  /// and re-arms the dwell timer, which is the hysteresis that keeps the
+  /// first post-recovery feedback from snapping straight back.
+  void nudge_conservative(Bitrate current_rate = 0.0, SimTime now = -1);
+
   /// Installs the per-mode quality-floor bitrates (index 0 unused, 1..K
   /// matching mode ids), typically computed by the session from the
   /// encoder's floor_bpp and the grid geometry.

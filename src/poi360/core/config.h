@@ -13,10 +13,12 @@
 #include "poi360/lte/channel.h"
 #include "poi360/lte/diag_fault.h"
 #include "poi360/lte/uplink.h"
+#include "poi360/net/chaos.h"
 #include "poi360/roi/head_motion.h"
 #include "poi360/roi/prediction.h"
 #include "poi360/roi/trace_motion.h"
 #include "poi360/rtp/jitter_buffer.h"
+#include "poi360/rtp/receiver.h"
 #include "poi360/video/encoder.h"
 #include "poi360/video/quality.h"
 
@@ -34,6 +36,29 @@ enum class NetworkType { kCellular, kWireline };
 std::string to_string(CompressionScheme s);
 std::string to_string(RateControl r);
 std::string to_string(NetworkType n);
+
+/// Sender-side feedback-staleness watchdog (the transport twin of FBCC's
+/// diag-feed fallback): when the combined ROI/mismatch/RTCP feedback channel
+/// goes dark — downlink blackout, peer stall — the sender stops trusting its
+/// last ROI and rate picture. While stale it steps compression toward the
+/// conservative end (the viewer may be anywhere by now) and decays the GCC
+/// target multiplicatively, RFC 8083 circuit-breaker style, instead of
+/// streaming at the last pre-blackout estimate into an unknown network.
+struct FeedbackGuardConfig {
+  bool enabled = true;
+  /// Feedback gap that triggers the fallback. Feedback rides the frame
+  /// clock (~28 ms at 36 FPS), so 600 ms means ~20 consecutive losses —
+  /// never reached by ordinary jitter.
+  SimDuration timeout = msec(600);
+  SimDuration check_period = msec(100);
+  /// Multiplicative decay of the published GCC target per check while
+  /// stale (0.94^10 ≈ 0.54: roughly halves the rate per dark second).
+  double stale_rate_decay = 0.94;
+  /// Consecutive feedback messages required before leaving the fallback —
+  /// hysteresis so one surviving packet inside a blackout cannot flap the
+  /// mode and rate back and forth.
+  int recovery_feedbacks = 3;
+};
 
 /// Complete configuration of one 360° telephony session.
 ///
@@ -101,6 +126,22 @@ struct SessionConfig {
   SimDuration feedback_delay = msec(60);   // peer -> sender (LTE downlink)
   SimDuration feedback_jitter = msec(20);
   double feedback_loss = 0.001;
+
+  // -- transport chaos + recovery ---------------------------------------------
+  /// Fault injection on the media path past the radio (core/wireline link):
+  /// Gilbert–Elliott burst loss, reordering, duplication, handover-style
+  /// blackouts, delay spikes. All off by default — a zero-fault ChaosLink is
+  /// draw-for-draw identical to the plain DelayLink it wraps.
+  net::ChaosConfig media_chaos{};
+  /// Same injectors for the reverse path (ROI/RTCP feedback + NACK links);
+  /// this is what starves the sender and exercises `feedback_guard`.
+  net::ChaosConfig feedback_chaos{};
+  /// Receiver-side bounded recovery: NACK retry budget/backoff, frame
+  /// abandonment deadline, assembly/NACK state caps, packet validation.
+  /// Defaults reproduce the legacy unbounded-retry receiver.
+  rtp::RtpReceiver::Config receiver{};
+  /// Sender-side feedback-staleness fallback (see FeedbackGuardConfig).
+  FeedbackGuardConfig feedback_guard{};
 
   // -- wireline path ----------------------------------------------------------
   Bitrate wireline_rate = mbps(20);

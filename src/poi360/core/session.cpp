@@ -76,20 +76,23 @@ Session::Session(SessionConfig config)
 
   // Media path, back to front: receiver <- core/wireline <- pacer.
   receiver_ = std::make_unique<rtp::RtpReceiver>(
-      sim_,
+      sim_, config_.receiver,
       [this](const rtp::RtpReceiver::CompletedFrame& f) {
         on_frame_complete(f);
       },
       [this](const std::vector<std::int64_t>& seqs) {
-        nack_link_->send(NackMsg{seqs});
+        nack_link_->send(NackMsg{.seqs = seqs, .pli_frames = {}});
       });
+  receiver_->set_pli_sink([this](const std::vector<std::int64_t>& frames) {
+    nack_link_->send(NackMsg{.seqs = {}, .pli_frames = frames});
+  });
 
   if (cellular) {
-    core_link_ = std::make_unique<net::DelayLink<rtp::RtpPacket>>(
+    core_link_ = std::make_unique<net::ChaosLink<rtp::RtpPacket>>(
         sim_,
         net::DelayLinkConfig{config_.core_delay, config_.core_jitter,
                              config_.core_loss},
-        rng_.fork(0xC0DE).engine()(),
+        config_.media_chaos, rng_.fork(0xC0DE).engine()(),
         [this](rtp::RtpPacket p, SimTime at) { receiver_->on_packet(p, at); });
     uplink_ = std::make_unique<lte::LteUplink<rtp::RtpPacket>>(
         sim_, config_.channel, config_.uplink, rng_.fork(0x17E).engine()(),
@@ -109,11 +112,11 @@ Session::Session(SessionConfig config)
           [this](const lte::DiagReport& r) { on_diag(r); });
     }
   } else {
-    wireline_link_ = std::make_unique<net::DelayLink<rtp::RtpPacket>>(
+    wireline_link_ = std::make_unique<net::ChaosLink<rtp::RtpPacket>>(
         sim_,
         net::DelayLinkConfig{config_.wireline_delay, config_.wireline_jitter,
                              config_.wireline_loss},
-        rng_.fork(0xC0DE).engine()(),
+        config_.media_chaos, rng_.fork(0xC0DE).engine()(),
         [this](rtp::RtpPacket p, SimTime at) { receiver_->on_packet(p, at); });
     wireline_queue_ = std::make_unique<net::DrainQueue<rtp::RtpPacket>>(
         sim_, config_.wireline_rate, config_.wireline_buffer_bytes,
@@ -132,11 +135,11 @@ Session::Session(SessionConfig config)
       wl ? config_.wireline_feedback_delay : config_.feedback_delay,
       wl ? config_.wireline_feedback_jitter : config_.feedback_jitter,
       wl ? config_.wireline_loss : config_.feedback_loss};
-  feedback_link_ = std::make_unique<net::DelayLink<FeedbackMsg>>(
-      sim_, reverse, rng_.fork(0xFEED).engine()(),
+  feedback_link_ = std::make_unique<net::ChaosLink<FeedbackMsg>>(
+      sim_, reverse, config_.feedback_chaos, rng_.fork(0xFEED).engine()(),
       [this](FeedbackMsg m, SimTime at) { on_feedback(m, at); });
-  nack_link_ = std::make_unique<net::DelayLink<NackMsg>>(
-      sim_, reverse, rng_.fork(0x7ACC).engine()(),
+  nack_link_ = std::make_unique<net::ChaosLink<NackMsg>>(
+      sim_, reverse, config_.feedback_chaos, rng_.fork(0x7ACC).engine()(),
       [this](NackMsg m, SimTime) { on_nack(m); });
 }
 
@@ -173,6 +176,16 @@ void Session::run() {
       record_rate_sample(sim_.now(), 0, 0.0, false);
     });
   }
+  if (config_.feedback_guard.enabled) {
+    // Feedback-staleness watchdog: the feedback channel going dark delivers
+    // nothing to hang the decision on (same reasoning as the FBCC watchdog
+    // above), so it runs on its own clock. Draws no randomness and does
+    // nothing while the gap stays under the timeout, which is why clean
+    // runs are unaffected.
+    sim_.schedule_periodic(config_.feedback_guard.check_period,
+                           config_.feedback_guard.check_period,
+                           [this]() { on_feedback_guard_tick(); });
+  }
 
   sim_.run_until(config_.duration);
 
@@ -183,6 +196,24 @@ void Session::run() {
         .rejected_reports = fbcc_->rejected_reports(),
     });
   }
+
+  if (feedback_stale_) {  // close an episode still open at session end
+    stale_total_ += sim_.now() - stale_since_;
+    feedback_stale_ = false;
+  }
+  const rtp::RtpReceiver::RecoveryStats& rec = receiver_->recovery_stats();
+  metrics_.set_transport_robustness(metrics::TransportRobustness{
+      .frames_abandoned = rec.frames_abandoned,
+      .assembly_evictions = rec.assembly_evictions,
+      .nack_give_ups = rec.nack_give_ups,
+      .nack_evictions = rec.nack_evictions,
+      .invalid_packets = rec.invalid_packets,
+      .stale_packets = rec.stale_packets,
+      .keyframe_requests = rec.keyframe_requests,
+      .sender_frames_dropped = sender_frames_dropped_,
+      .feedback_stale_episodes = stale_episodes_,
+      .feedback_stale_time = stale_total_,
+  });
 }
 
 // ---------------------------------------------------------------- sender --
@@ -228,9 +259,12 @@ void Session::on_capture() {
   }
 
   // With prediction enabled, compress for where the viewer is heading
-  // rather than where the last feedback saw them (§8).
+  // rather than where the last feedback saw them (§8). Not while feedback
+  // is stale: extrapolating the pre-blackout trajectory drifts further from
+  // the viewer every frame, so the last reported ROI is the safer anchor.
   video::TileIndex roi = sender_roi_;
-  if (config_.roi_prediction_horizon > 0 && roi_predictor_.has_estimate()) {
+  if (config_.roi_prediction_horizon > 0 && roi_predictor_.has_estimate() &&
+      !feedback_stale_) {
     const roi::Orientation predicted =
         roi_predictor_.predict(sim_.now() + config_.roi_prediction_horizon);
     roi = grid_.tile_at(predicted.yaw_deg, predicted.pitch_deg);
@@ -278,11 +312,27 @@ void Session::on_packet_paced(rtp::RtpPacket packet) {
 }
 
 void Session::on_feedback(const FeedbackMsg& msg, SimTime arrival) {
+  last_feedback_seen_ = sim_.now();
+  if (feedback_stale_ &&
+      ++healthy_streak_ >= config_.feedback_guard.recovery_feedbacks) {
+    // Enough consecutive feedbacks: leave the fallback. The GCC target is
+    // not restored explicitly — the next on_feedback below republishes the
+    // receiver's fresh estimate, which the decay never touched.
+    feedback_stale_ = false;
+    stale_total_ += sim_.now() - stale_since_;
+    healthy_streak_ = 0;
+  }
+
   sender_roi_ = msg.roi;
   if (config_.roi_prediction_horizon > 0) {
     roi_predictor_.add_sample(msg.sent_at, msg.gaze);
   }
-  adaptive_.on_feedback(msg.mismatch_avg, current_video_rate(), sim_.now());
+  if (!feedback_stale_) {
+    // While still inside the recovery streak the reported mismatch average
+    // spans the blackout and is dominated by it; feeding it to the mode
+    // selector would double-count the damage the nudges already priced in.
+    adaptive_.on_feedback(msg.mismatch_avg, current_video_rate(), sim_.now());
+  }
   const Bitrate rgcc = gcc_sender_.on_feedback(msg.gcc);
   rtt_estimator_.on_report(msg.rtcp, arrival);
   if (fbcc_) {
@@ -298,6 +348,17 @@ void Session::on_feedback(const FeedbackMsg& msg, SimTime arrival) {
 }
 
 void Session::on_nack(const NackMsg& msg) {
+  // PLI-style keyframe-recovery requests: the receiver abandoned these
+  // frames, so pending packets for them are pure waste on a path that is
+  // already losing — purge them from the pacer and forget the frame.
+  for (std::int64_t frame_id : msg.pli_frames) {
+    const auto it = in_flight_.find(frame_id);
+    if (it == in_flight_.end()) continue;
+    in_flight_.erase(it);
+    pacer_->drop_frame(frame_id);
+    ++sender_frames_dropped_;
+  }
+
   const SimTime now = sim_.now();
   for (std::int64_t seq : msg.seqs) {
     const auto recent = recent_retx_.find(seq);
@@ -310,6 +371,38 @@ void Session::on_nack(const NackMsg& msg) {
       recent_retx_[seq] = now;
       pacer_->enqueue_front(*packet);
     }
+  }
+}
+
+void Session::on_feedback_guard_tick() {
+  const SimTime now = sim_.now();
+  if (now - last_feedback_seen_ <= config_.feedback_guard.timeout) return;
+
+  if (!feedback_stale_) {
+    feedback_stale_ = true;
+    stale_since_ = now;
+    ++stale_episodes_;
+  }
+  healthy_streak_ = 0;  // any feedback that trickled in did not stick
+
+  // Circuit-breaker decay (RFC 8083 spirit): shrink the published GCC
+  // target every check the channel stays dark. Only the published target
+  // decays — the internal loss/delay estimators are untouched, so recovery
+  // snaps back to the receiver's estimate with the first fresh feedback.
+  const Bitrate decayed =
+      gcc_sender_.decay_target(config_.feedback_guard.stale_rate_decay);
+  if (fbcc_) {
+    fbcc_->on_gcc_rate(decayed);
+    pacer_->set_rate(fbcc_->rtp_rate());
+  } else {
+    pacer_->set_rate(decayed * config_.gcc_pacing_factor);
+  }
+
+  // With no fresh ROI the viewer may be anywhere: flatten the falloff one
+  // step per tick (F_K-ward), bounded by the mode table's conservative end
+  // and by each mode's quality-floor budget at the decayed rate.
+  if (config_.compression == CompressionScheme::kPoi360) {
+    adaptive_.nudge_conservative(current_video_rate(), now);
   }
 }
 

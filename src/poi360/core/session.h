@@ -17,6 +17,7 @@
 #include "poi360/gcc/gcc.h"
 #include "poi360/lte/uplink.h"
 #include "poi360/metrics/session_metrics.h"
+#include "poi360/net/chaos.h"
 #include "poi360/net/link.h"
 #include "poi360/net/queue.h"
 #include "poi360/roi/head_motion.h"
@@ -44,9 +45,13 @@ struct FeedbackMsg {
   SimDuration last_net_delay = 0;  // network part of the last frame's delay
 };
 
-/// NACK batch on the reverse path.
+/// NACK batch on the reverse path. `pli_frames` piggybacks PLI-style
+/// keyframe-recovery requests: frames the receiver abandoned (deadline or
+/// cap eviction) whose remaining packets the sender should stop spending
+/// uplink on.
 struct NackMsg {
   std::vector<std::int64_t> seqs;
+  std::vector<std::int64_t> pli_frames;
 };
 
 /// One end-to-end 360° telephony session: sender (camera -> adaptive
@@ -76,6 +81,19 @@ class Session {
     return diag_faults_.get();
   }
 
+  /// Chaos statistics of the media link past the radio (core link on
+  /// cellular, last-hop link on wireline) and of the feedback link.
+  const net::ChaosStats& media_chaos_stats() const {
+    return (core_link_ ? core_link_ : wireline_link_)->stats();
+  }
+  const net::ChaosStats& feedback_chaos_stats() const {
+    return feedback_link_->stats();
+  }
+
+  /// Receiver internals, exposed for the chaos test suite (bounded-state
+  /// assertions need peak counters mid-flight, not just the final metrics).
+  const rtp::RtpReceiver& rtp_receiver() const { return *receiver_; }
+
   /// Optional observer invoked on every rate-control telemetry sample
   /// (used by the rate_control_trace example).
   using TraceHook = std::function<void(const metrics::RateSample&)>;
@@ -89,6 +107,7 @@ class Session {
   void on_feedback(const FeedbackMsg& msg, SimTime arrival);
   void on_nack(const NackMsg& msg);
   void on_diag(const lte::DiagReport& report);
+  void on_feedback_guard_tick();
   Bitrate current_video_rate() const;
   video::CompressionMatrixView current_matrix_for(video::TileIndex roi) const;
   int current_mode_id() const;
@@ -127,14 +146,15 @@ class Session {
   std::unordered_map<std::int64_t, video::EncodedFrame> in_flight_;
   std::unordered_map<std::int64_t, SimTime> recent_retx_;
 
-  // Network.
+  // Network. Every link is a ChaosLink; with the default all-zero fault
+  // profile each one degenerates draw-for-draw into the plain DelayLink.
   std::unique_ptr<lte::LteUplink<rtp::RtpPacket>> uplink_;
   std::unique_ptr<lte::DiagFaultModel> diag_faults_;
-  std::unique_ptr<net::DelayLink<rtp::RtpPacket>> core_link_;
+  std::unique_ptr<net::ChaosLink<rtp::RtpPacket>> core_link_;
   std::unique_ptr<net::DrainQueue<rtp::RtpPacket>> wireline_queue_;
-  std::unique_ptr<net::DelayLink<rtp::RtpPacket>> wireline_link_;
-  std::unique_ptr<net::DelayLink<FeedbackMsg>> feedback_link_;
-  std::unique_ptr<net::DelayLink<NackMsg>> nack_link_;
+  std::unique_ptr<net::ChaosLink<rtp::RtpPacket>> wireline_link_;
+  std::unique_ptr<net::ChaosLink<FeedbackMsg>> feedback_link_;
+  std::unique_ptr<net::ChaosLink<NackMsg>> nack_link_;
 
   // Viewer.
   std::unique_ptr<rtp::RtpReceiver> receiver_;
@@ -148,6 +168,15 @@ class Session {
 
   // Sender-side RTT bookkeeping (RFC 3550 LSR/DLSR).
   rtp::RttEstimator rtt_estimator_;
+
+  // Feedback-staleness watchdog state (see FeedbackGuardConfig).
+  SimTime last_feedback_seen_ = 0;
+  bool feedback_stale_ = false;
+  SimTime stale_since_ = 0;
+  SimDuration stale_total_ = 0;
+  std::int64_t stale_episodes_ = 0;
+  int healthy_streak_ = 0;
+  std::int64_t sender_frames_dropped_ = 0;  // purged on PLI requests
 
   // Telemetry.
   metrics::SessionMetrics metrics_;

@@ -33,6 +33,12 @@ Bitrate GccSender::on_feedback(const GccFeedback& feedback) {
   return target_;
 }
 
+Bitrate GccSender::decay_target(double factor) {
+  target_ = std::max(target_ * std::clamp(factor, 0.0, 1.0),
+                     loss_config_.min_rate);
+  return target_;
+}
+
 
 GccReceiver::GccReceiver(Bitrate initial_rate)
     : GccReceiver(initial_rate, Config{}) {}

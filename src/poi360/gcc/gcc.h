@@ -51,6 +51,13 @@ class GccSender {
   /// Apply one receiver report. Returns the updated target rate R_gcc.
   Bitrate on_feedback(const GccFeedback& feedback);
 
+  /// Circuit-breaker decay (RFC 8083 spirit): multiplies the published
+  /// target by `factor` (floored at the configured min rate) while the
+  /// feedback path is dark — an unrefreshed estimate is an optimistic one.
+  /// The internal loss/delay estimators are untouched, so the first real
+  /// report after recovery restores the receiver's view of the path.
+  Bitrate decay_target(double factor);
+
   Bitrate target() const { return target_; }
 
  private:

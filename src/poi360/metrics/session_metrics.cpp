@@ -43,10 +43,15 @@ std::vector<double> SessionMetrics::mos_pdf() const {
 }
 
 double SessionMetrics::freeze_ratio(SimDuration threshold) const {
+  // Frames the receiver abandoned (deadline or cap eviction) were captured
+  // but never displayed: they count as frozen, exactly like sender skips.
+  const std::int64_t lost =
+      skipped_frames_ + transport_.frames_abandoned +
+      transport_.assembly_evictions;
   const std::int64_t total =
-      static_cast<std::int64_t>(frames_.size()) + skipped_frames_;
+      static_cast<std::int64_t>(frames_.size()) + lost;
   if (total == 0) return 0.0;
-  std::int64_t frozen = skipped_frames_;
+  std::int64_t frozen = lost;
   for (const auto& f : frames_) {
     if (f.delay > threshold) ++frozen;
   }
@@ -121,6 +126,7 @@ SessionMetrics merge(std::span<const SessionMetrics* const> runs) {
                    });
   SessionMetrics all;
   DiagRobustness robustness;
+  TransportRobustness transport;
   for (const SessionMetrics* run : ordered) {
     for (const auto& f : run->frames()) all.add_frame(f);
     for (const auto& r : run->rate_samples()) all.add_rate_sample(r);
@@ -132,8 +138,20 @@ SessionMetrics merge(std::span<const SessionMetrics* const> runs) {
     robustness.fallback_episodes += run->diag_robustness().fallback_episodes;
     robustness.degraded_time += run->diag_robustness().degraded_time;
     robustness.rejected_reports += run->diag_robustness().rejected_reports;
+    const TransportRobustness& tr = run->transport_robustness();
+    transport.frames_abandoned += tr.frames_abandoned;
+    transport.assembly_evictions += tr.assembly_evictions;
+    transport.nack_give_ups += tr.nack_give_ups;
+    transport.nack_evictions += tr.nack_evictions;
+    transport.invalid_packets += tr.invalid_packets;
+    transport.stale_packets += tr.stale_packets;
+    transport.keyframe_requests += tr.keyframe_requests;
+    transport.sender_frames_dropped += tr.sender_frames_dropped;
+    transport.feedback_stale_episodes += tr.feedback_stale_episodes;
+    transport.feedback_stale_time += tr.feedback_stale_time;
   }
   all.set_diag_robustness(robustness);
+  all.set_transport_robustness(transport);
   return all;
 }
 

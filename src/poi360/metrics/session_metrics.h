@@ -45,6 +45,22 @@ struct DiagRobustness {
   std::int64_t rejected_reports = 0;   // diag reports failing validation
 };
 
+/// Transport-path health over a session — the packet-path twin of
+/// `DiagRobustness`: what the bounded-recovery receiver, the sender's
+/// keyframe-recovery path, and the feedback-staleness watchdog had to do.
+struct TransportRobustness {
+  std::int64_t frames_abandoned = 0;    // receiver deadline expiries
+  std::int64_t assembly_evictions = 0;  // receiver cap-driven evictions
+  std::int64_t nack_give_ups = 0;       // NACK retry budget exhausted
+  std::int64_t nack_evictions = 0;      // NACK state dropped at the cap
+  std::int64_t invalid_packets = 0;     // failed receiver validation
+  std::int64_t stale_packets = 0;       // late packets of finished frames
+  std::int64_t keyframe_requests = 0;   // PLI-style requests emitted
+  std::int64_t sender_frames_dropped = 0;  // in-flight state purged on PLI
+  std::int64_t feedback_stale_episodes = 0;  // watchdog fallback entries
+  SimDuration feedback_stale_time = 0;       // total time feedback was dark
+};
+
 /// Point for the Fig. 15-style scatter: buffer occupancy vs. trailing
 /// one-second uplink TBS throughput.
 struct BufferTbsPoint {
@@ -65,6 +81,9 @@ class SessionMetrics {
   void add_throughput_second(Bitrate received_rate);
   void note_sender_skipped_frame() { ++skipped_frames_; }
   void set_diag_robustness(const DiagRobustness& r) { robustness_ = r; }
+  void set_transport_robustness(const TransportRobustness& r) {
+    transport_ = r;
+  }
   /// Identity of the run these metrics came from (the runner assigns the
   /// grid index); merge() orders its inputs by this so pooled distributions
   /// are invariant to completion order. -1 = unassigned (input order kept).
@@ -88,7 +107,8 @@ class SessionMetrics {
   std::vector<double> mos_pdf() const;  // indexed by video::Mos
 
   /// Freeze ratio: frames delayed beyond the threshold, plus frames the
-  /// sender had to skip under backlog (they were never shown on time).
+  /// sender had to skip under backlog and frames the receiver abandoned
+  /// under loss (neither was ever shown on time).
   double freeze_ratio(SimDuration threshold = msec(600)) const;
 
   /// Distribution of end-to-end frame delay in ms (Fig. 13 CDFs).
@@ -115,6 +135,9 @@ class SessionMetrics {
   std::int64_t skipped_frames() const { return skipped_frames_; }
 
   const DiagRobustness& diag_robustness() const { return robustness_; }
+  const TransportRobustness& transport_robustness() const {
+    return transport_;
+  }
   /// Fraction of rate samples taken while FBCC was in degraded mode.
   double degraded_sample_fraction() const;
 
@@ -125,6 +148,7 @@ class SessionMetrics {
   std::vector<double> throughput_bps_;
   std::int64_t skipped_frames_ = 0;
   DiagRobustness robustness_;
+  TransportRobustness transport_;
   std::int64_t run_id_ = -1;
 };
 

@@ -29,6 +29,20 @@ void Pacer::enqueue_front(RtpPacket packet) {
 
 void Pacer::set_rate(Bitrate rate) { rate_ = std::max(rate, 0.0); }
 
+std::size_t Pacer::drop_frame(std::int64_t frame_id) {
+  std::size_t dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->frame_id == frame_id) {
+      queued_bytes_ -= it->bytes;
+      it = queue_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 void Pacer::on_tick() {
   budget_bytes_ += rate_ * to_seconds(tick_) / 8.0;
   // An idle pacer must not bank unbounded credit: cap at two ticks' worth

@@ -36,6 +36,13 @@ class Pacer {
   void set_rate(Bitrate rate);
   Bitrate rate() const { return rate_; }
 
+  /// Purges queued packets of an abandoned frame (keyframe-recovery path:
+  /// the receiver has already given up on it, so pacing its remaining
+  /// fragments would burn uplink bytes a famine can't spare). Returns the
+  /// number of packets dropped. Retransmissions already queued for the
+  /// frame are purged too.
+  std::size_t drop_frame(std::int64_t frame_id);
+
   std::int64_t queued_bytes() const { return queued_bytes_; }
   std::size_t queued_packets() const { return queue_.size(); }
 

@@ -5,31 +5,71 @@
 
 namespace poi360::rtp {
 
+namespace {
+// How many finished frame ids to remember for staleness filtering. Bounded
+// so the filter itself cannot grow; deep enough that a duplicate delayed by
+// whole seconds still hits it.
+constexpr std::size_t kFinishedHistory = 1024;
+}  // namespace
+
+RtpReceiver::RtpReceiver(sim::Simulator& simulator, Config config,
+                         FrameSink frame_sink, NackSink nack_sink)
+    : sim_(simulator),
+      config_(config),
+      frame_sink_(std::move(frame_sink)),
+      nack_sink_(std::move(nack_sink)) {}
+
 RtpReceiver::RtpReceiver(sim::Simulator& simulator, FrameSink frame_sink,
                          NackSink nack_sink, SimDuration nack_retry)
-    : sim_(simulator),
-      frame_sink_(std::move(frame_sink)),
-      nack_sink_(std::move(nack_sink)),
-      nack_retry_(nack_retry) {}
+    : RtpReceiver(simulator, Config{.nack_retry = nack_retry},
+                  std::move(frame_sink), std::move(nack_sink)) {}
 
 void RtpReceiver::start() {
-  sim_.schedule_periodic(sim_.now() + nack_retry_, nack_retry_,
+  sim_.schedule_periodic(sim_.now() + config_.nack_retry, config_.nack_retry,
                          [this]() { on_nack_retry(); });
 }
 
-void RtpReceiver::detect_gaps(std::int64_t seq) {
+bool RtpReceiver::validate(const RtpPacket& packet) {
+  if (packet.seq < 0 || packet.frame_id < 0 || packet.bytes <= 0 ||
+      packet.fragments <= 0 || packet.fragments > config_.max_fragments ||
+      packet.fragment < 0 || packet.fragment >= packet.fragments) {
+    return false;
+  }
+  // A seq absurdly far ahead of the stream is a corrupted header, not
+  // 20000 genuine losses: NACKing the whole range would flood the reverse
+  // path and pin per-seq state for packets that never existed.
+  if (packet.seq > next_expected_seq_ + config_.max_seq_jump) return false;
+  return true;
+}
+
+SimDuration RtpReceiver::retry_interval(int attempts) const {
+  if (!config_.nack_backoff) return 0;  // eligible at every tick (legacy)
+  const int exponent = std::min(attempts - 1, 4);
+  return config_.nack_retry * (SimDuration{1} << exponent);
+}
+
+void RtpReceiver::detect_gaps(std::int64_t seq, SimTime now) {
   if (seq < next_expected_seq_) {
     // Retransmission (or reordering): no longer missing.
-    outstanding_nacks_.erase(seq);
+    nacks_.erase(seq);
     return;
   }
   if (seq > next_expected_seq_) {
     std::vector<std::int64_t> missing;
     for (std::int64_t s = next_expected_seq_; s < seq; ++s) {
       missing.push_back(s);
-      outstanding_nacks_.insert(s);
+      nacks_.emplace(s, NackState{.attempts = 1,
+                                  .next_retry_at = now + retry_interval(1)});
     }
     interval_lost_ += static_cast<std::int64_t>(missing.size());
+    recovery_.peak_outstanding_nacks =
+        std::max(recovery_.peak_outstanding_nacks, nacks_.size());
+    // Cap the per-loss state: the oldest seqs are the least likely to ever
+    // be retransmitted, so they go first.
+    while (nacks_.size() > config_.max_outstanding_nacks) {
+      nacks_.erase(nacks_.begin());
+      ++recovery_.nack_evictions;
+    }
     if (nack_sink_ && !missing.empty()) {
       nacks_sent_ += static_cast<std::int64_t>(missing.size());
       nack_sink_(missing);
@@ -38,7 +78,22 @@ void RtpReceiver::detect_gaps(std::int64_t seq) {
   next_expected_seq_ = seq + 1;
 }
 
+void RtpReceiver::mark_finished(std::int64_t frame_id) {
+  if (finished_.insert(frame_id).second) {
+    finished_order_.push_back(frame_id);
+    while (finished_order_.size() > kFinishedHistory) {
+      finished_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+  }
+}
+
 void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
+  if (!validate(packet)) {
+    ++recovery_.invalid_packets;
+    return;
+  }
+
   ++interval_received_;
   total_bytes_ += packet.bytes;
   arrivals_.emplace_back(arrival, packet.bytes);
@@ -46,7 +101,14 @@ void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
     arrivals_.pop_front();
   }
 
-  detect_gaps(packet.seq);
+  detect_gaps(packet.seq, arrival);
+
+  if (finished_.count(packet.frame_id)) {
+    // Late duplicate of a frame already delivered or abandoned; opening a
+    // fresh assembly for it would leak state that can never complete.
+    ++recovery_.stale_packets;
+    return;
+  }
 
   auto& a = frames_[packet.frame_id];
   if (a.received.empty()) {
@@ -54,10 +116,36 @@ void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
     a.capture_time = packet.capture_time;
     a.first_send_time = packet.send_time;
     a.first_arrival = arrival;
+    recovery_.peak_assemblies =
+        std::max(recovery_.peak_assemblies, frames_.size());
+    if (frames_.size() > config_.max_assemblies) {
+      // Evict the stalest assembly (never the one just opened).
+      std::int64_t victim = packet.frame_id;
+      SimTime oldest = arrival + 1;
+      for (const auto& [id, asm_] : frames_) {
+        if (id == packet.frame_id) continue;
+        if (asm_.first_arrival < oldest ||
+            (asm_.first_arrival == oldest && id < victim)) {
+          oldest = asm_.first_arrival;
+          victim = id;
+        }
+      }
+      if (victim != packet.frame_id) {
+        std::vector<std::int64_t> abandoned;
+        evict_assembly(victim, abandoned);
+        ++recovery_.assembly_evictions;
+        if (pli_sink_ && !abandoned.empty()) {
+          recovery_.keyframe_requests +=
+              static_cast<std::int64_t>(abandoned.size());
+          pli_sink_(abandoned);
+        }
+      }
+    }
   }
   const auto idx = static_cast<std::size_t>(packet.fragment);
   if (idx >= a.received.size() || a.received[idx]) {
-    return;  // duplicate
+    ++recovery_.duplicate_packets;
+    return;
   }
   a.received[idx] = 1;
   ++a.received_count;
@@ -79,15 +167,62 @@ void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
         .had_loss = a.had_loss,
     };
     frames_.erase(packet.frame_id);
+    mark_finished(packet.frame_id);
     ++frames_completed_;
     if (frame_sink_) frame_sink_(done);
   }
 }
 
+void RtpReceiver::evict_assembly(std::int64_t frame_id,
+                                 std::vector<std::int64_t>& abandoned) {
+  frames_.erase(frame_id);
+  mark_finished(frame_id);
+  abandoned.push_back(frame_id);
+}
+
+void RtpReceiver::abandon_overdue(SimTime now) {
+  if (config_.frame_deadline <= 0) return;
+  std::vector<std::int64_t> overdue;
+  for (const auto& [id, a] : frames_) {
+    if (now - a.first_arrival >= config_.frame_deadline) {
+      overdue.push_back(id);
+    }
+  }
+  if (overdue.empty()) return;
+  std::sort(overdue.begin(), overdue.end());
+  std::vector<std::int64_t> abandoned;
+  for (std::int64_t id : overdue) evict_assembly(id, abandoned);
+  recovery_.frames_abandoned += static_cast<std::int64_t>(abandoned.size());
+  if (pli_sink_) {
+    recovery_.keyframe_requests +=
+        static_cast<std::int64_t>(abandoned.size());
+    pli_sink_(abandoned);
+  }
+}
+
 void RtpReceiver::on_nack_retry() {
-  if (outstanding_nacks_.empty() || !nack_sink_) return;
-  std::vector<std::int64_t> missing(outstanding_nacks_.begin(),
-                                    outstanding_nacks_.end());
+  const SimTime now = sim_.now();
+  abandon_overdue(now);
+  if (nacks_.empty() || !nack_sink_) return;
+  std::vector<std::int64_t> missing;
+  for (auto it = nacks_.begin(); it != nacks_.end();) {
+    NackState& state = it->second;
+    if (now < state.next_retry_at) {
+      ++it;
+      continue;
+    }
+    if (config_.nack_retry_budget > 0 &&
+        state.attempts >= config_.nack_retry_budget) {
+      it = nacks_.erase(it);
+      ++recovery_.nack_give_ups;
+      continue;
+    }
+    ++state.attempts;
+    state.next_retry_at = now + retry_interval(state.attempts);
+    missing.push_back(it->first);
+    ++it;
+  }
+  if (missing.empty()) return;
   nacks_sent_ += static_cast<std::int64_t>(missing.size());
   nack_sink_(missing);
 }

@@ -3,8 +3,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <set>
+#include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "poi360/common/time.h"
@@ -16,8 +17,44 @@ namespace poi360::rtp {
 
 /// Reassembles frames from RTP packets, recovers losses via NACK, and keeps
 /// the arrival statistics the congestion controllers feed on.
+///
+/// Recovery is bounded: every per-loss and per-frame state this class holds
+/// has a cap or a deadline, so a hostile packet stream (bursty loss,
+/// reordering, duplication, garbage headers — see `net::ChaosConfig`) can
+/// degrade quality but can never grow the receiver's memory without limit
+/// or leave a frame waiting forever.
 class RtpReceiver {
  public:
+  /// Loss-recovery policy. The defaults reproduce the legacy behaviour
+  /// exactly (unlimited retries at the `nack_retry` cadence, no frame
+  /// abandonment) so clean-path runs stay byte-identical; the hard state
+  /// caps are always enforced but sit far above what a healthy session
+  /// uses. Chaos scenarios tighten the budgets.
+  struct Config {
+    /// NACK retry cadence (also the deadline-scan cadence).
+    SimDuration nack_retry = msec(100);
+    /// Max NACK transmissions per missing seq (initial + retries);
+    /// 0 = unlimited (legacy). Exhausting the budget gives the seq up —
+    /// its frame is then rescued only by the abandonment deadline.
+    int nack_retry_budget = 0;
+    /// When true, the per-seq retry interval doubles after every attempt
+    /// (capped at 16x); false keeps the legacy every-tick resend.
+    bool nack_backoff = false;
+    /// Incomplete assemblies older than this are abandoned: state evicted,
+    /// the frame declared lost, and a PLI-style keyframe-recovery request
+    /// emitted. 0 disables the deadline (legacy).
+    SimDuration frame_deadline = 0;
+    /// Hard caps on reassembly and NACK state (always enforced; oldest
+    /// entries are evicted first).
+    std::size_t max_assemblies = 256;
+    std::size_t max_outstanding_nacks = 4096;
+    /// A packet whose seq jumps further than this past the next expected
+    /// seq is rejected as garbage instead of NACKing the whole range.
+    std::int64_t max_seq_jump = 20000;
+    /// Header plausibility ceiling: fragments-per-frame.
+    int max_fragments = 4096;
+  };
+
   /// A fully received frame, with the timing needed downstream: the display
   /// pipeline uses `completion`, GCC's delay-gradient filter uses the
   /// (send, arrival) pairs of consecutive frames.
@@ -33,14 +70,36 @@ class RtpReceiver {
     bool had_loss = false;
   };
 
+  /// Robustness counters: what the validation and bounded-recovery layers
+  /// did to a (possibly hostile) packet stream.
+  struct RecoveryStats {
+    std::int64_t invalid_packets = 0;    // failed header validation
+    std::int64_t stale_packets = 0;      // for already finished frames
+    std::int64_t duplicate_packets = 0;  // fragment already held
+    std::int64_t frames_abandoned = 0;   // deadline expiries
+    std::int64_t assembly_evictions = 0; // cap-driven evictions
+    std::int64_t nack_give_ups = 0;      // retry budget exhausted
+    std::int64_t nack_evictions = 0;     // cap-driven NACK-state drops
+    std::int64_t keyframe_requests = 0;  // abandoned frames signalled (PLI)
+    std::size_t peak_assemblies = 0;     // high-water marks vs. the caps
+    std::size_t peak_outstanding_nacks = 0;
+  };
+
   using FrameSink = std::function<void(const CompletedFrame&)>;
   /// Batch of sequence numbers to retransmit.
   using NackSink = std::function<void(const std::vector<std::int64_t>&)>;
+  /// Batch of abandoned frame ids (PLI-style keyframe-recovery request).
+  using PliSink = std::function<void(const std::vector<std::int64_t>&)>;
 
   RtpReceiver(sim::Simulator& simulator, FrameSink frame_sink,
               NackSink nack_sink, SimDuration nack_retry = msec(100));
+  RtpReceiver(sim::Simulator& simulator, Config config, FrameSink frame_sink,
+              NackSink nack_sink);
 
-  /// Begins the periodic NACK retry schedule. Call once.
+  /// Installs the keyframe-recovery request sink (optional).
+  void set_pli_sink(PliSink sink) { pli_sink_ = std::move(sink); }
+
+  /// Begins the periodic NACK retry + abandonment schedule. Call once.
   void start();
 
   void on_packet(const RtpPacket& packet, SimTime arrival);
@@ -56,6 +115,11 @@ class RtpReceiver {
   std::int64_t frames_completed() const { return frames_completed_; }
   std::int64_t nacks_sent() const { return nacks_sent_; }
 
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+  std::size_t assemblies() const { return frames_.size(); }
+  std::size_t outstanding_nacks() const { return nacks_.size(); }
+  const Config& config() const { return config_; }
+
  private:
   struct Assembly {
     std::vector<char> received;
@@ -68,17 +132,36 @@ class RtpReceiver {
     bool had_loss = false;
   };
 
+  /// Per-missing-seq recovery state (ordered: lowest = oldest loss).
+  struct NackState {
+    int attempts = 0;        // transmissions so far
+    SimTime next_retry_at = 0;
+  };
+
+  bool validate(const RtpPacket& packet);
+  void detect_gaps(std::int64_t seq, SimTime now);
   void on_nack_retry();
-  void detect_gaps(std::int64_t seq);
+  void abandon_overdue(SimTime now);
+  void evict_assembly(std::int64_t frame_id,
+                      std::vector<std::int64_t>& abandoned);
+  void mark_finished(std::int64_t frame_id);
+  SimDuration retry_interval(int attempts) const;
 
   sim::Simulator& sim_;
+  Config config_;
   FrameSink frame_sink_;
   NackSink nack_sink_;
-  SimDuration nack_retry_;
+  PliSink pli_sink_;
 
   std::unordered_map<std::int64_t, Assembly> frames_;
   std::int64_t next_expected_seq_ = 0;
-  std::set<std::int64_t> outstanding_nacks_;
+  std::map<std::int64_t, NackState> nacks_;
+
+  // Recently finished (completed or abandoned) frames: packets for these
+  // are stale — without this a late duplicate would re-open a ghost
+  // assembly that can never complete.
+  std::unordered_set<std::int64_t> finished_;
+  std::deque<std::int64_t> finished_order_;
 
   // Interval loss accounting.
   std::int64_t interval_received_ = 0;
@@ -90,6 +173,7 @@ class RtpReceiver {
   std::int64_t total_bytes_ = 0;
   std::int64_t frames_completed_ = 0;
   std::int64_t nacks_sent_ = 0;
+  RecoveryStats recovery_;
 };
 
 }  // namespace poi360::rtp

@@ -17,7 +17,13 @@ class SentPacketCache {
       : capacity_(capacity) {}
 
   void insert(const RtpPacket& packet) {
-    by_seq_[packet.seq] = packet;
+    // Re-inserting a seq (a retransmission passing the pacer again) only
+    // refreshes the payload: pushing `order_` twice would let the first
+    // eviction of that seq erase a map entry a later `order_` slot still
+    // references, silently shrinking the effective capacity.
+    const auto [it, inserted] = by_seq_.insert_or_assign(packet.seq, packet);
+    (void)it;
+    if (!inserted) return;
     order_.push_back(packet.seq);
     while (order_.size() > capacity_) {
       by_seq_.erase(order_.front());

@@ -1,0 +1,31 @@
+# Helper for the asan_gate ctest target: build the rtp + chaos test labels
+# under AddressSanitizer (+UBSan) in a nested build directory and run them.
+# The directory persists between invocations for incremental rebuilds.
+# Variables: SRC_DIR, GATE_DIR.
+
+if(NOT EXISTS ${GATE_DIR}/CMakeCache.txt)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -S ${SRC_DIR} -B ${GATE_DIR}
+      -DPOI360_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE config_rc)
+  if(NOT config_rc EQUAL 0)
+    message(FATAL_ERROR "asan gate configure failed (rc=${config_rc})")
+  endif()
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${GATE_DIR} -j 2
+    --target poi360_rtp_tests poi360_chaos_tests
+  RESULT_VARIABLE build_rc)
+if(NOT build_rc EQUAL 0)
+  message(FATAL_ERROR "asan gate build failed (rc=${build_rc})")
+endif()
+
+foreach(bin poi360_rtp_tests poi360_chaos_tests)
+  execute_process(
+    COMMAND ${GATE_DIR}/tests/${bin}
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "${bin} failed under ASan (rc=${run_rc})")
+  endif()
+endforeach()

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
+#include "poi360/net/chaos.h"
 #include "poi360/net/link.h"
 #include "poi360/net/queue.h"
 #include "poi360/sim/simulator.h"
@@ -124,6 +126,170 @@ TEST(DrainQueue, TracksQueuedBytes) {
   // 8 kbps = 1000 B/s: after ~600 ms the first packet (500 B) has left.
   s.run_until(msec(600));
   EXPECT_EQ(q.queued_bytes(), 300);
+}
+
+// -------------------------------------------------------------- chaos --
+
+// The load-bearing contract: a ChaosLink whose fault profile is all zeros
+// must consume the RNG draw-for-draw like a DelayLink with the same seed
+// and deliver every message at the identical time in the identical order.
+// Every clean-path bench's byte-identity rests on this.
+TEST(ChaosLink, ZeroFaultProfileReplaysDelayLinkExactly) {
+  const DelayLinkConfig base{msec(20), msec(8), 0.02};
+  const std::uint64_t seed = 0xD1FF;
+
+  auto run = [&](auto make_link) {
+    sim::Simulator s;
+    std::vector<std::pair<int, SimTime>> got;
+    auto link = make_link(s, got);
+    for (int i = 0; i < 3000; ++i) {
+      s.schedule_at(msec(i), [&link, i]() { link->send({i, 100}); });
+    }
+    s.run_until(sec(10));
+    return got;
+  };
+
+  const auto plain = run([&](sim::Simulator& s, auto& got) {
+    return std::make_unique<DelayLink<Msg>>(
+        s, base, seed,
+        [&got](Msg m, SimTime at) { got.emplace_back(m.id, at); });
+  });
+  const auto chaos = run([&](sim::Simulator& s, auto& got) {
+    return std::make_unique<ChaosLink<Msg>>(
+        s, base, ChaosConfig{}, seed,
+        [&got](Msg m, SimTime at) { got.emplace_back(m.id, at); });
+  });
+
+  ASSERT_FALSE(plain.empty());
+  ASSERT_EQ(plain.size(), chaos.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].first, chaos[i].first) << "index " << i;
+    EXPECT_EQ(plain[i].second, chaos[i].second) << "index " << i;
+  }
+}
+
+TEST(ChaosLink, GilbertElliottLossComesInBursts) {
+  sim::Simulator s;
+  std::vector<int> got;
+  ChaosConfig chaos;
+  chaos.ge_p_good_bad = 0.02;
+  chaos.ge_p_bad_good = 0.25;  // fades last ~4 packets
+  chaos.ge_loss_bad = 0.9;
+  ChaosLink<Msg> link(s, {msec(5), 0, 0.0}, chaos, 11,
+                      [&](Msg m, SimTime) { got.push_back(m.id); });
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    s.schedule_at(msec(i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(30));
+  const auto& st = link.stats();
+  EXPECT_EQ(st.sent, n);
+  EXPECT_EQ(st.delivered + st.dropped(), n);
+  EXPECT_GT(st.dropped_burst, 200);
+  // Burstiness: with ~7% average loss, independent drops almost never form
+  // runs of 3+; the two-state chain forms them constantly.
+  int runs3 = 0, streak = 0;
+  for (int i = 0, j = 0; i < n; ++i) {
+    const bool delivered =
+        j < static_cast<int>(got.size()) && got[static_cast<std::size_t>(j)] == i;
+    if (delivered) {
+      ++j;
+      streak = 0;
+    } else if (++streak == 3) {
+      ++runs3;
+    }
+  }
+  EXPECT_GT(runs3, 20);
+}
+
+TEST(ChaosLink, ReorderedPacketsAreOvertaken) {
+  sim::Simulator s;
+  std::vector<int> order;
+  ChaosConfig chaos;
+  chaos.reorder_prob = 0.2;
+  chaos.reorder_extra = msec(40);
+  ChaosLink<Msg> link(s, {msec(10), 0, 0.0}, chaos, 5,
+                      [&](Msg m, SimTime) { order.push_back(m.id); });
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    s.schedule_at(msec(2 * i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(10));
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(n));  // nothing lost
+  EXPECT_GT(link.stats().reordered, 100);
+  int inversions = 0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) ++inversions;
+  }
+  EXPECT_GT(inversions, 50);
+}
+
+TEST(ChaosLink, DuplicatesDeliverTheMessageTwice) {
+  sim::Simulator s;
+  std::vector<int> got;
+  ChaosConfig chaos;
+  chaos.duplicate_prob = 1.0;
+  ChaosLink<Msg> link(s, {msec(10), 0, 0.0}, chaos, 3,
+                      [&](Msg m, SimTime) { got.push_back(m.id); });
+  for (int i = 0; i < 50; ++i) {
+    s.schedule_at(msec(10 * i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(5));
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_EQ(link.stats().duplicated, 50);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(std::count(got.begin(), got.end(), i), 2) << "id " << i;
+  }
+}
+
+TEST(ChaosLink, BlackoutWindowsDropEverythingInside) {
+  sim::Simulator s;
+  int received = 0;
+  ChaosConfig chaos;
+  chaos.blackout_per_min = 30.0;  // one every ~2 s
+  chaos.blackout_mean_duration = msec(500);
+  chaos.blackout_min_duration = msec(300);
+  ChaosLink<Msg> link(s, {msec(5), 0, 0.0}, chaos, 9,
+                      [&](Msg, SimTime) { ++received; });
+  const int n = 20000;  // one per ms: 20 s of traffic
+  for (int i = 0; i < n; ++i) {
+    s.schedule_at(msec(i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(30));
+  const auto& st = link.stats();
+  EXPECT_GT(st.blackouts, 3);
+  EXPECT_GT(st.dropped_blackout, 1000);  // windows >= 300 ms at 1 pkt/ms
+  EXPECT_EQ(received + st.dropped(), n);
+}
+
+TEST(ChaosLink, DelaySpikesStretchDeliveryWithoutLoss) {
+  sim::Simulator s;
+  std::vector<SimTime> delays;
+  ChaosConfig chaos;
+  chaos.spike_per_min = 30.0;
+  chaos.spike_mean_extra = msec(200);
+  chaos.spike_duration = msec(600);
+  ChaosLink<Msg> link(s, {msec(10), 0, 0.0}, chaos, 21,
+                      [&](Msg, SimTime at) { delays.push_back(at); });
+  std::vector<SimTime> sent_at;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    sent_at.push_back(msec(4 * i));
+    s.schedule_at(msec(4 * i), [&link, i]() { link.send({i, 100}); });
+  }
+  s.run_until(sec(60));
+  ASSERT_EQ(delays.size(), static_cast<std::size_t>(n));
+  EXPECT_GT(link.stats().spikes, 2);
+  EXPECT_GT(link.stats().delay_spiked, 100);
+  // FIFO holds even through spikes, and spiked packets took extra time.
+  SimDuration max_delay = 0;
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(delays[i], delays[i - 1]);
+    }
+    max_delay = std::max(max_delay, delays[i] - sent_at[i]);
+  }
+  EXPECT_GT(max_delay, msec(50));
 }
 
 }  // namespace

@@ -157,6 +157,43 @@ TEST(SentPacketCache, LookupAndEviction) {
   EXPECT_EQ(cache.lookup(4)->bytes, 104);
 }
 
+TEST(SentPacketCache, DuplicateSeqUpdatesInPlaceWithoutEviction) {
+  // Re-inserting a seq (pacer resending a retransmission) must not grow the
+  // eviction order: the old bookkeeping double-counted the seq and evicted
+  // live entries early.
+  SentPacketCache cache(3);
+  RtpPacket p;
+  p.seq = 0;
+  p.bytes = 100;
+  cache.insert(p);
+  p.bytes = 999;  // same seq, refreshed payload
+  cache.insert(p);
+  EXPECT_EQ(cache.size(), 1u);
+  ASSERT_TRUE(cache.lookup(0).has_value());
+  EXPECT_EQ(cache.lookup(0)->bytes, 999);
+
+  for (int i = 1; i <= 2; ++i) {
+    RtpPacket q;
+    q.seq = i;
+    q.bytes = 100 + i;
+    cache.insert(q);
+  }
+  // Exactly at capacity: every seq must still be resident. With the old
+  // duplicate handling, seq 0 occupied two order slots and seq 0 and 1 were
+  // evicted here.
+  EXPECT_EQ(cache.size(), 3u);
+  for (int i = 0; i <= 2; ++i) {
+    EXPECT_TRUE(cache.lookup(i).has_value()) << "seq " << i;
+  }
+  RtpPacket q;
+  q.seq = 3;
+  q.bytes = 103;
+  cache.insert(q);
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(cache.lookup(0).has_value());  // true FIFO eviction
+  EXPECT_TRUE(cache.lookup(3).has_value());
+}
+
 // ------------------------------------------------------------- receiver --
 
 struct ReceiverHarness {
@@ -256,6 +293,182 @@ TEST(Receiver, IncomingRateNeedsFullWindow) {
   auto pkt = p.packetize(0, 0, 1000)[0];
   h.receiver.on_packet(pkt, msec(10));
   EXPECT_DOUBLE_EQ(h.receiver.incoming_rate(msec(500)), 0.0);
+}
+
+// ------------------------------------------------- bounded recovery --
+
+// Harness with an explicit recovery config and a PLI sink.
+struct BoundedHarness {
+  explicit BoundedHarness(RtpReceiver::Config config) : receiver{make(config)} {}
+
+  RtpReceiver make(RtpReceiver::Config config) {
+    return RtpReceiver(
+        s, config,
+        [this](const RtpReceiver::CompletedFrame& f) { frames.push_back(f); },
+        [this](const std::vector<std::int64_t>& seqs) {
+          nacked.insert(nacked.end(), seqs.begin(), seqs.end());
+        });
+  }
+
+  sim::Simulator s;
+  std::vector<RtpReceiver::CompletedFrame> frames;
+  std::vector<std::int64_t> nacked;
+  std::vector<std::int64_t> plis;
+  RtpReceiver receiver;
+};
+
+RtpPacket make_packet(std::int64_t seq, std::int64_t frame_id, int fragment,
+                      int fragments, std::int64_t bytes = 1000) {
+  RtpPacket p;
+  p.seq = seq;
+  p.frame_id = frame_id;
+  p.fragment = fragment;
+  p.fragments = fragments;
+  p.bytes = bytes;
+  return p;
+}
+
+TEST(Receiver, RejectsGarbageHeaders) {
+  BoundedHarness h{{}};
+  h.receiver.on_packet(make_packet(-1, 0, 0, 1), msec(1));      // bad seq
+  h.receiver.on_packet(make_packet(0, -5, 0, 1), msec(1));      // bad frame
+  h.receiver.on_packet(make_packet(0, 0, 0, 1, 0), msec(1));    // empty
+  h.receiver.on_packet(make_packet(0, 0, 2, 2), msec(1));       // frag oob
+  h.receiver.on_packet(make_packet(0, 0, -1, 2), msec(1));      // frag < 0
+  h.receiver.on_packet(make_packet(0, 0, 0, 0), msec(1));       // no frags
+  h.receiver.on_packet(make_packet(0, 0, 0, 1 << 20), msec(1)); // frag flood
+  EXPECT_EQ(h.receiver.recovery_stats().invalid_packets, 7);
+  EXPECT_EQ(h.receiver.assemblies(), 0u);
+  EXPECT_TRUE(h.nacked.empty());
+  EXPECT_EQ(h.receiver.total_media_bytes(), 0);
+}
+
+TEST(Receiver, RejectsAbsurdSeqJumpInsteadOfNackingTheRange) {
+  BoundedHarness h{{}};
+  h.receiver.on_packet(make_packet(0, 0, 0, 2), msec(1));
+  // A corrupted header claiming seq 1e9 is not a billion losses.
+  h.receiver.on_packet(make_packet(1'000'000'000, 1, 0, 2), msec(2));
+  EXPECT_EQ(h.receiver.recovery_stats().invalid_packets, 1);
+  EXPECT_TRUE(h.nacked.empty());
+  EXPECT_EQ(h.receiver.outstanding_nacks(), 0u);
+  // The stream continues undisturbed afterwards.
+  h.receiver.on_packet(make_packet(1, 0, 1, 2), msec(3));
+  EXPECT_EQ(h.frames.size(), 1u);
+}
+
+TEST(Receiver, StalePacketDoesNotReopenFinishedFrame) {
+  BoundedHarness h{{}};
+  const auto p0 = make_packet(0, 7, 0, 2);
+  const auto p1 = make_packet(1, 7, 1, 2);
+  h.receiver.on_packet(p0, msec(1));
+  h.receiver.on_packet(p1, msec(2));
+  ASSERT_EQ(h.frames.size(), 1u);
+  EXPECT_EQ(h.receiver.assemblies(), 0u);
+  // A late duplicate of the finished frame must not open a ghost assembly
+  // (the legacy receiver leaked one per late duplicate).
+  h.receiver.on_packet(p1, msec(40));
+  EXPECT_EQ(h.receiver.assemblies(), 0u);
+  EXPECT_EQ(h.receiver.recovery_stats().stale_packets, 1);
+  EXPECT_EQ(h.frames.size(), 1u);  // and never double-completes
+}
+
+TEST(Receiver, ReorderedFragmentsStillAssemble) {
+  BoundedHarness h{{}};
+  // Frame of 4 fragments arriving 3,0,2,1: NACKs fire for the transient
+  // gaps, but the frame completes and each seq's state clears on arrival.
+  h.receiver.on_packet(make_packet(3, 0, 3, 4), msec(1));
+  EXPECT_EQ(h.nacked, (std::vector<std::int64_t>{0, 1, 2}));
+  h.receiver.on_packet(make_packet(0, 0, 0, 4), msec(2));
+  h.receiver.on_packet(make_packet(2, 0, 2, 4), msec(3));
+  h.receiver.on_packet(make_packet(1, 0, 1, 4), msec(4));
+  ASSERT_EQ(h.frames.size(), 1u);
+  EXPECT_EQ(h.frames[0].fragments, 4);
+  EXPECT_EQ(h.receiver.outstanding_nacks(), 0u);
+}
+
+TEST(Receiver, NackBudgetGivesUpAfterConfiguredAttempts) {
+  BoundedHarness h{{.nack_retry_budget = 3}};
+  h.receiver.start();
+  h.s.schedule_at(msec(1), [&]() {
+    h.receiver.on_packet(make_packet(0, 0, 0, 3), msec(1));
+    h.receiver.on_packet(make_packet(2, 0, 2, 3), msec(1));  // seq 1 missing
+  });
+  h.s.run_until(sec(2));
+  // Initial NACK (attempt 1) + retries up to the budget, then give up.
+  EXPECT_EQ(h.nacked.size(), 3u);
+  EXPECT_EQ(h.receiver.outstanding_nacks(), 0u);
+  EXPECT_EQ(h.receiver.recovery_stats().nack_give_ups, 1);
+}
+
+TEST(Receiver, NackBackoffDoublesTheRetryInterval) {
+  auto count_nacks = [](bool backoff) {
+    BoundedHarness h{{.nack_backoff = backoff}};
+    h.receiver.start();
+    h.s.schedule_at(msec(1), [&]() {
+      h.receiver.on_packet(make_packet(0, 0, 0, 3), msec(1));
+      h.receiver.on_packet(make_packet(2, 0, 2, 3), msec(1));
+    });
+    h.s.run_until(msec(950));  // ticks at 100..900 ms
+    return h.nacked.size();
+  };
+  // Legacy cadence: initial + one per 100 ms tick. Backoff: initial, then
+  // ~200/400/800 ms — a third of the reverse-path traffic.
+  const auto legacy = count_nacks(false);
+  const auto backed = count_nacks(true);
+  EXPECT_EQ(legacy, 10u);
+  EXPECT_EQ(backed, 4u);
+}
+
+TEST(Receiver, FrameDeadlineAbandonsAndRequestsKeyframe) {
+  BoundedHarness h{{.frame_deadline = msec(300)}};
+  h.receiver.set_pli_sink([&](const std::vector<std::int64_t>& ids) {
+    h.plis.insert(h.plis.end(), ids.begin(), ids.end());
+  });
+  h.receiver.start();
+  h.s.schedule_at(msec(1), [&]() {
+    h.receiver.on_packet(make_packet(0, 5, 0, 2), msec(1));  // never finishes
+  });
+  h.s.run_until(sec(1));
+  EXPECT_TRUE(h.frames.empty());
+  EXPECT_EQ(h.receiver.assemblies(), 0u);
+  const auto& r = h.receiver.recovery_stats();
+  EXPECT_EQ(r.frames_abandoned, 1);
+  EXPECT_EQ(r.keyframe_requests, 1);
+  EXPECT_EQ(h.plis, (std::vector<std::int64_t>{5}));
+  // The straggler arriving after abandonment is stale, not a ghost.
+  h.receiver.on_packet(make_packet(1, 5, 1, 2), sec(1));
+  EXPECT_EQ(h.receiver.assemblies(), 0u);
+  EXPECT_EQ(h.receiver.recovery_stats().stale_packets, 1);
+}
+
+TEST(Receiver, AssemblyCapEvictsTheStalestFrame) {
+  BoundedHarness h{{.max_assemblies = 4}};
+  h.receiver.set_pli_sink([&](const std::vector<std::int64_t>& ids) {
+    h.plis.insert(h.plis.end(), ids.begin(), ids.end());
+  });
+  // Six incomplete 2-fragment frames; contiguous seqs so no NACK noise.
+  for (int f = 0; f < 6; ++f) {
+    h.receiver.on_packet(make_packet(f, f, 0, 2), msec(10 * (f + 1)));
+  }
+  EXPECT_EQ(h.receiver.assemblies(), 4u);
+  const auto& r = h.receiver.recovery_stats();
+  EXPECT_EQ(r.assembly_evictions, 2);
+  EXPECT_EQ(h.plis, (std::vector<std::int64_t>{0, 1}));  // oldest first
+  EXPECT_EQ(r.peak_assemblies, 5u);  // transiently one over, then evicted
+  // Evicted frames are finished: their packets are now stale.
+  h.receiver.on_packet(make_packet(100, 0, 1, 2), msec(100));
+  EXPECT_EQ(h.receiver.recovery_stats().stale_packets, 1);
+  EXPECT_EQ(h.receiver.assemblies(), 4u);
+}
+
+TEST(Receiver, NackStateIsCappedAtTheConfiguredLimit) {
+  BoundedHarness h{{.max_outstanding_nacks = 10}};
+  h.receiver.on_packet(make_packet(0, 0, 0, 2), msec(1));
+  h.receiver.on_packet(make_packet(50, 1, 0, 2), msec(2));  // 49 missing
+  EXPECT_EQ(h.receiver.outstanding_nacks(), 10u);
+  const auto& r = h.receiver.recovery_stats();
+  EXPECT_EQ(r.nack_evictions, 39);
+  EXPECT_EQ(r.peak_outstanding_nacks, 49u);
 }
 
 TEST(Receiver, IncomingRateMatchesSteadyStream) {
