@@ -15,6 +15,7 @@
 #include "poi360/core/fbcc.h"
 #include "poi360/core/mismatch.h"
 #include "poi360/gcc/trendline.h"
+#include "poi360/obs/trace.h"
 #include "poi360/roi/head_motion.h"
 #include "poi360/sim/simulator.h"
 #include "poi360/video/encoder.h"
@@ -159,6 +160,57 @@ static void BM_SimulatorPayloadEvents(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorPayloadEvents);
+
+// The tracing hot path in its three states, guarding the "zero overhead
+// when disabled" contract. Disabled = the null-pointer test every
+// instrumented component performs with tracing off (the only cost clean
+// runs pay); Off = a constructed recorder with enabled=false (the early
+// return inside the call); Enabled = a full span begin/end pair into the
+// lock-free ring.
+static void BM_TraceSpanDisabled(benchmark::State& state) {
+  obs::TraceRecorder* trace = nullptr;
+  SimTime t = 0;
+  long hits = 0;
+  for (auto _ : state) {
+    t += msec(1);
+    if (trace) {
+      trace->span_begin(t, "frame", "pace", t, {{"x", 1.0}});
+      trace->span_end(t, "frame", "pace", t);
+    } else {
+      ++hits;
+    }
+    benchmark::DoNotOptimize(trace);
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_TraceSpanDisabled);
+
+static void BM_TraceSpanOff(benchmark::State& state) {
+  obs::TraceRecorder recorder(
+      obs::TraceConfig{.enabled = false, .capacity = 1 << 12});
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += msec(1);
+    recorder.span_begin(t, "frame", "pace", t, {{"x", 1.0}});
+    recorder.span_end(t, "frame", "pace", t);
+    benchmark::DoNotOptimize(recorder.recorded());
+  }
+}
+BENCHMARK(BM_TraceSpanOff);
+
+static void BM_TraceSpanEnabled(benchmark::State& state) {
+  obs::TraceRecorder recorder(
+      obs::TraceConfig{.enabled = true, .capacity = 1 << 12});
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += msec(1);
+    recorder.span_begin(t, "frame", "pace", t, {{"x", 1.0}});
+    recorder.span_end(t, "frame", "pace", t);
+    benchmark::DoNotOptimize(recorder.recorded());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_TraceSpanEnabled);
 
 // A session's fixed-cadence streams over one simulated second: the 1 ms
 // subframe tick, the 5 ms pacer tick, frame capture (~28 ms), and the

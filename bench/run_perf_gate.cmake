@@ -9,8 +9,15 @@ if(NOT bench_rc EQUAL 0)
   message(FATAL_ERROR "bench_micro_perf failed (rc=${bench_rc})")
 endif()
 
+# Absolute ceilings (ns) for the tracing hot path: the disabled state is a
+# null-pointer test and must stay branch-cheap; the enabled state must stay
+# allocation-free ring writes. Generous bounds — they catch a reintroduced
+# allocation or lock, not scheduler jitter.
 execute_process(
   COMMAND ${PYTHON} ${CHECK_PY} --baseline ${BASELINE} --current ${OUT_JSON}
+          --max-ns BM_TraceSpanDisabled=25
+          --max-ns BM_TraceSpanOff=60
+          --max-ns BM_TraceSpanEnabled=600
   RESULT_VARIABLE gate_rc)
 if(NOT gate_rc EQUAL 0)
   message(FATAL_ERROR "perf gate failed (rc=${gate_rc})")

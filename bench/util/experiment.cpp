@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -21,6 +22,7 @@ struct HarnessState {
   int jobs = 0;  // 0 = auto (POI360_JOBS, else hardware_concurrency)
   bool progress = false;
   std::string out_json;
+  std::string trace_dir;
   std::chrono::steady_clock::time_point start;
   long total_runs = 0;
   long failed_runs = 0;
@@ -60,7 +62,8 @@ void report_at_exit() {
 
 [[noreturn]] void harness_usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--jobs N] [--out-json PATH] [--progress]\n",
+               "usage: %s [--jobs N] [--out-json PATH] [--progress] "
+               "[--trace-dir PATH]\n",
                argv0);
   std::exit(2);
 }
@@ -85,6 +88,8 @@ void init(int argc, char** argv) {
       if (s.jobs < 1) harness_usage(argv[0]);
     } else if (flag == "--out-json") {
       s.out_json = value();
+    } else if (flag == "--trace-dir") {
+      s.trace_dir = value();
     } else if (flag == "--progress") {
       s.progress = true;
     } else {
@@ -99,6 +104,8 @@ void init(int argc, char** argv) {
 
 int jobs() { return runner::BatchRunner::resolve_jobs(state().jobs); }
 
+const std::string& trace_dir() { return state().trace_dir; }
+
 runner::BatchResult run(const runner::ExperimentSpec& spec) {
   HarnessState& s = state();
   if (!s.initialized) {
@@ -106,6 +113,14 @@ runner::BatchResult run(const runner::ExperimentSpec& spec) {
     s.start = std::chrono::steady_clock::now();
     s.initialized = true;
     std::atexit(report_at_exit);
+  }
+  const runner::ExperimentSpec* effective = &spec;
+  runner::ExperimentSpec traced;
+  if (!s.trace_dir.empty() && spec.trace_dir().empty()) {
+    std::filesystem::create_directories(s.trace_dir);
+    traced = spec;
+    traced.trace_dir(s.trace_dir);
+    effective = &traced;
   }
   runner::BatchRunner::Options options;
   options.jobs = s.jobs;
@@ -117,7 +132,7 @@ runner::BatchResult run(const runner::ExperimentSpec& spec) {
                    r.ok ? "" : r.error.c_str());
     };
   }
-  runner::BatchResult batch = runner::BatchRunner(options).run(spec);
+  runner::BatchResult batch = runner::BatchRunner(options).run(*effective);
   s.total_runs += static_cast<long>(batch.runs.size());
   s.failed_runs += static_cast<long>(batch.failed_count());
   for (const runner::RunResult& r : batch.runs) {

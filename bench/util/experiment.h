@@ -29,10 +29,18 @@ namespace poi360::bench {
 ///                   hardware_concurrency)
 ///   --out-json P    write {"bench","jobs","runs","wall_s",...} to P at exit
 ///   --progress      report per-run completion on stderr
+///   --trace-dir P   record every run with tracing enabled and write one
+///                   Chrome-trace JSON per run into P (created if missing;
+///                   filenames derive from the grid point + seed, see
+///                   runner::trace_file_name). Off by default: without the
+///                   flag no recorder exists and stdout is byte-identical.
 void init(int argc, char** argv);
 
 /// Resolved worker count the harness will use (after --jobs / POI360_JOBS).
 int jobs();
+
+/// The --trace-dir value; empty when tracing is off.
+const std::string& trace_dir();
 
 /// Executes a spec on the harness's BatchRunner (jobs + progress wiring)
 /// and accounts its runs/wall-clock into the per-bench report.

@@ -29,6 +29,7 @@
 
 #include "poi360/core/config.h"
 #include "poi360/core/session.h"
+#include "poi360/metrics/session_metrics.h"
 #include "poi360/runner/batch_runner.h"
 #include "poi360/runner/experiment_spec.h"
 #include "poi360/runner/result_io.h"
@@ -194,29 +195,20 @@ int main(int argc, char** argv) {
   if (batch.ok_count() == 0) return 1;
   const auto& m = batch.runs.front().metrics;
 
+  // Both CSV dumps read the shared column tables in metrics/session_metrics
+  // (one schema for every emitter), so the layout here cannot drift from
+  // other tooling.
   if (csv == "frames") {
-    std::printf("frame_id,capture_us,display_us,delay_ms,roi_level,"
-                "psnr_db,mos,mode_id,mismatch\n");
+    std::printf("%s\n", metrics::frame_csv_header().c_str());
     for (const auto& f : m.frames()) {
-      std::printf("%lld,%lld,%lld,%.1f,%.3f,%.2f,%s,%d,%d\n",
-                  static_cast<long long>(f.frame_id),
-                  static_cast<long long>(f.capture_time),
-                  static_cast<long long>(f.display_time),
-                  to_millis(f.delay), f.roi_level, f.roi_psnr_db,
-                  video::to_string(f.mos).c_str(), f.mode_id,
-                  f.roi_mismatch ? 1 : 0);
+      std::printf("%s\n", metrics::frame_csv_row(f).c_str());
     }
     return 0;
   }
   if (csv == "rates") {
-    std::printf("time_us,video_rate_bps,rtp_rate_bps,fw_buffer_bytes,"
-                "app_buffer_bytes,rphy_bps,congested,degraded\n");
+    std::printf("%s\n", metrics::rate_csv_header().c_str());
     for (const auto& r : m.rate_samples()) {
-      std::printf("%lld,%.0f,%.0f,%lld,%lld,%.0f,%d,%d\n",
-                  static_cast<long long>(r.time), r.video_rate, r.rtp_rate,
-                  static_cast<long long>(r.fw_buffer_bytes),
-                  static_cast<long long>(r.app_buffer_bytes), r.rphy,
-                  r.congested ? 1 : 0, r.fbcc_degraded ? 1 : 0);
+      std::printf("%s\n", metrics::rate_csv_row(r).c_str());
     }
     return 0;
   }

@@ -41,6 +41,13 @@ void AdaptiveCompressionController::on_feedback(SimDuration mismatch_avg,
     return;
   }
   if (now >= 0) last_switch_ = now;
+  if (trace_) {
+    trace_->instant(now >= 0 ? now : 0, "control", "mode",
+                    {{"from", static_cast<double>(mode_index_)},
+                     {"to", static_cast<double>(mode)},
+                     {"M_ms", to_millis(mismatch_avg)},
+                     {"rv_bps", current_rate}});
+  }
   mode_index_ = mode;
 }
 
@@ -56,6 +63,13 @@ void AdaptiveCompressionController::nudge_conservative(Bitrate current_rate,
     }
   }
   if (mode <= mode_index_) return;  // the budget blocks the step
+  if (trace_) {
+    trace_->instant(now >= 0 ? now : 0, "control", "mode",
+                    {{"from", static_cast<double>(mode_index_)},
+                     {"to", static_cast<double>(mode)},
+                     {"nudge", 1.0},
+                     {"rv_bps", current_rate}});
+  }
   mode_index_ = mode;
   if (now >= 0) last_switch_ = now;
 }

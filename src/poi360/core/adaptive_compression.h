@@ -4,6 +4,7 @@
 
 #include "poi360/common/time.h"
 #include "poi360/common/units.h"
+#include "poi360/obs/trace.h"
 #include "poi360/video/compression.h"
 #include "poi360/video/tile_grid.h"
 
@@ -94,12 +95,17 @@ class AdaptiveCompressionController {
   const Config& config() const { return config_; }
   const video::ModeTable& table() const { return table_; }
 
+  /// Mode-index changes become "control/mode" instant events carrying the
+  /// smoothed mismatch M that drove the §4.2 selection. nullptr = off.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   Config config_;
   video::ModeTable table_;
   int mode_index_;
   std::vector<Bitrate> mode_floor_rates_;
   SimTime last_switch_ = -1;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace poi360::core

@@ -14,6 +14,7 @@
 #include "poi360/lte/diag_fault.h"
 #include "poi360/lte/uplink.h"
 #include "poi360/net/chaos.h"
+#include "poi360/obs/trace.h"
 #include "poi360/roi/head_motion.h"
 #include "poi360/roi/prediction.h"
 #include "poi360/roi/trace_motion.h"
@@ -165,6 +166,11 @@ struct SessionConfig {
 
   /// Frame delay beyond which a frame counts as frozen (§6.1.1).
   SimDuration freeze_threshold = msec(600);
+
+  /// Frame-lifecycle + control-decision tracing (see poi360/obs/). Off by
+  /// default: no recorder is constructed and every instrumented hot path
+  /// reduces to a null-pointer test.
+  obs::TraceConfig trace{};
 
   /// Enable the adaptive playout (jitter) buffer at the viewer. Off by
   /// default: the paper measures raw frame delay through a fixed render

@@ -127,6 +127,11 @@ void FbccController::enter_degraded(SimTime now) {
   healthy_streak_ = 0;
   reset();
   apply_fallback_rates();
+  if (trace_) {
+    trace_->instant(now, "control", "fbcc.degraded",
+                    {{"entered", 1.0},
+                     {"episode", static_cast<double>(fallback_episodes_)}});
+  }
 }
 
 void FbccController::apply_fallback_rates() {
@@ -177,11 +182,24 @@ void FbccController::on_diag(const lte::DiagReport& report, SimTime now) {
     if (++healthy_streak_ >= config_.recovery_reports) {
       degraded_ = false;
       degraded_total_ += now - degraded_since_;
+      if (trace_) {
+        trace_->instant(now, "control", "fbcc.degraded", {{"entered", 0.0}});
+      }
     }
     apply_fallback_rates();
     return;
   }
 
+  if (trace_ && j != congested_) {
+    // The Eq. 3 decision with its inputs: the buffer level B that crossed
+    // (or fell back under) the Γ(t) EWMA, and the windowed TBS bandwidth
+    // R_phy the encoder will be clamped to while J holds.
+    trace_->instant(now, "control", "fbcc.J",
+                    {{"J", j ? 1.0 : 0.0},
+                     {"B_bytes", static_cast<double>(report.buffer_bytes)},
+                     {"gamma_bytes", detector_.gamma()},
+                     {"rphy_bps", tbs_.rphy()}});
+  }
   congested_ = j;
   if (j) {
     // Eq. 5/6: on a saturated uplink the windowed TBS rate *is* the

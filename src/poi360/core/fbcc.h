@@ -8,6 +8,7 @@
 #include "poi360/common/time.h"
 #include "poi360/common/units.h"
 #include "poi360/lte/diag.h"
+#include "poi360/obs/trace.h"
 
 namespace poi360::core {
 
@@ -206,6 +207,10 @@ class FbccController {
   /// Total time spent degraded, including the episode still open at `now`.
   SimDuration degraded_time(SimTime now) const;
 
+  /// Control-decision tracing: J flips (with their Eq. 3/5 inputs) and
+  /// degraded-mode transitions become instant events. nullptr = off.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   bool credible(const lte::DiagReport& report, SimTime now) const;
   void enter_degraded(SimTime now);
@@ -235,6 +240,8 @@ class FbccController {
   SimDuration degraded_total_ = 0;
   std::int64_t fallback_episodes_ = 0;
   std::int64_t rejected_reports_ = 0;
+
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace poi360::core

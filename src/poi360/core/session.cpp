@@ -96,7 +96,13 @@ Session::Session(SessionConfig config)
         [this](rtp::RtpPacket p, SimTime at) { receiver_->on_packet(p, at); });
     uplink_ = std::make_unique<lte::LteUplink<rtp::RtpPacket>>(
         sim_, config_.channel, config_.uplink, rng_.fork(0x17E).engine()(),
-        [this](rtp::RtpPacket p, SimTime) { core_link_->send(std::move(p)); });
+        [this](rtp::RtpPacket p, SimTime at) {
+          if (trace_ && !p.is_retransmission &&
+              p.fragment == p.fragments - 1) {
+            trace_->span_end(at, "frame", "phy", p.frame_id);
+          }
+          core_link_->send(std::move(p));
+        });
     if (config_.diag_faults.enabled) {
       diag_faults_ = std::make_unique<lte::DiagFaultModel>(
           sim_, config_.diag_faults, rng_.fork(0xFA117).engine()(),
@@ -120,7 +126,11 @@ Session::Session(SessionConfig config)
         [this](rtp::RtpPacket p, SimTime at) { receiver_->on_packet(p, at); });
     wireline_queue_ = std::make_unique<net::DrainQueue<rtp::RtpPacket>>(
         sim_, config_.wireline_rate, config_.wireline_buffer_bytes,
-        [this](rtp::RtpPacket p, SimTime) {
+        [this](rtp::RtpPacket p, SimTime at) {
+          if (trace_ && !p.is_retransmission &&
+              p.fragment == p.fragments - 1) {
+            trace_->span_end(at, "frame", "phy", p.frame_id);
+          }
           wireline_link_->send(std::move(p));
         });
   }
@@ -141,6 +151,23 @@ Session::Session(SessionConfig config)
   nack_link_ = std::make_unique<net::ChaosLink<NackMsg>>(
       sim_, reverse, config_.feedback_chaos, rng_.fork(0x7ACC).engine()(),
       [this](NackMsg m, SimTime) { on_nack(m); });
+
+  // Observability last, once every component exists. With tracing off no
+  // recorder is built and every `if (trace_)` below stays a null test —
+  // the session consumes the RNG identically either way.
+  if (config_.trace.enabled) {
+    trace_ = std::make_unique<obs::TraceRecorder>(config_.trace);
+    obs::TraceRecorder* t = trace_.get();
+    adaptive_.set_trace(t);
+    if (fbcc_) fbcc_->set_trace(t);
+    pacer_->set_trace(t);
+    receiver_->set_trace(t);
+    if (uplink_) uplink_->set_trace(t);
+    if (core_link_) core_link_->set_trace(t, "chaos.media");
+    if (wireline_link_) wireline_link_->set_trace(t, "chaos.media");
+    feedback_link_->set_trace(t, "chaos.feedback");
+    nack_link_->set_trace(t, "chaos.nack");
+  }
 }
 
 Session::~Session() = default;
@@ -255,6 +282,12 @@ void Session::on_capture() {
       bytes_at_rate(rv, config_.max_app_backlog);
   if (pacer_->queued_bytes() > backlog_limit) {
     metrics_.note_sender_skipped_frame();
+    if (trace_) {
+      trace_->instant(
+          sim_.now(), "frame", "skip",
+          {{"queued_bytes", static_cast<double>(pacer_->queued_bytes())},
+           {"backlog_limit", static_cast<double>(backlog_limit)}});
+    }
     return;
   }
 
@@ -287,6 +320,19 @@ void Session::on_capture() {
   }
 
   const std::int64_t id = frame.id;
+  if (trace_) {
+    // Frame-lifecycle chain opens here: capture instant (with the tile-
+    // compression decision) and the encode span covering the stitch/encode
+    // pipeline latency, closed in hand_frame_to_pacer.
+    trace_->instant(sim_.now(), "frame", "capture",
+                    {{"mode", static_cast<double>(frame.mode_id)},
+                     {"roi_i", static_cast<double>(roi.i)},
+                     {"roi_j", static_cast<double>(roi.j)},
+                     {"rv_bps", rv}},
+                    id);
+    trace_->span_begin(sim_.now(), "frame", "encode", id,
+                       {{"bytes", static_cast<double>(frame.bytes)}});
+  }
   in_flight_.emplace(id, std::move(frame));
   sim_.schedule_in(config_.capture_encode_delay,
                    [this, id]() { hand_frame_to_pacer(id); });
@@ -296,6 +342,10 @@ void Session::hand_frame_to_pacer(std::int64_t frame_id) {
   const auto it = in_flight_.find(frame_id);
   if (it == in_flight_.end()) return;
   const video::EncodedFrame& frame = it->second;
+  if (trace_) {
+    trace_->span_end(sim_.now(), "frame", "encode", frame_id,
+                     {{"bytes", static_cast<double>(frame.bytes)}});
+  }
   for (rtp::RtpPacket& p :
        packetizer_.packetize(frame.id, frame.capture_time, frame.bytes)) {
     pacer_->enqueue(std::move(p));
@@ -303,6 +353,13 @@ void Session::hand_frame_to_pacer(std::int64_t frame_id) {
 }
 
 void Session::on_packet_paced(rtp::RtpPacket packet) {
+  if (trace_ && !packet.is_retransmission && packet.fragment == 0) {
+    // PHY span: first fragment enters the modem buffer (or wireline queue)
+    // here; the last fragment leaving the access segment closes it in the
+    // uplink/queue sink above.
+    trace_->span_begin(sim_.now(), "frame", "phy", packet.frame_id,
+                       {{"fragments", static_cast<double>(packet.fragments)}});
+  }
   sent_cache_.insert(packet);
   if (uplink_) {
     uplink_->push(std::move(packet));
@@ -321,6 +378,11 @@ void Session::on_feedback(const FeedbackMsg& msg, SimTime arrival) {
     feedback_stale_ = false;
     stale_total_ += sim_.now() - stale_since_;
     healthy_streak_ = 0;
+    if (trace_) {
+      trace_->instant(sim_.now(), "control", "feedback_guard",
+                      {{"stale", 0.0},
+                       {"episode_ms", to_millis(sim_.now() - stale_since_)}});
+    }
   }
 
   sender_roi_ = msg.roi;
@@ -382,6 +444,11 @@ void Session::on_feedback_guard_tick() {
     feedback_stale_ = true;
     stale_since_ = now;
     ++stale_episodes_;
+    if (trace_) {
+      trace_->instant(now, "control", "feedback_guard",
+                      {{"stale", 1.0},
+                       {"gap_ms", to_millis(now - last_feedback_seen_)}});
+    }
   }
   healthy_streak_ = 0;  // any feedback that trickled in did not stick
 
@@ -482,6 +549,14 @@ void Session::on_display(const rtp::RtpReceiver::CompletedFrame& f) {
   const double psnr = video::roi_region_psnr(config_.quality, grid_,
                                               *frame.levels, actual_roi,
                                               frame.bpp);
+  if (trace_) {
+    trace_->instant(now, "frame", "display",
+                    {{"delay_ms", to_millis(delay)},
+                     {"psnr_db", psnr},
+                     {"roi_level", roi_level},
+                     {"mode", static_cast<double>(frame.mode_id)}},
+                    f.frame_id);
+  }
   metrics_.add_frame(metrics::FrameRecord{
       .frame_id = f.frame_id,
       .capture_time = frame.capture_time,

@@ -99,6 +99,10 @@ class Session {
   using TraceHook = std::function<void(const metrics::RateSample&)>;
   void set_trace_hook(TraceHook hook) { trace_hook_ = std::move(hook); }
 
+  /// The span/event recorder, present only when `config.trace.enabled`
+  /// (nullptr otherwise). Read it after run() for export.
+  const obs::TraceRecorder* trace() const { return trace_.get(); }
+
  private:
   // Sender side.
   void on_capture();
@@ -180,6 +184,7 @@ class Session {
 
   // Telemetry.
   metrics::SessionMetrics metrics_;
+  std::unique_ptr<obs::TraceRecorder> trace_;
   TraceHook trace_hook_;
   std::deque<lte::DiagReport> diag_history_;
   std::int64_t last_second_bytes_ = 0;

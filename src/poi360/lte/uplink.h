@@ -13,6 +13,7 @@
 #include "poi360/lte/channel.h"
 #include "poi360/lte/diag.h"
 #include "poi360/lte/tbs.h"
+#include "poi360/obs/trace.h"
 #include "poi360/sim/simulator.h"
 
 namespace poi360::lte {
@@ -144,12 +145,22 @@ class LteUplink {
     handover_gain_ = post_gain;
     handover_gain_until_ =
         detached_until_ + std::max<SimDuration>(0, post_duration);
+    if (trace_) {
+      trace_->instant(now, "lte", "handover",
+                      {{"detach_ms", to_millis(detach)},
+                       {"gain", post_gain},
+                       {"gain_ms", to_millis(post_duration)}});
+    }
   }
 
   bool detached() const { return sim_.now() < detached_until_; }
 
   void set_diag_sink(DiagSink sink) { diag_sink_ = std::move(sink); }
   void set_subframe_probe(SubframeProbe probe) { probe_ = std::move(probe); }
+
+  /// PHY fault/condition tracing: surge and famine windows become "b"/"e"
+  /// spans on the "lte" track, handovers become instants. nullptr = off.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   const UplinkChannel& channel() const { return channel_; }
   const UplinkConfig& config() const { return config_; }
@@ -165,7 +176,10 @@ class LteUplink {
     bsr_history_.push(buffer_bytes_);
 
     // Grant-slope surge and famine processes (random telegraphs).
-    if (surging_ && now >= surge_until_) surging_ = false;
+    if (surging_ && now >= surge_until_) {
+      surging_ = false;
+      if (trace_) trace_->span_end(now, "lte", "surge", 0);
+    }
     if (!surging_ && now >= next_surge_at_) {
       surging_ = true;
       surge_until_ =
@@ -176,8 +190,15 @@ class LteUplink {
           surge_until_ + std::max<SimDuration>(
                              msec(100), sec_f(rng_.exponential(to_seconds(
                                             config_.surge_mean_interval))));
+      if (trace_) {
+        trace_->span_begin(now, "lte", "surge", 0,
+                           {{"gain", config_.surge_gain}});
+      }
     }
-    if (famine_ && now >= famine_until_) famine_ = false;
+    if (famine_ && now >= famine_until_) {
+      famine_ = false;
+      if (trace_) trace_->span_end(now, "lte", "famine", 0);
+    }
     if (!famine_ && now >= next_famine_at_) {
       famine_ = true;
       famine_until_ =
@@ -188,6 +209,10 @@ class LteUplink {
           famine_until_ + std::max<SimDuration>(
                               msec(150), sec_f(rng_.exponential(to_seconds(
                                              config_.famine_mean_interval))));
+      if (trace_) {
+        trace_->span_begin(now, "lte", "famine", 0,
+                           {{"gain", config_.famine_gain}});
+      }
     }
 
     // Time-multiplexed scheduling: one grant per period, period-sized.
@@ -285,6 +310,7 @@ class LteUplink {
   std::int64_t tbs_since_diag_ = 0;
   std::int64_t total_tbs_bytes_ = 0;
   SimTime last_diag_time_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace poi360::lte

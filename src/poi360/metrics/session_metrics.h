@@ -2,11 +2,13 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "poi360/common/stats.h"
 #include "poi360/common/time.h"
 #include "poi360/common/units.h"
+#include "poi360/obs/metrics_registry.h"
 #include "poi360/video/quality.h"
 
 namespace poi360::metrics {
@@ -37,8 +39,31 @@ struct RateSample {
   bool fbcc_degraded = false;     // FBCC in sensor-fallback (pure GCC) mode
 };
 
+// -- CSV schema -------------------------------------------------------------
+// Single source of truth for the per-frame / per-sample CSV layout. Every
+// emitter (the CLI's --csv dump, tooling) reads the same column tables, so
+// header and rows can never drift apart again. Column order matches the
+// historical output byte for byte.
+
+struct FrameColumn {
+  const char* name;
+  std::string (*value)(const FrameRecord&);
+};
+struct RateColumn {
+  const char* name;
+  std::string (*value)(const RateSample&);
+};
+
+std::span<const FrameColumn> frame_csv_columns();
+std::span<const RateColumn> rate_csv_columns();
+std::string frame_csv_header();
+std::string frame_csv_row(const FrameRecord& f);
+std::string rate_csv_header();
+std::string rate_csv_row(const RateSample& s);
+
 /// FBCC sensor-path health over a session: how often the controller had to
 /// stop trusting the diag feed and fall back to end-to-end (GCC) pacing.
+/// Assembled on demand from the registry counters `diag.*`.
 struct DiagRobustness {
   std::int64_t fallback_episodes = 0;  // degraded-mode entries
   SimDuration degraded_time = 0;       // total time spent degraded
@@ -48,6 +73,7 @@ struct DiagRobustness {
 /// Transport-path health over a session — the packet-path twin of
 /// `DiagRobustness`: what the bounded-recovery receiver, the sender's
 /// keyframe-recovery path, and the feedback-staleness watchdog had to do.
+/// Assembled on demand from the registry counters `transport.*`.
 struct TransportRobustness {
   std::int64_t frames_abandoned = 0;    // receiver deadline expiries
   std::int64_t assembly_evictions = 0;  // receiver cap-driven evictions
@@ -72,6 +98,13 @@ struct BufferTbsPoint {
 /// Collects per-session measurements and computes the aggregates each paper
 /// figure reports. Populated by core::Session; consumed by tests, examples
 /// and the bench harnesses.
+///
+/// Scalar health counters live in an obs::MetricsRegistry rather than in
+/// hand-grown accumulator fields: the robustness structs above are views
+/// reassembled from registry counters, and new subsystems register counters
+/// without touching this class. The per-frame / per-sample vectors stay as
+/// raw storage because the paper's distribution figures (CDFs, pooled PDFs)
+/// need every sample, not moments.
 class SessionMetrics {
  public:
   // -- ingestion ----------------------------------------------------------
@@ -79,11 +112,11 @@ class SessionMetrics {
   void add_rate_sample(const RateSample& sample);
   void add_buffer_tbs_point(const BufferTbsPoint& point);
   void add_throughput_second(Bitrate received_rate);
-  void note_sender_skipped_frame() { ++skipped_frames_; }
-  void set_diag_robustness(const DiagRobustness& r) { robustness_ = r; }
-  void set_transport_robustness(const TransportRobustness& r) {
-    transport_ = r;
+  void note_sender_skipped_frame() {
+    registry_.counter("sender.skipped_frames").inc();
   }
+  void set_diag_robustness(const DiagRobustness& r);
+  void set_transport_robustness(const TransportRobustness& r);
   /// Identity of the run these metrics came from (the runner assigns the
   /// grid index); merge() orders its inputs by this so pooled distributions
   /// are invariant to completion order. -1 = unassigned (input order kept).
@@ -97,6 +130,8 @@ class SessionMetrics {
   const std::vector<double>& throughput_samples() const {
     return throughput_bps_;
   }
+  const obs::MetricsRegistry& registry() const { return registry_; }
+  obs::MetricsRegistry& registry() { return registry_; }
 
   // -- aggregates (one per paper metric) -----------------------------------
   /// Mean / std of ROI PSNR across displayed frames (Fig. 11a/b bars).
@@ -132,12 +167,12 @@ class SessionMetrics {
   std::int64_t displayed_frames() const {
     return static_cast<std::int64_t>(frames_.size());
   }
-  std::int64_t skipped_frames() const { return skipped_frames_; }
-
-  const DiagRobustness& diag_robustness() const { return robustness_; }
-  const TransportRobustness& transport_robustness() const {
-    return transport_;
+  std::int64_t skipped_frames() const {
+    return registry_.counter_value("sender.skipped_frames");
   }
+
+  DiagRobustness diag_robustness() const;
+  TransportRobustness transport_robustness() const;
   /// Fraction of rate samples taken while FBCC was in degraded mode.
   double degraded_sample_fraction() const;
 
@@ -146,9 +181,7 @@ class SessionMetrics {
   std::vector<RateSample> rate_samples_;
   std::vector<BufferTbsPoint> buffer_tbs_;
   std::vector<double> throughput_bps_;
-  std::int64_t skipped_frames_ = 0;
-  DiagRobustness robustness_;
-  TransportRobustness transport_;
+  obs::MetricsRegistry registry_;
   std::int64_t run_id_ = -1;
 };
 

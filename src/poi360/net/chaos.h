@@ -8,6 +8,7 @@
 #include "poi360/common/rng.h"
 #include "poi360/common/time.h"
 #include "poi360/net/link.h"
+#include "poi360/obs/trace.h"
 #include "poi360/sim/simulator.h"
 
 namespace poi360::net {
@@ -123,7 +124,13 @@ class ChaosLink {
     if (chaos_.burst_enabled() || chaos_.ge_loss_good > 0.0) {
       if (chaos_.burst_enabled()) {
         const double flip = bad_ ? chaos_.ge_p_bad_good : chaos_.ge_p_good_bad;
-        if (rng_.bernoulli(flip)) bad_ = !bad_;
+        if (rng_.bernoulli(flip)) {
+          bad_ = !bad_;
+          if (trace_) {
+            trace_->instant(now, trace_category_, "burst",
+                            {{"bad", bad_ ? 1.0 : 0.0}});
+          }
+        }
       }
       if (rng_.bernoulli(bad_ ? chaos_.ge_loss_bad : chaos_.ge_loss_good)) {
         ++stats_.dropped_burst;
@@ -175,6 +182,14 @@ class ChaosLink {
   const ChaosStats& stats() const { return stats_; }
   const ChaosConfig& chaos_config() const { return chaos_; }
 
+  /// Fault-injection tracing: window openings (blackout/spike) and burst-
+  /// state flips become instants under the given category (one category per
+  /// link, e.g. "chaos.media" vs "chaos.feedback"). nullptr = off.
+  void set_trace(obs::TraceRecorder* trace, const char* category) {
+    trace_ = trace;
+    trace_category_ = category;
+  }
+
  private:
   void deliver_at(SimTime at, T message) {
     ++stats_.delivered;
@@ -197,6 +212,10 @@ class ChaosLink {
                      sec_f(rng_.exponential(
                          to_seconds(chaos_.blackout_mean_duration))));
         blackout_until_ = std::max(blackout_until_, now + span);
+        if (trace_) {
+          trace_->instant(now, trace_category_, "blackout",
+                          {{"span_ms", to_millis(span)}});
+        }
         next_blackout_at_ =
             blackout_until_ + poisson_gap(chaos_.blackout_per_min);
       }
@@ -211,6 +230,11 @@ class ChaosLink {
             msec(1),
             sec_f(rng_.exponential(to_seconds(chaos_.spike_mean_extra))));
         spike_until_ = std::max(spike_until_, now + chaos_.spike_duration);
+        if (trace_) {
+          trace_->instant(now, trace_category_, "spike",
+                          {{"extra_ms", to_millis(spike_extra_)},
+                           {"span_ms", to_millis(chaos_.spike_duration)}});
+        }
         next_spike_at_ = spike_until_ + poisson_gap(chaos_.spike_per_min);
       }
     }
@@ -235,6 +259,8 @@ class ChaosLink {
   SimDuration spike_extra_ = 0;
 
   ChaosStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  const char* trace_category_ = "chaos";
 };
 
 }  // namespace poi360::net

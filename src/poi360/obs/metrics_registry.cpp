@@ -1,0 +1,56 @@
+#include "poi360/obs/metrics_registry.h"
+
+#include <algorithm>
+
+namespace poi360::obs {
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? &it->second : nullptr;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? &it->second : nullptr;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it != histograms_.end() ? &it->second : nullptr;
+}
+
+std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
+  std::vector<Entry> out;
+  out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, "counter", static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, "gauge", g.value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(
+        {name + ".count", "histogram", static_cast<double>(h.count())});
+    out.push_back({name + ".mean", "histogram", h.mean()});
+    out.push_back({name + ".min", "histogram", h.min()});
+    out.push_back({name + ".max", "histogram", h.max()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  return out;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].inc(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge_from(h);
+  }
+}
+
+}  // namespace poi360::obs

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+// Named-metric registry: counters, gauges, and moment histograms that
+// subsystems register into instead of growing ad-hoc accumulator structs.
+// Registration returns a stable reference (std::map nodes never move), so
+// hot paths increment through a cached pointer and never re-hash the name.
+
+namespace poi360::obs {
+
+class Counter {
+ public:
+  void inc(std::int64_t n = 1) { value_ += n; }
+  void set(std::int64_t v) { value_ = v; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Moment histogram: count/sum/min/max only. O(1) ingestion, exact merges,
+/// no bucket-boundary tuning; enough for the delay/size distributions the
+/// result tables report.
+class Histogram {
+ public:
+  void observe(double v) {
+    ++count_;
+    sum_ += v;
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  std::int64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double mean() const {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  void merge_from(const Histogram& other) {
+    if (other.count_ == 0) return;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
+ private:
+  std::int64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Counter value, or 0 when the counter was never registered — the reader
+  /// used to reassemble the robustness structs.
+  std::int64_t counter_value(const std::string& name) const {
+    const Counter* c = find_counter(name);
+    return c ? c->value() : 0;
+  }
+  double gauge_value(const std::string& name) const {
+    const Gauge* g = find_gauge(name);
+    return g ? g->value() : 0.0;
+  }
+
+  struct Entry {
+    std::string name;
+    std::string kind;  ///< "counter" | "gauge" | "histogram"
+    double value;
+  };
+  /// Flat, name-sorted view; histograms expand to .count/.mean/.min/.max.
+  std::vector<Entry> snapshot() const;
+
+  /// Counters add, gauges take the other side's value (last writer),
+  /// histograms merge moments.
+  void merge_from(const MetricsRegistry& other);
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace poi360::obs

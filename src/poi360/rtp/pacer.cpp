@@ -19,6 +19,11 @@ void Pacer::start() {
 
 void Pacer::enqueue(RtpPacket packet) {
   queued_bytes_ += packet.bytes;
+  if (trace_ && !packet.is_retransmission && packet.fragment == 0) {
+    trace_->span_begin(sim_.now(), "frame", "pace", packet.frame_id,
+                       {{"fragments", static_cast<double>(packet.fragments)},
+                        {"queued_bytes", static_cast<double>(queued_bytes_)}});
+  }
   queue_.push_back(std::move(packet));
 }
 
@@ -40,6 +45,13 @@ std::size_t Pacer::drop_frame(std::int64_t frame_id) {
       ++it;
     }
   }
+  if (trace_ && dropped > 0) {
+    // Close the pace span (its last fragment will never be released) and
+    // mark the purge as a recovery action.
+    trace_->span_end(sim_.now(), "frame", "pace", frame_id);
+    trace_->instant(sim_.now(), "recovery", "pacer.drop_frame",
+                    {{"packets", static_cast<double>(dropped)}}, frame_id);
+  }
   return dropped;
 }
 
@@ -58,6 +70,9 @@ void Pacer::on_tick() {
     queued_bytes_ -= p.bytes;
     budget_bytes_ -= static_cast<double>(p.bytes);
     p.send_time = sim_.now();
+    if (trace_ && !p.is_retransmission && p.fragment == p.fragments - 1) {
+      trace_->span_end(sim_.now(), "frame", "pace", p.frame_id);
+    }
     sink_(std::move(p));
   }
   if (queue_.empty() && budget_bytes_ < 0.0) {

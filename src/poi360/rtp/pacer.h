@@ -6,6 +6,7 @@
 
 #include "poi360/common/time.h"
 #include "poi360/common/units.h"
+#include "poi360/obs/trace.h"
 #include "poi360/rtp/packet.h"
 #include "poi360/sim/simulator.h"
 
@@ -46,6 +47,11 @@ class Pacer {
   std::int64_t queued_bytes() const { return queued_bytes_; }
   std::size_t queued_packets() const { return queue_.size(); }
 
+  /// Frame-lifecycle tracing: the "pace" span of frame N runs from its
+  /// first fragment entering the queue to its last fragment released onto
+  /// the transport; purges emit an instant. nullptr = off.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void on_tick();
 
@@ -57,6 +63,7 @@ class Pacer {
   std::deque<RtpPacket> queue_;
   std::int64_t queued_bytes_ = 0;
   double budget_bytes_ = 0.0;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace poi360::rtp

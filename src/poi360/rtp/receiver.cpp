@@ -72,6 +72,11 @@ void RtpReceiver::detect_gaps(std::int64_t seq, SimTime now) {
     }
     if (nack_sink_ && !missing.empty()) {
       nacks_sent_ += static_cast<std::int64_t>(missing.size());
+      if (trace_) {
+        trace_->instant(now, "recovery", "rtp.nack",
+                        {{"seqs", static_cast<double>(missing.size())},
+                         {"first_seq", static_cast<double>(missing.front())}});
+      }
       nack_sink_(missing);
     }
   }
@@ -116,6 +121,11 @@ void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
     a.capture_time = packet.capture_time;
     a.first_send_time = packet.send_time;
     a.first_arrival = arrival;
+    if (trace_) {
+      trace_->span_begin(
+          arrival, "frame", "assemble", packet.frame_id,
+          {{"fragments", static_cast<double>(packet.fragments)}});
+    }
     recovery_.peak_assemblies =
         std::max(recovery_.peak_assemblies, frames_.size());
     if (frames_.size() > config_.max_assemblies) {
@@ -137,6 +147,11 @@ void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
         if (pli_sink_ && !abandoned.empty()) {
           recovery_.keyframe_requests +=
               static_cast<std::int64_t>(abandoned.size());
+          if (trace_) {
+            trace_->instant(arrival, "recovery", "rtp.pli",
+                            {{"frames", static_cast<double>(abandoned.size())},
+                             {"cap_eviction", 1.0}});
+          }
           pli_sink_(abandoned);
         }
       }
@@ -169,6 +184,11 @@ void RtpReceiver::on_packet(const RtpPacket& packet, SimTime arrival) {
     frames_.erase(packet.frame_id);
     mark_finished(packet.frame_id);
     ++frames_completed_;
+    if (trace_) {
+      trace_->span_end(arrival, "frame", "assemble", packet.frame_id,
+                       {{"bytes", static_cast<double>(done.bytes)},
+                        {"had_loss", done.had_loss ? 1.0 : 0.0}});
+    }
     if (frame_sink_) frame_sink_(done);
   }
 }
@@ -178,6 +198,13 @@ void RtpReceiver::evict_assembly(std::int64_t frame_id,
   frames_.erase(frame_id);
   mark_finished(frame_id);
   abandoned.push_back(frame_id);
+  if (trace_) {
+    // The frame's last fragment will never arrive: close its assemble span
+    // at the moment recovery gave up on it.
+    trace_->span_end(sim_.now(), "frame", "assemble", frame_id,
+                     {{"abandoned", 1.0}});
+    trace_->instant(sim_.now(), "recovery", "rtp.abandon", {}, frame_id);
+  }
 }
 
 void RtpReceiver::abandon_overdue(SimTime now) {
@@ -196,6 +223,11 @@ void RtpReceiver::abandon_overdue(SimTime now) {
   if (pli_sink_) {
     recovery_.keyframe_requests +=
         static_cast<std::int64_t>(abandoned.size());
+    if (trace_) {
+      trace_->instant(now, "recovery", "rtp.pli",
+                      {{"frames", static_cast<double>(abandoned.size())},
+                       {"deadline", 1.0}});
+    }
     pli_sink_(abandoned);
   }
 }
@@ -205,6 +237,7 @@ void RtpReceiver::on_nack_retry() {
   abandon_overdue(now);
   if (nacks_.empty() || !nack_sink_) return;
   std::vector<std::int64_t> missing;
+  std::int64_t give_ups = 0;
   for (auto it = nacks_.begin(); it != nacks_.end();) {
     NackState& state = it->second;
     if (now < state.next_retry_at) {
@@ -215,6 +248,7 @@ void RtpReceiver::on_nack_retry() {
         state.attempts >= config_.nack_retry_budget) {
       it = nacks_.erase(it);
       ++recovery_.nack_give_ups;
+      ++give_ups;
       continue;
     }
     ++state.attempts;
@@ -222,8 +256,16 @@ void RtpReceiver::on_nack_retry() {
     missing.push_back(it->first);
     ++it;
   }
+  if (trace_ && give_ups > 0) {
+    trace_->instant(now, "recovery", "rtp.nack_give_up",
+                    {{"seqs", static_cast<double>(give_ups)}});
+  }
   if (missing.empty()) return;
   nacks_sent_ += static_cast<std::int64_t>(missing.size());
+  if (trace_) {
+    trace_->instant(now, "recovery", "rtp.nack_retry",
+                    {{"seqs", static_cast<double>(missing.size())}});
+  }
   nack_sink_(missing);
 }
 

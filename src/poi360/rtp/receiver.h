@@ -10,6 +10,7 @@
 
 #include "poi360/common/time.h"
 #include "poi360/common/units.h"
+#include "poi360/obs/trace.h"
 #include "poi360/rtp/packet.h"
 #include "poi360/sim/simulator.h"
 
@@ -120,6 +121,11 @@ class RtpReceiver {
   std::size_t outstanding_nacks() const { return nacks_.size(); }
   const Config& config() const { return config_; }
 
+  /// Frame-lifecycle tracing: the "assemble" span of frame N runs from its
+  /// first arriving fragment to completion (or abandonment); NACK batches,
+  /// give-ups and PLI requests emit recovery instants. nullptr = off.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   struct Assembly {
     std::vector<char> received;
@@ -174,6 +180,7 @@ class RtpReceiver {
   std::int64_t frames_completed_ = 0;
   std::int64_t nacks_sent_ = 0;
   RecoveryStats recovery_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace poi360::rtp

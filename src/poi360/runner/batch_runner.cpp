@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "poi360/core/session.h"
+#include "poi360/runner/result_io.h"
 
 namespace poi360::runner {
 
@@ -59,10 +60,18 @@ RunResult execute_run(const RunSpec& spec) {
   out.spec = spec;
   const auto t0 = std::chrono::steady_clock::now();
   try {
-    core::Session session(spec.config);
+    core::SessionConfig config = spec.config;
+    // A trace path implies tracing: the spec stays declarative and the flag
+    // lives in one place. A pre-enabled config without a path still records
+    // (the caller reads Session::trace() itself), it just isn't written.
+    if (!spec.trace_path.empty()) config.trace.enabled = true;
+    core::Session session(config);
     session.run();
     out.metrics = session.metrics();
     out.metrics.set_run_id(spec.run_id);
+    if (!spec.trace_path.empty() && session.trace()) {
+      write_trace(spec.trace_path, *session.trace(), spec.label());
+    }
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();

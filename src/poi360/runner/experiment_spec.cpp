@@ -4,6 +4,34 @@
 
 namespace poi360::runner {
 
+namespace {
+
+// Filesystem-safe slug: anything outside [A-Za-z0-9._-] becomes '-'.
+std::string sanitize(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '-' ||
+                    c == '_';
+    out += ok ? c : '-';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string trace_file_name(const RunSpec& run) {
+  std::string out = sanitize(run.experiment.empty() ? "run" : run.experiment);
+  for (const auto& [axis, label] : run.params) {
+    out += "__" + sanitize(axis) + "-" + sanitize(label);
+  }
+  out += "__r" + std::to_string(run.repeat);
+  out += "_s" + std::to_string(run.seed);
+  out += "_id" + std::to_string(run.run_id);
+  return out + ".trace.json";
+}
+
 std::uint64_t derive_seed(std::uint64_t seed0, int repeat) {
   if (repeat < 0) throw std::invalid_argument("negative repeat index");
   return seed0 + static_cast<std::uint64_t>(repeat) * kSeedStride;
@@ -86,6 +114,9 @@ std::vector<RunSpec> ExperimentSpec::expand() const {
       run.seed = seeds[r];
       run.config = config;
       run.config.seed = seeds[r];
+      if (!trace_dir_.empty()) {
+        run.trace_path = trace_dir_ + "/" + trace_file_name(run);
+      }
       out.push_back(std::move(run));
     }
 

@@ -61,6 +61,11 @@ struct RunSpec {
   int repeat = 0;
   std::uint64_t seed = 0;
   core::SessionConfig config;
+  /// When non-empty, the run executes with tracing enabled and the runner
+  /// writes the recorded trace here (".csv" = event CSV, else Chrome JSON).
+  /// Set by ExperimentSpec::trace_dir(), which derives a per-run unique
+  /// filename, so parallel workers never collide on a path.
+  std::string trace_path;
 
   /// Label of the given axis; empty when the axis does not exist.
   std::string param(const std::string& axis) const;
@@ -68,6 +73,11 @@ struct RunSpec {
   /// Human-readable identity, e.g. "network=cellular/scheme=POI360#3".
   std::string label() const;
 };
+
+/// The per-run trace filename trace_dir() derives: experiment name, every
+/// (axis, label) pair, repeat, seed and run_id — sanitized to filesystem-
+/// safe characters — so a grid's traces are self-describing and unique.
+std::string trace_file_name(const RunSpec& run);
 
 /// Builder for an experiment grid.
 ///
@@ -131,6 +141,15 @@ class ExperimentSpec {
     return *this;
   }
 
+  /// Directory for per-run traces. When set, every expanded run carries a
+  /// unique `trace_path` under it (see trace_file_name) and executes with
+  /// tracing enabled. Empty (the default) leaves tracing off.
+  ExperimentSpec& trace_dir(std::string dir) {
+    trace_dir_ = std::move(dir);
+    return *this;
+  }
+  const std::string& trace_dir() const { return trace_dir_; }
+
   const std::string& name() const { return name_; }
   const core::SessionConfig& base() const { return base_; }
   const std::vector<Axis>& axes() const { return axes_; }
@@ -159,6 +178,7 @@ class ExperimentSpec {
   int repeats_ = 1;
   std::uint64_t seed0_ = kDefaultSeed0;
   std::vector<std::uint64_t> explicit_seeds_;
+  std::string trace_dir_;
 };
 
 }  // namespace poi360::runner

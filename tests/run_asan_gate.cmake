@@ -1,31 +1,42 @@
-# Helper for the asan_gate ctest target: build the rtp + chaos test labels
-# under AddressSanitizer (+UBSan) in a nested build directory and run them.
-# The directory persists between invocations for incremental rebuilds.
-# Variables: SRC_DIR, GATE_DIR.
+# Helper for the sanitizer-gate ctest targets (asan_gate, tsan_gate): build
+# the given test binaries under the given sanitizer in a nested build
+# directory and run them. The directory persists between invocations, so
+# after the first configure each gate is an incremental rebuild.
+# Variables: SRC_DIR, GATE_DIR, SANITIZE (address|thread, default address),
+# BINS (space-separated binary names, default rtp + chaos).
+
+if(NOT SANITIZE)
+  set(SANITIZE address)
+endif()
+if(NOT BINS)
+  set(BINS "poi360_rtp_tests poi360_chaos_tests")
+endif()
+separate_arguments(bins_list UNIX_COMMAND "${BINS}")
 
 if(NOT EXISTS ${GATE_DIR}/CMakeCache.txt)
   execute_process(
     COMMAND ${CMAKE_COMMAND} -S ${SRC_DIR} -B ${GATE_DIR}
-      -DPOI360_SANITIZE=address -DCMAKE_BUILD_TYPE=RelWithDebInfo
+      -DPOI360_SANITIZE=${SANITIZE} -DCMAKE_BUILD_TYPE=RelWithDebInfo
     RESULT_VARIABLE config_rc)
   if(NOT config_rc EQUAL 0)
-    message(FATAL_ERROR "asan gate configure failed (rc=${config_rc})")
+    message(FATAL_ERROR
+            "${SANITIZE} gate configure failed (rc=${config_rc})")
   endif()
 endif()
 
 execute_process(
-  COMMAND ${CMAKE_COMMAND} --build ${GATE_DIR} -j 2
-    --target poi360_rtp_tests poi360_chaos_tests
+  COMMAND ${CMAKE_COMMAND} --build ${GATE_DIR} -j 2 --target ${bins_list}
   RESULT_VARIABLE build_rc)
 if(NOT build_rc EQUAL 0)
-  message(FATAL_ERROR "asan gate build failed (rc=${build_rc})")
+  message(FATAL_ERROR "${SANITIZE} gate build failed (rc=${build_rc})")
 endif()
 
-foreach(bin poi360_rtp_tests poi360_chaos_tests)
+foreach(bin ${bins_list})
   execute_process(
     COMMAND ${GATE_DIR}/tests/${bin}
     RESULT_VARIABLE run_rc)
   if(NOT run_rc EQUAL 0)
-    message(FATAL_ERROR "${bin} failed under ASan (rc=${run_rc})")
+    message(FATAL_ERROR
+            "${bin} failed under ${SANITIZE} sanitizer (rc=${run_rc})")
   endif()
 endforeach()

@@ -1,0 +1,449 @@
+// Observability suite: the lock-free TraceRecorder ring (ordering,
+// drop-oldest overflow, disabled no-op, concurrent writers — the tsan_gate
+// runs this binary under -fsanitize=thread), the metrics registry, the
+// Chrome-trace/CSV exporters (golden strings + file round-trip), and the
+// session/runner integration (frame-lifecycle chain, FBCC J events,
+// per-run trace paths).
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "poi360/core/config.h"
+#include "poi360/core/session.h"
+#include "poi360/obs/metrics_registry.h"
+#include "poi360/obs/trace.h"
+#include "poi360/obs/trace_export.h"
+#include "poi360/runner/batch_runner.h"
+#include "poi360/runner/experiment_spec.h"
+#include "poi360/runner/result_io.h"
+
+using namespace poi360;
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// gtest's TempDir() is shared (/tmp); the sanitizer gates run this binary
+// concurrently with the outer suite, so every scratch path must be
+// per-process unique or the two runs race on the same files.
+std::string scratch_path(const std::string& leaf) {
+  static const std::string dir = [] {
+    std::string d = testing::TempDir() + "obs_scratch_" +
+                    std::to_string(::getpid());
+    std::filesystem::create_directories(d);
+    return d + "/";
+  }();
+  return dir + leaf;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ recorder --
+
+TEST(TraceRecorder, SpanNestingAndOrdering) {
+  obs::TraceRecorder rec;
+  rec.span_begin(100, "frame", "encode", 1, {{"bytes", 5000.0}});
+  rec.span_begin(110, "frame", "pace", 1, {{"fragments", 4.0}});
+  rec.instant(115, "control", "fbcc.J", {{"J", 1.0}});
+  rec.span_end(130, "frame", "pace", 1);
+  rec.span_end(140, "frame", "encode", 1);
+
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  // Admission order is preserved, seq strictly increasing.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    if (i > 0) {
+      EXPECT_GE(events[i].time, events[i - 1].time);
+    }
+  }
+  EXPECT_EQ(events[0].phase, obs::Phase::kSpanBegin);
+  EXPECT_STREQ(events[0].name, "encode");
+  EXPECT_EQ(events[0].id, 1);
+  ASSERT_EQ(events[0].n_args, 1);
+  EXPECT_STREQ(events[0].args[0].key, "bytes");
+  EXPECT_EQ(events[0].args[0].value, 5000.0);
+  EXPECT_EQ(events[2].phase, obs::Phase::kInstant);
+  EXPECT_EQ(events[2].id, -1);
+  // The inner span closes before the outer one (nesting preserved).
+  EXPECT_EQ(events[3].phase, obs::Phase::kSpanEnd);
+  EXPECT_STREQ(events[3].name, "pace");
+  EXPECT_EQ(events[4].phase, obs::Phase::kSpanEnd);
+  EXPECT_STREQ(events[4].name, "encode");
+}
+
+TEST(TraceRecorder, OverflowDropsOldest) {
+  obs::TraceRecorder rec(obs::TraceConfig{.enabled = true, .capacity = 8});
+  for (int i = 0; i < 20; ++i) {
+    rec.instant(i, "cat", "tick", {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest retained first: sequences 12..19.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 12 + i);
+    EXPECT_EQ(events[i].args[0].value, static_cast<double>(12 + i));
+  }
+}
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  obs::TraceRecorder rec(obs::TraceConfig{.enabled = false, .capacity = 8});
+  rec.span_begin(1, "frame", "encode", 1);
+  rec.span_end(2, "frame", "encode", 1);
+  rec.instant(3, "control", "x");
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(TraceRecorder, ArgsClampToMax) {
+  obs::TraceRecorder rec;
+  rec.instant(1, "cat", "x",
+              {{"a", 1.0}, {"b", 2.0}, {"c", 3.0}, {"d", 4.0}, {"e", 5.0}});
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].n_args, obs::TraceEvent::kMaxArgs);
+  EXPECT_STREQ(events[0].args[3].key, "d");
+}
+
+// The ring's concurrency contract under contention: every admission is
+// counted, overflow is exact, and after quiescence every retained slot
+// holds a fully published event. The tsan_gate runs this under TSan.
+TEST(TraceRecorder, ConcurrentWritersWithOverflow) {
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kThreads = 4;
+  constexpr int kEach = 20000;
+  obs::TraceRecorder rec(
+      obs::TraceConfig{.enabled = true, .capacity = kCapacity});
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (int i = 0; i < kEach; ++i) {
+        rec.span_begin(i, "cat", "work", t * kEach + i,
+                       {{"i", static_cast<double>(i)}});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(rec.recorded(), static_cast<std::uint64_t>(kThreads) * kEach);
+  EXPECT_EQ(rec.dropped(),
+            static_cast<std::uint64_t>(kThreads) * kEach - kCapacity);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  std::uint64_t prev_seq = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Payloads are internally consistent — no torn writes.
+    EXPECT_STREQ(events[i].category, "cat");
+    EXPECT_STREQ(events[i].name, "work");
+    ASSERT_EQ(events[i].n_args, 1);
+    EXPECT_STREQ(events[i].args[0].key, "i");
+    if (i > 0) {
+      EXPECT_GT(events[i].seq, prev_seq);
+    }
+    prev_seq = events[i].seq;
+  }
+}
+
+// ------------------------------------------------------------ registry --
+
+TEST(MetricsRegistry, CountersGaugesHistograms) {
+  obs::MetricsRegistry reg;
+  reg.counter("frames").inc();
+  reg.counter("frames").inc(4);
+  reg.gauge("rate_bps").set(3.5e6);
+  reg.histogram("delay_ms").observe(10.0);
+  reg.histogram("delay_ms").observe(30.0);
+
+  EXPECT_EQ(reg.counter_value("frames"), 5);
+  EXPECT_EQ(reg.gauge_value("rate_bps"), 3.5e6);
+  const obs::Histogram* h = reg.find_histogram("delay_ms");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2);
+  EXPECT_EQ(h->min(), 10.0);
+  EXPECT_EQ(h->max(), 30.0);
+  EXPECT_EQ(h->mean(), 20.0);
+
+  EXPECT_EQ(reg.find_counter("absent"), nullptr);
+  EXPECT_EQ(reg.counter_value("absent"), 0);
+  EXPECT_EQ(reg.gauge_value("absent"), 0.0);
+}
+
+TEST(MetricsRegistry, SnapshotSortedAndExpanded) {
+  obs::MetricsRegistry reg;
+  reg.counter("z.last").inc();
+  reg.gauge("a.first").set(1.0);
+  reg.histogram("m.mid").observe(2.0);
+  const auto entries = reg.snapshot();
+  ASSERT_EQ(entries.size(), 6u);  // 1 counter + 1 gauge + 4 histogram rows
+  for (std::size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].name, entries[i].name);
+  }
+  EXPECT_EQ(entries.front().name, "a.first");
+  EXPECT_EQ(entries.back().name, "z.last");
+}
+
+TEST(MetricsRegistry, MergeSemantics) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("n").set(3);
+  b.counter("n").set(4);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.histogram("h").observe(1.0);
+  b.histogram("h").observe(5.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("n"), 7);      // counters add
+  EXPECT_EQ(a.gauge_value("g"), 9.0);      // gauges: last writer
+  const obs::Histogram* h = a.find_histogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2);                // histograms merge moments
+  EXPECT_EQ(h->min(), 1.0);
+  EXPECT_EQ(h->max(), 5.0);
+}
+
+// ----------------------------------------------------------- exporters --
+
+namespace {
+
+// Shared fixture events for the golden-string tests: one span pair, one
+// instant, recorded through a real recorder so seq values are genuine.
+std::vector<obs::TraceEvent> golden_events() {
+  obs::TraceRecorder rec;
+  rec.span_begin(1000, "frame", "pace", 7, {{"fragments", 3.0}});
+  rec.instant(1500, "control", "fbcc.J", {{"J", 1.0}, {"B_bytes", 12000.5}});
+  rec.span_end(2000, "frame", "pace", 7);
+  return rec.snapshot();
+}
+
+}  // namespace
+
+TEST(TraceExport, ChromeTraceGolden) {
+  const std::string expected =
+      "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":2},"
+      "\"traceEvents\":[\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+      "\"args\":{\"name\":\"test\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":1,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"frame\"}},\n"
+      "{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+      "\"args\":{\"name\":\"control\"}},\n"
+      "{\"ph\":\"b\",\"pid\":1,\"tid\":1,\"ts\":1000,\"id\":\"7\","
+      "\"cat\":\"frame\",\"name\":\"pace\",\"args\":{\"fragments\":3}},\n"
+      "{\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":2,\"ts\":1500,"
+      "\"cat\":\"control\",\"name\":\"fbcc.J\","
+      "\"args\":{\"J\":1,\"B_bytes\":12000.5}},\n"
+      "{\"ph\":\"e\",\"pid\":1,\"tid\":1,\"ts\":2000,\"id\":\"7\","
+      "\"cat\":\"frame\",\"name\":\"pace\",\"args\":{}}\n"
+      "]}\n";
+  EXPECT_EQ(obs::to_chrome_trace(golden_events(), "test", 2), expected);
+}
+
+TEST(TraceExport, CsvGolden) {
+  const std::string expected =
+      "seq,time_us,phase,category,name,id,args\n"
+      "0,1000,B,frame,pace,7,fragments=3\n"
+      "1,1500,I,control,fbcc.J,-1,J=1;B_bytes=12000.5\n"
+      "2,2000,E,frame,pace,7,\n";
+  EXPECT_EQ(obs::to_trace_csv(golden_events()), expected);
+}
+
+TEST(TraceExport, FileRoundTrip) {
+  obs::TraceRecorder rec;
+  rec.span_begin(10, "frame", "encode", 1, {{"bytes", 1234.0}});
+  rec.span_end(20, "frame", "encode", 1);
+
+  const std::string json_path = scratch_path("obs_roundtrip.json");
+  const std::string csv_path = scratch_path("obs_roundtrip.csv");
+  obs::write_chrome_trace(json_path, rec, "roundtrip");
+  obs::write_trace_csv(csv_path, rec);
+
+  EXPECT_EQ(read_file(json_path), obs::to_chrome_trace(rec, "roundtrip"));
+  EXPECT_EQ(read_file(csv_path), obs::to_trace_csv(rec));
+
+  // runner::write_trace dispatches on the extension.
+  const std::string via_runner_csv = scratch_path("obs_runner.csv");
+  const std::string via_runner_json = scratch_path("obs_runner.json");
+  runner::write_trace(via_runner_csv, rec, "roundtrip");
+  runner::write_trace(via_runner_json, rec, "roundtrip");
+  EXPECT_EQ(read_file(via_runner_csv), obs::to_trace_csv(rec));
+  EXPECT_EQ(read_file(via_runner_json), obs::to_chrome_trace(rec, "roundtrip"));
+}
+
+// ------------------------------------------------- session integration --
+
+namespace {
+
+// Stage key for the frame-lifecycle chain assertions below.
+std::string stage_key(const obs::TraceEvent& e) {
+  const char* phase = e.phase == obs::Phase::kSpanBegin ? "B"
+                      : e.phase == obs::Phase::kSpanEnd ? "E"
+                                                        : "I";
+  return std::string(e.name) + ":" + phase;
+}
+
+}  // namespace
+
+TEST(SessionTrace, FrameLifecycleChainAndFbccDecisions) {
+  core::SessionConfig config = core::presets::cellular_static();
+  config.compression = core::CompressionScheme::kPoi360;
+  config.rate_control = core::RateControl::kFbcc;
+  config.duration = sec(12);
+  // Overdrive the start rate well past the ~5.5 Mbps grant saturation so
+  // the firmware buffer inflates and the congestion detector flips J=1.
+  config.initial_rate = mbps(12);
+  config.seed = 3;
+  config.trace.enabled = true;
+
+  core::Session session(config);
+  session.run();
+  ASSERT_NE(session.trace(), nullptr);
+  const auto events = session.trace()->snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // At least one frame id must carry the complete lifecycle chain:
+  // capture -> encode -> pace -> phy -> assemble -> display.
+  const std::set<std::string> chain = {
+      "capture:I", "encode:B", "encode:E", "pace:B",     "pace:E",
+      "phy:B",     "phy:E",    "assemble:B", "assemble:E", "display:I"};
+  std::map<std::int64_t, std::set<std::string>> stages;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string_view(e.category) == "frame" && e.id >= 0) {
+      stages[e.id].insert(stage_key(e));
+    }
+  }
+  bool complete_chain = false;
+  for (const auto& [id, got] : stages) {
+    bool all = true;
+    for (const std::string& want : chain) {
+      if (!got.count(want)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      complete_chain = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(complete_chain)
+      << "no frame id carries the full capture..display span chain";
+
+  // The control track must record at least one congestion onset with the
+  // decision inputs the paper's Eq. 3-5 consume.
+  bool j_one_with_inputs = false;
+  for (const obs::TraceEvent& e : events) {
+    if (std::string_view(e.name) != "fbcc.J") continue;
+    std::map<std::string, double> args;
+    for (int i = 0; i < e.n_args; ++i) args[e.args[i].key] = e.args[i].value;
+    if (args.count("J") && args["J"] == 1.0 && args.count("B_bytes") &&
+        args.count("gamma_bytes") && args.count("rphy_bps")) {
+      j_one_with_inputs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(j_one_with_inputs)
+      << "no J=1 fbcc.J event with B/gamma/R_phy inputs recorded";
+}
+
+TEST(SessionTrace, DisabledByDefault) {
+  core::SessionConfig config = core::presets::wireline();
+  config.duration = sec(1);
+  core::Session session(config);
+  session.run();
+  EXPECT_EQ(session.trace(), nullptr);
+}
+
+// --------------------------------------------------------------- runner --
+
+TEST(RunnerTrace, FileNamesAreSanitizedAndUnique) {
+  runner::RunSpec a;
+  a.run_id = 0;
+  a.experiment = "fig16 fbcc/gcc";
+  a.params = {{"rc", "FBCC"}, {"net", "cellular: static"}};
+  a.repeat = 0;
+  a.seed = 1000;
+  runner::RunSpec b = a;
+  b.run_id = 1;
+  b.repeat = 1;
+  b.seed = 8919;
+
+  const std::string na = runner::trace_file_name(a);
+  const std::string nb = runner::trace_file_name(b);
+  EXPECT_NE(na, nb);
+  EXPECT_EQ(na.find('/'), std::string::npos);
+  EXPECT_EQ(na.find(':'), std::string::npos);
+  EXPECT_EQ(na.find(' '), std::string::npos);
+  EXPECT_NE(na.find("rc-FBCC"), std::string::npos);
+  EXPECT_NE(na.find("s1000"), std::string::npos);
+  EXPECT_TRUE(na.size() > 11 &&
+              na.substr(na.size() - 11) == ".trace.json");
+}
+
+TEST(RunnerTrace, ExpandDerivesUniquePaths) {
+  core::SessionConfig base = core::presets::wireline();
+  base.duration = sec(1);
+  runner::ExperimentSpec spec(base);
+  spec.name("obs_paths")
+      .axis("x", {{"one", nullptr}, {"two", nullptr}})
+      .repeats(2)
+      .trace_dir("some/dir");
+  const auto runs = spec.expand();
+  ASSERT_EQ(runs.size(), 4u);
+  std::set<std::string> paths;
+  for (const auto& run : runs) {
+    EXPECT_EQ(run.trace_path.rfind("some/dir/", 0), 0u);
+    paths.insert(run.trace_path);
+  }
+  EXPECT_EQ(paths.size(), runs.size());  // no collisions, ever
+}
+
+TEST(RunnerTrace, BatchWritesPerRunTraces) {
+  const std::string dir = scratch_path("obs_batch_traces");
+  std::filesystem::create_directories(dir);
+
+  core::SessionConfig base = core::presets::wireline();
+  base.duration = sec(2);
+  runner::ExperimentSpec spec(base);
+  spec.name("obs_batch")
+      .axis("x", {{"one", nullptr}, {"two", nullptr}})
+      .repeats(1)
+      .trace_dir(dir);
+
+  runner::BatchRunner::Options options;
+  options.jobs = 2;  // parallel writers must not collide on paths
+  const runner::BatchResult batch = runner::BatchRunner(options).run(spec);
+  ASSERT_EQ(batch.runs.size(), 2u);
+  for (const runner::RunResult& run : batch.runs) {
+    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_FALSE(run.spec.trace_path.empty());
+    const std::string body = read_file(run.spec.trace_path);
+    EXPECT_NE(body.find("\"traceEvents\":["), std::string::npos)
+        << run.spec.trace_path;
+    EXPECT_NE(body.find("dropped_events"), std::string::npos);
+    // The wireline session still produces the frame track.
+    EXPECT_NE(body.find("\"name\":\"display\""), std::string::npos);
+  }
+}

@@ -53,6 +53,14 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="overwrite the baseline with the current report "
                          "instead of comparing")
+    ap.add_argument("--max-ns", action="append", default=[],
+                    metavar="NAME=CEIL",
+                    help="absolute cpu_time ceiling (ns) for one benchmark; "
+                         "repeatable. Fails when the named benchmark is "
+                         "missing from the current run or exceeds the "
+                         "ceiling. Used for benchmarks whose contract is an "
+                         "absolute bound (e.g. the tracing-disabled hot "
+                         "path) rather than a baseline ratio.")
     args = ap.parse_args()
 
     if args.update:
@@ -82,11 +90,44 @@ def main():
         print(f"{name:<{width}}  {base:>10.1f}{unit}  {now:>10.1f}{unit}  "
               f"{ratio:5.2f}{flag}")
 
+    # Benchmarks that exist only in the current report are informational:
+    # a freshly added benchmark must not fail the gate just because the
+    # committed baseline predates it.
+    new = sorted(set(current) - set(baseline))
+    if new:
+        print("new in current run (no baseline entry): " + ", ".join(new))
+
+    ceiling_failures = []
+    for spec in args.max_ns:
+        name, sep, limit = spec.partition("=")
+        if not sep:
+            print(f"bad --max-ns spec (want NAME=CEIL): {spec}",
+                  file=sys.stderr)
+            return 2
+        ceiling = float(limit)
+        if name not in current:
+            ceiling_failures.append((name, ceiling, None))
+            continue
+        now = current[name]["cpu_time"]
+        status = "OK" if now <= ceiling else "<< OVER CEILING"
+        print(f"{name}: {now:.1f}ns vs ceiling {ceiling:.1f}ns  {status}")
+        if now > ceiling:
+            ceiling_failures.append((name, ceiling, now))
+
     ok = True
     if missing:
         ok = False
         print(f"\nmissing from current run: {', '.join(missing)}",
               file=sys.stderr)
+    if ceiling_failures:
+        ok = False
+        for name, ceiling, now in ceiling_failures:
+            if now is None:
+                print(f"\n--max-ns benchmark missing from current run: "
+                      f"{name}", file=sys.stderr)
+            else:
+                print(f"\n{name} exceeded its absolute ceiling: "
+                      f"{now:.1f}ns > {ceiling:.1f}ns", file=sys.stderr)
     if regressions:
         ok = False
         print(f"\n{len(regressions)} benchmark(s) regressed beyond "
