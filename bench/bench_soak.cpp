@@ -1,0 +1,101 @@
+// Soak-mode serving harness driver: hours of simulated session churn over a
+// preallocated slot pool, gated by the admission controller and watched by
+// the per-session no-progress watchdog.
+//
+// Unlike the figure benches this does not use bench::init — the summary on
+// stdout (and --out-json) is a deterministic function of (config, seed), so
+// wall clock goes to stderr only and reruns diff clean.
+//
+//   bench_soak [--duration-s N] [--seed S] [--slots N] [--mean-gap-s N]
+//              [--mean-call-s N] [--policy reject|degrade] [--stuck IDX]
+//              [--out-json PATH]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "poi360/serve/soak_driver.h"
+
+using namespace poi360;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--duration-s N] [--seed S] [--slots N]\n"
+               "          [--mean-gap-s N] [--mean-call-s N]\n"
+               "          [--policy reject|degrade] [--stuck ARRIVAL_IDX]\n"
+               "          [--out-json PATH]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::SoakConfig config;
+  config.duration = sec(7200);
+  config.seed = 1;
+  std::string out_json;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--duration-s") {
+      config.duration = sec(std::atoll(next()));
+    } else if (arg == "--seed") {
+      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--slots") {
+      config.slots = std::atoi(next());
+    } else if (arg == "--mean-gap-s") {
+      config.mean_interarrival = sec(std::atoll(next()));
+    } else if (arg == "--mean-call-s") {
+      config.mean_call = sec(std::atoll(next()));
+    } else if (arg == "--policy") {
+      const std::string policy = next();
+      if (policy == "reject") {
+        config.admission.policy = serve::AdmissionController::Policy::kReject;
+      } else if (policy == "degrade") {
+        config.admission.policy = serve::AdmissionController::Policy::kDegrade;
+      } else {
+        usage(argv[0]);
+        return 2;
+      }
+    } else if (arg == "--stuck") {
+      config.stuck_arrivals.push_back(std::atoll(next()));
+    } else if (arg == "--out-json") {
+      out_json = next();
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  serve::SoakDriver driver(std::move(config));
+  const serve::SoakSummary summary = driver.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::fputs(serve::to_text(summary).c_str(), stdout);
+  if (!out_json.empty()) {
+    std::ofstream out(out_json);
+    if (!out) {
+      std::fprintf(stderr, "bench_soak: cannot write %s\n", out_json.c_str());
+      return 1;
+    }
+    out << serve::to_json(summary);
+  }
+  std::fprintf(stderr, "bench_soak: wall %.2fs\n", wall_s);
+  return summary.live_at_end == 0 ? 0 : 1;
+}

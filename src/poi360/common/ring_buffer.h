@@ -34,6 +34,15 @@ class RingBuffer {
   const T& front() const { return (*this)[0]; }
   const T& back() const { return (*this)[size_ - 1]; }
 
+  /// Removes and returns the oldest element; throws on an empty buffer.
+  T pop_front() {
+    if (size_ == 0) throw std::logic_error("RingBuffer::pop_front on empty");
+    T value = data_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return value;
+  }
+
   std::size_t size() const { return size_; }
   std::size_t capacity() const { return capacity_; }
   bool empty() const { return size_ == 0; }

@@ -173,7 +173,13 @@ Session::Session(SessionConfig config)
 Session::~Session() = default;
 
 void Session::run() {
-  if (ran_) throw std::logic_error("Session::run may be called once");
+  start();
+  advance_until(config_.duration);
+  finish();
+}
+
+void Session::start() {
+  if (ran_) throw std::logic_error("Session::start may be called once");
   ran_ = true;
 
   if (uplink_) uplink_->start();
@@ -213,8 +219,17 @@ void Session::run() {
                            config_.feedback_guard.check_period,
                            [this]() { on_feedback_guard_tick(); });
   }
+}
 
-  sim_.run_until(config_.duration);
+void Session::advance_until(SimTime end) {
+  if (!ran_) throw std::logic_error("Session::advance_until before start");
+  sim_.run_until(end);
+}
+
+void Session::finish() {
+  if (!ran_) throw std::logic_error("Session::finish before start");
+  if (finished_) return;
+  finished_ = true;
 
   if (fbcc_) {
     metrics_.set_diag_robustness(metrics::DiagRobustness{
@@ -241,6 +256,12 @@ void Session::run() {
       .feedback_stale_episodes = stale_episodes_,
       .feedback_stale_time = stale_total_,
   });
+}
+
+void Session::nudge_conservative() {
+  if (config_.compression == CompressionScheme::kPoi360) {
+    adaptive_.nudge_conservative(current_video_rate(), sim_.now());
+  }
 }
 
 // ---------------------------------------------------------------- sender --

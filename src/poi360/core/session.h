@@ -69,8 +69,30 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// Runs the full session; call exactly once.
+  /// Runs the full session; call exactly once. Equivalent to
+  /// `start(); advance_until(config.duration); finish();`.
   void run();
+
+  /// Incremental lifecycle, used by the serving layer (poi360/serve/) to
+  /// interleave many sessions on one master timeline. `start()` schedules
+  /// every periodic stream (call once), `advance_until()` runs the private
+  /// event timeline up to `end` (monotone across calls), and `finish()`
+  /// closes open episodes and assembles the final robustness metrics
+  /// (idempotent). `run()` is exactly these three in sequence, so batch
+  /// callers are unaffected.
+  void start();
+  void advance_until(SimTime end);
+  void finish();
+
+  /// Current simulated time of this session's private timeline.
+  SimTime now() const { return sim_.now(); }
+
+  /// Overload hook for the serving layer's admission controller: steps the
+  /// adaptive compression one mode toward the conservative end — the same
+  /// graceful-degradation path the feedback-staleness watchdog uses — so an
+  /// overloaded cell can degrade admitted sessions instead of rejecting new
+  /// ones. No-op for the baseline compression schemes.
+  void nudge_conservative();
 
   const metrics::SessionMetrics& metrics() const { return metrics_; }
   const SessionConfig& config() const { return config_; }
@@ -189,6 +211,7 @@ class Session {
   std::deque<lte::DiagReport> diag_history_;
   std::int64_t last_second_bytes_ = 0;
   bool ran_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace poi360::core

@@ -1,8 +1,30 @@
 #include "poi360/obs/metrics_registry.h"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace poi360::obs {
+
+namespace {
+
+// Prometheus metric-name charset: [a-zA-Z0-9_:].
+std::string prom_name(const std::string& prefix, const std::string& name) {
+  std::string out = prefix + "_" + name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prom_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
@@ -51,6 +73,31 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     histograms_[name].merge_from(h);
   }
+}
+
+std::string MetricsRegistry::prometheus_text(const std::string& prefix) const {
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    const std::string n = prom_name(prefix, name);
+    out += "# TYPE " + n + " counter\n";
+    out += n + " " + std::to_string(c.value()) + "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string n = prom_name(prefix, name);
+    out += "# TYPE " + n + " gauge\n";
+    out += n + " " + prom_value(g.value()) + "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string n = prom_name(prefix, name);
+    out += "# TYPE " + n + " summary\n";
+    out += n + "_count " + std::to_string(h.count()) + "\n";
+    out += n + "_sum " + prom_value(h.sum()) + "\n";
+    out += "# TYPE " + n + "_min gauge\n";
+    out += n + "_min " + prom_value(h.min()) + "\n";
+    out += "# TYPE " + n + "_max gauge\n";
+    out += n + "_max " + prom_value(h.max()) + "\n";
+  }
+  return out;
 }
 
 }  // namespace poi360::obs

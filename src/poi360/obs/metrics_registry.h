@@ -98,6 +98,13 @@ class MetricsRegistry {
   /// histograms merge moments.
   void merge_from(const MetricsRegistry& other);
 
+  /// Prometheus text exposition (v0.0.4) of the whole registry: counters
+  /// and gauges as their native types, moment histograms as a summary
+  /// (`_count`/`_sum`) plus `_min`/`_max` gauges. Metric names are
+  /// `<prefix>_<name>` with every character outside [a-zA-Z0-9_:] mapped
+  /// to '_'. Deterministic: map iteration is name-ordered.
+  std::string prometheus_text(const std::string& prefix = "poi360") const;
+
  private:
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;

@@ -1,20 +1,39 @@
 #include "poi360/runner/experiment_spec.h"
 
+#include <cstdio>
 #include <stdexcept>
 
 namespace poi360::runner {
 
 namespace {
 
-// Filesystem-safe slug: anything outside [A-Za-z0-9._-] becomes '-'.
+// Filesystem-safe slug: anything outside [A-Za-z0-9._-] becomes '-', so a
+// label can never introduce a path separator (or shell metacharacter) into
+// the trace path. Munged components additionally get a short FNV-1a suffix
+// of the *original* bytes: distinct labels that collapse to the same
+// replacement text ("a/b" vs "a b" vs "a-b") still yield distinct
+// filenames, while clean labels keep their historical names byte-for-byte.
 std::string sanitize(const std::string& s) {
   std::string out;
   out.reserve(s.size());
+  bool altered = false;
   for (char c : s) {
     const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                     (c >= '0' && c <= '9') || c == '.' || c == '-' ||
                     c == '_';
+    if (!ok) altered = true;
     out += ok ? c : '-';
+  }
+  if (altered) {
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    char suffix[12];
+    std::snprintf(suffix, sizeof(suffix), "-%08x",
+                  static_cast<std::uint32_t>(h ^ (h >> 32)));
+    out += suffix;
   }
   return out;
 }

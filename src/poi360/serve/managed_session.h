@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "poi360/core/session.h"
+
+namespace poi360::serve {
+
+/// Lifecycle of one served session slot.
+///
+///   kIdle -> kAdmitted -> kActive -> kDraining -> kClosed
+///                                 \-> kFailed
+///
+/// kClosed / kFailed return to kIdle via `release()` when the slot is
+/// recycled into the pool.
+enum class SessionState {
+  kIdle,      ///< slot unoccupied
+  kAdmitted,  ///< admission granted, core session not yet constructed
+  kActive,    ///< core session running on the master timeline
+  kDraining,  ///< end-of-call (or watchdog) drain in progress
+  kClosed,    ///< finished cleanly, metrics final
+  kFailed,    ///< inner session threw; error retained
+};
+
+const char* to_string(SessionState state);
+
+/// A `core::Session` promoted to a first-class serving object: explicit
+/// lifecycle states, incremental advancement on a master timeline, and a
+/// no-progress watchdog that detects stuck sessions so the soak driver can
+/// force-drain them instead of wedging the run.
+///
+/// Progress is read from the session's MetricsRegistry frame-lifecycle
+/// signals: a session counts as alive while frames keep displaying at the
+/// viewer, being skipped at the sender (backpressure), or being abandoned by
+/// the receiver (loss recovery). A session none of whose three frame
+/// counters move for `watchdog_deadline` is wedged — nothing in the
+/// pipeline is cycling — and gets force-drained.
+///
+/// Designed for slot pooling: default-constructible, reusable via
+/// `admit()` after `release()`, and all bookkeeping is inline (the only
+/// allocation is the inner core::Session itself, paid once per admission).
+class ManagedSession {
+ public:
+  struct Config {
+    std::int64_t id = -1;              ///< arrival index (stable identity)
+    core::SessionConfig session{};     ///< fully derived per-session config
+    SimDuration planned_duration = 0;  ///< drain deadline after activation
+    SimDuration watchdog_deadline = sec(8);
+  };
+
+  ManagedSession() = default;
+
+  /// Binds an admission to this slot. Valid only from kIdle.
+  void admit(Config config, SimTime now);
+
+  /// Constructs and starts the inner session. Valid only from kAdmitted.
+  void activate(SimTime now);
+
+  /// Advances the inner timeline to `t`. An exception from the inner
+  /// session transitions to kFailed (error retained) instead of unwinding
+  /// the whole soak run.
+  void advance_until(SimTime t);
+
+  /// Graceful close: finish() the inner metrics, kActive -> kClosed.
+  void drain(SimTime now);
+
+  /// Watchdog close of a stuck session; `force_drained()` reports it.
+  void force_drain(SimTime now);
+
+  /// Destroys the inner session and returns the slot to kIdle.
+  void release();
+
+  /// Monotone frame-lifecycle progress marker (see class comment).
+  std::int64_t progress_marker() const;
+
+  /// Watchdog scan: samples the progress marker and reports whether the
+  /// session has been stuck for longer than its deadline.
+  bool observe_stuck(SimTime now);
+
+  SessionState state() const { return state_; }
+  bool live() const {
+    return state_ == SessionState::kAdmitted ||
+           state_ == SessionState::kActive ||
+           state_ == SessionState::kDraining;
+  }
+
+  std::int64_t id() const { return config_.id; }
+  const Config& config() const { return config_; }
+  SimTime admitted_at() const { return admitted_at_; }
+  SimTime activated_at() const { return activated_at_; }
+  /// Scheduled end-of-call time (valid once active).
+  SimTime drain_deadline() const {
+    return activated_at_ + config_.planned_duration;
+  }
+  bool force_drained() const { return force_drained_; }
+  const std::string& error() const { return error_; }
+
+  core::Session* session() { return session_.get(); }
+  const core::Session* session() const { return session_.get(); }
+
+ private:
+  void close(SimTime now, bool forced);
+
+  SessionState state_ = SessionState::kIdle;
+  Config config_{};
+  std::unique_ptr<core::Session> session_;
+  SimTime admitted_at_ = 0;
+  SimTime activated_at_ = 0;
+  std::int64_t last_marker_ = 0;
+  SimTime last_progress_at_ = 0;
+  bool force_drained_ = false;
+  std::string error_;
+};
+
+}  // namespace poi360::serve

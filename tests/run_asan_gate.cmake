@@ -3,7 +3,9 @@
 # directory and run them. The directory persists between invocations, so
 # after the first configure each gate is an incremental rebuild.
 # Variables: SRC_DIR, GATE_DIR, SANITIZE (address|thread, default address),
-# BINS (space-separated binary names, default rtp + chaos).
+# BINS (space-separated binary names, default rtp + chaos), RUN_ARGS
+# (optional space-separated arguments appended to every binary invocation,
+# e.g. a --gtest_filter that keeps a soak suite short under the sanitizer).
 
 if(NOT SANITIZE)
   set(SANITIZE address)
@@ -12,6 +14,7 @@ if(NOT BINS)
   set(BINS "poi360_rtp_tests poi360_chaos_tests")
 endif()
 separate_arguments(bins_list UNIX_COMMAND "${BINS}")
+separate_arguments(run_args_list UNIX_COMMAND "${RUN_ARGS}")
 
 if(NOT EXISTS ${GATE_DIR}/CMakeCache.txt)
   execute_process(
@@ -33,7 +36,7 @@ endif()
 
 foreach(bin ${bins_list})
   execute_process(
-    COMMAND ${GATE_DIR}/tests/${bin}
+    COMMAND ${GATE_DIR}/tests/${bin} ${run_args_list}
     RESULT_VARIABLE run_rc)
   if(NOT run_rc EQUAL 0)
     message(FATAL_ERROR

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "poi360/common/ring_buffer.h"
@@ -120,6 +121,69 @@ TEST(RingBuffer, ClearAndRefill) {
 
 TEST(RingBuffer, ZeroCapacityThrows) {
   EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBuffer, WraparoundKeepsFifoOrderAtCapacity) {
+  RingBuffer<int> rb(4);
+  // Push far past capacity: the window must always hold the last 4 values
+  // in arrival order, wherever the physical head happens to sit.
+  for (int i = 0; i < 25; ++i) {
+    rb.push(i);
+    const std::size_t n = rb.size();
+    EXPECT_EQ(n, static_cast<std::size_t>(std::min(i + 1, 4)));
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(rb[j], i - static_cast<int>(n - 1 - j));
+    }
+    EXPECT_EQ(rb.back(), i);
+  }
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 21);
+}
+
+TEST(RingBuffer, PushOnFullEvictsExactlyOne) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  ASSERT_TRUE(rb.full());
+  rb.push(4);
+  EXPECT_TRUE(rb.full());
+  EXPECT_EQ(rb.size(), 3u);  // size saturates, never exceeds capacity
+  EXPECT_EQ(rb.front(), 2);
+  EXPECT_EQ(rb.back(), 4);
+}
+
+TEST(RingBuffer, PopFrontReturnsOldest) {
+  RingBuffer<int> rb(3);
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.pop_front(), 2);
+  EXPECT_EQ(rb.pop_front(), 3);
+  EXPECT_EQ(rb.size(), 1u);
+  EXPECT_EQ(rb.front(), 4);
+  EXPECT_EQ(rb.pop_front(), 4);
+  EXPECT_TRUE(rb.empty());
+  EXPECT_THROW(rb.pop_front(), std::logic_error);
+}
+
+TEST(RingBuffer, InterleavedPushPopInvariants) {
+  RingBuffer<int> rb(3);
+  int next_push = 0;
+  int next_pop = 0;
+  // Alternate bursts of pushes and pops so head wraps repeatedly; values
+  // must come out strictly in FIFO order with size/empty/full consistent.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 2; ++i) rb.push(next_push++);
+    next_pop = std::max(next_pop, next_push - 3);  // eviction may skip some
+    while (!rb.empty()) {
+      EXPECT_EQ(rb.size() == 3u, rb.full());
+      EXPECT_EQ(rb.pop_front(), next_pop++);
+    }
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.size(), 0u);
+  }
 }
 
 TEST(RunningStats, Moments) {

@@ -402,6 +402,46 @@ TEST(RunnerTrace, FileNamesAreSanitizedAndUnique) {
               na.substr(na.size() - 11) == ".trace.json");
 }
 
+TEST(RunnerTrace, MungedLabelsCannotCollideOrEscape) {
+  runner::RunSpec base;
+  base.run_id = 0;
+  base.experiment = "exp";
+  base.repeat = 0;
+  base.seed = 1;
+
+  // Labels that sanitize to the same replacement text must still produce
+  // distinct filenames (the munged component carries a content hash).
+  runner::RunSpec slash = base;
+  slash.params = {{"axis", "a/b"}};
+  runner::RunSpec space = base;
+  space.params = {{"axis", "a b"}};
+  runner::RunSpec dash = base;
+  dash.params = {{"axis", "a-b"}};
+  const std::string n_slash = runner::trace_file_name(slash);
+  const std::string n_space = runner::trace_file_name(space);
+  const std::string n_dash = runner::trace_file_name(dash);
+  EXPECT_NE(n_slash, n_space);
+  EXPECT_NE(n_slash, n_dash);
+  EXPECT_NE(n_space, n_dash);
+
+  // A hostile label cannot introduce path separators or shell metachars.
+  runner::RunSpec evil = base;
+  evil.params = {{"axis", "../../etc/passwd; rm -rf $(HOME) `x` &"}};
+  const std::string n_evil = runner::trace_file_name(evil);
+  for (char c : {'/', ';', '$', '`', '&', '(', ')', ' '}) {
+    EXPECT_EQ(n_evil.find(c), std::string::npos) << "found '" << c << "'";
+  }
+
+  // Clean labels keep their historical byte-exact names (no hash suffix).
+  runner::RunSpec clean = base;
+  clean.params = {{"rc", "FBCC"}};
+  EXPECT_EQ(runner::trace_file_name(clean),
+            "exp__rc-FBCC__r0_s1_id0.trace.json");
+
+  // Same label munged identically stays deterministic across calls.
+  EXPECT_EQ(n_slash, runner::trace_file_name(slash));
+}
+
 TEST(RunnerTrace, ExpandDerivesUniquePaths) {
   core::SessionConfig base = core::presets::wireline();
   base.duration = sec(1);

@@ -1,0 +1,375 @@
+// Serving-harness suite: ManagedSession lifecycle + watchdog, admission
+// policies, and SoakDriver churn runs (determinism, bounded memory, clean
+// shutdown). The SoakGate.* tests are the subset the soak sanitizer gates
+// re-run under asan/tsan.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "poi360/core/config.h"
+#include "poi360/obs/metrics_registry.h"
+#include "poi360/serve/admission.h"
+#include "poi360/serve/managed_session.h"
+#include "poi360/serve/soak_driver.h"
+
+namespace poi360::serve {
+namespace {
+
+core::SessionConfig short_session_template() {
+  core::SessionConfig config;
+  config.duration = sec(20);  // overridden per arrival by the call draw
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// ManagedSession lifecycle.
+
+TEST(ManagedSession, WalksLifecycleStates) {
+  ManagedSession ms;
+  EXPECT_EQ(ms.state(), SessionState::kIdle);
+  EXPECT_FALSE(ms.live());
+
+  ManagedSession::Config mc;
+  mc.id = 7;
+  mc.session = short_session_template();
+  mc.session.duration = sec(10);
+  mc.planned_duration = sec(10);
+
+  ms.admit(mc, sec(100));
+  EXPECT_EQ(ms.state(), SessionState::kAdmitted);
+  EXPECT_TRUE(ms.live());
+  EXPECT_EQ(ms.id(), 7);
+  EXPECT_EQ(ms.admitted_at(), sec(100));
+
+  ms.activate(sec(100));
+  ASSERT_EQ(ms.state(), SessionState::kActive);
+  EXPECT_EQ(ms.drain_deadline(), sec(110));
+
+  // Master time 100s..105s maps to inner time 0..5s.
+  ms.advance_until(sec(105));
+  ASSERT_EQ(ms.state(), SessionState::kActive);
+  EXPECT_EQ(ms.session()->now(), sec(5));
+  EXPECT_GT(ms.progress_marker(), 0);
+
+  ms.drain(sec(105));
+  EXPECT_EQ(ms.state(), SessionState::kClosed);
+  EXPECT_FALSE(ms.live());
+  EXPECT_FALSE(ms.force_drained());
+  EXPECT_GT(ms.session()->metrics().displayed_frames(), 0);
+
+  ms.release();
+  EXPECT_EQ(ms.state(), SessionState::kIdle);
+  EXPECT_EQ(ms.session(), nullptr);
+
+  // The slot is reusable after release.
+  ms.admit(mc, sec(200));
+  EXPECT_EQ(ms.state(), SessionState::kAdmitted);
+}
+
+TEST(ManagedSession, AdmitOnOccupiedSlotThrows) {
+  ManagedSession ms;
+  ManagedSession::Config mc;
+  mc.session = short_session_template();
+  ms.admit(mc, 0);
+  EXPECT_THROW(ms.admit(mc, 0), std::logic_error);
+}
+
+TEST(ManagedSession, HealthySessionIsNeverStuck) {
+  ManagedSession ms;
+  ManagedSession::Config mc;
+  mc.session = short_session_template();
+  mc.planned_duration = mc.session.duration = sec(20);
+  mc.watchdog_deadline = sec(3);
+  ms.admit(mc, 0);
+  ms.activate(0);
+  for (SimTime t = sec(1); t <= sec(15); t += sec(1)) {
+    ms.advance_until(t);
+    EXPECT_FALSE(ms.observe_stuck(t)) << "at t=" << t;
+  }
+}
+
+TEST(ManagedSession, WatchdogDetectsDeadMediaPath) {
+  ManagedSession ms;
+  ManagedSession::Config mc;
+  mc.session = short_session_template();
+  // Media path born dead past the radio: nothing ever displays, is skipped,
+  // or is abandoned, so the progress marker freezes at its initial value.
+  mc.session.core_loss = 1.0;
+  mc.planned_duration = mc.session.duration = sec(60);
+  mc.watchdog_deadline = sec(5);
+  ms.admit(mc, 0);
+  ms.activate(0);
+
+  bool stuck = false;
+  SimTime detected_at = 0;
+  for (SimTime t = sec(1); t <= sec(30); t += sec(1)) {
+    ms.advance_until(t);
+    if (ms.observe_stuck(t)) {
+      stuck = true;
+      detected_at = t;
+      break;
+    }
+  }
+  ASSERT_TRUE(stuck);
+  EXPECT_GT(detected_at, sec(5));  // not before the deadline elapsed
+
+  ms.force_drain(detected_at);
+  EXPECT_EQ(ms.state(), SessionState::kClosed);
+  EXPECT_TRUE(ms.force_drained());
+}
+
+// ---------------------------------------------------------------------------
+// Admission controller.
+
+TEST(Admission, RejectPolicyRefusesBeyondHeadroom) {
+  AdmissionController::Config config;
+  config.policy = AdmissionController::Policy::kReject;
+  config.cell_capacity = mbps(4);
+  config.headroom_fraction = 1.0;
+  config.cell.background_users = 0;  // share pinned at 1.0: deterministic
+  AdmissionController admission(config, 1);
+
+  EXPECT_EQ(admission.decide(0, mbps(1.5)), AdmissionController::Decision::kAccept);
+  admission.on_admitted(mbps(1.5));
+  EXPECT_EQ(admission.decide(0, mbps(1.5)), AdmissionController::Decision::kAccept);
+  admission.on_admitted(mbps(1.5));
+  // 3.0 of 4.0 reserved; a third 1.5 does not fit.
+  EXPECT_EQ(admission.decide(0, mbps(1.5)), AdmissionController::Decision::kReject);
+  EXPECT_EQ(admission.rejected(), 1);
+
+  admission.on_released(mbps(1.5));
+  EXPECT_EQ(admission.decide(0, mbps(1.5)), AdmissionController::Decision::kAccept);
+  EXPECT_EQ(admission.accepted(), 3);
+}
+
+TEST(Admission, DegradePolicyAdmitsBeyondHeadroom) {
+  AdmissionController::Config config;
+  config.policy = AdmissionController::Policy::kDegrade;
+  config.cell_capacity = mbps(2);
+  config.headroom_fraction = 1.0;
+  config.cell.background_users = 0;
+  AdmissionController admission(config, 1);
+
+  EXPECT_EQ(admission.decide(0, mbps(1.5)), AdmissionController::Decision::kAccept);
+  admission.on_admitted(mbps(1.5));
+  EXPECT_EQ(admission.decide(0, mbps(1.5)),
+            AdmissionController::Decision::kDegradeAccept);
+  EXPECT_EQ(admission.degrade_admissions(), 1);
+  EXPECT_EQ(admission.rejected(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SoakDriver.
+
+SoakConfig small_soak(std::uint64_t seed) {
+  SoakConfig config;
+  config.duration = sec(420);
+  config.seed = seed;
+  config.mean_interarrival = sec(12);
+  config.min_call = sec(5);
+  config.call_tick = sec(5);
+  config.mean_call = sec(30);
+  config.slots = 8;
+  config.warmup = sec(180);
+  config.snapshot_period = sec(30);
+  config.snapshot_window = 8;
+  config.session = short_session_template();
+  return config;
+}
+
+TEST(SoakDriver, DeterministicSummary) {
+  SoakConfig config = small_soak(11);
+  config.stuck_arrivals = {3};
+  SoakDriver a(config);
+  SoakDriver b(config);
+  const SoakSummary sa = a.run();
+  const SoakSummary sb = b.run();
+  EXPECT_EQ(to_text(sa), to_text(sb));
+  EXPECT_EQ(to_json(sa), to_json(sb));
+  EXPECT_EQ(a.registry().prometheus_text(), b.registry().prometheus_text());
+}
+
+TEST(SoakDriver, SeedChangesOutcome) {
+  SoakDriver a(small_soak(11));
+  SoakDriver b(small_soak(12));
+  EXPECT_NE(to_text(a.run()), to_text(b.run()));
+}
+
+TEST(SoakDriver, RunTwiceThrows) {
+  SoakDriver driver(small_soak(1));
+  driver.run();
+  EXPECT_THROW(driver.run(), std::logic_error);
+}
+
+// The acceptance soak: two hours of simulated serving, a couple hundred
+// arrivals, one injected stuck session. Ends with zero live sessions and a
+// flat pool/registry high-water after warmup.
+TEST(SoakDriver, TwoHourChurnIsBoundedAndDrainsClean) {
+  SoakConfig config;
+  config.duration = sec(7200);
+  config.seed = 1;
+  config.mean_interarrival = sec(30);
+  config.slots = 16;
+  config.warmup = sec(3600);
+  config.session = short_session_template();
+  config.stuck_arrivals = {5};
+
+  SoakDriver driver(config);
+  const SoakSummary s = driver.run();
+
+  EXPECT_GE(s.arrivals, 200);
+  EXPECT_EQ(s.live_at_end, 0);
+  EXPECT_EQ(driver.live_sessions(), 0);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_EQ(s.rejected_pool_full, 0);
+
+  // The injected stuck session was detected and force-drained.
+  EXPECT_GE(s.force_drained, 1);
+
+  // Bounded memory: concurrency never exceeds the preallocated pool, the
+  // high-water is flat across the back half of the run, and the registry
+  // holds exactly its preallocated entries from warmup to the end.
+  EXPECT_LE(s.peak_concurrent, s.slots);
+  EXPECT_EQ(s.pool_high_water_warmup, s.pool_high_water_end);
+  EXPECT_EQ(s.registry_entries_warmup, s.registry_entries_end);
+
+  // Conservation: every arrival was admitted+closed, rejected, or refused.
+  EXPECT_EQ(s.arrivals, s.completed + s.force_drained + s.failed +
+                            s.rejected_admission + s.rejected_pool_full);
+  EXPECT_GT(s.frames_displayed, 0);
+}
+
+TEST(SoakDriver, RejectPolicyTurnsArrivalsAway) {
+  SoakConfig config = small_soak(5);
+  config.admission.policy = AdmissionController::Policy::kReject;
+  config.admission.cell_capacity = mbps(4);  // ~2 concurrent sessions
+  config.admission.headroom_fraction = 1.0;
+  config.admission.cell.background_users = 0;
+  config.mean_interarrival = sec(6);
+  config.mean_call = sec(60);
+
+  const SoakSummary s = SoakDriver(config).run();
+  EXPECT_GT(s.rejected_admission, 0);
+  EXPECT_EQ(s.degrade_admissions, 0);
+  EXPECT_EQ(s.degrade_nudges, 0);
+  EXPECT_EQ(s.live_at_end, 0);
+}
+
+TEST(SoakDriver, DegradePolicyNudgesInsteadOfRejecting) {
+  SoakConfig config = small_soak(5);
+  config.admission.policy = AdmissionController::Policy::kDegrade;
+  config.admission.cell_capacity = mbps(4);
+  config.admission.headroom_fraction = 1.0;
+  config.admission.cell.background_users = 0;
+  config.mean_interarrival = sec(6);
+  config.mean_call = sec(60);
+
+  const SoakSummary s = SoakDriver(config).run();
+  EXPECT_EQ(s.rejected_admission, 0);
+  EXPECT_GT(s.degrade_admissions, 0);
+  EXPECT_GT(s.degrade_nudges, 0);
+  EXPECT_EQ(s.live_at_end, 0);
+}
+
+TEST(SoakDriver, SnapshotWindowRollsDropOldest) {
+  SoakConfig config = small_soak(2);
+  config.snapshot_period = sec(20);
+  config.snapshot_window = 4;
+  SoakDriver driver(config);
+  const SoakSummary s = driver.run();
+
+  // 420s at one snapshot per 20s: far more taken than the window retains.
+  EXPECT_EQ(s.snapshots_taken, 21u);
+  EXPECT_EQ(s.snapshots_retained, 4u);
+  const RingBuffer<Snapshot>& window = driver.snapshots();
+  ASSERT_EQ(window.size(), 4u);
+  // Drop-oldest: the retained snapshots are the last four, in order.
+  EXPECT_EQ(window[0].at, sec(360));
+  EXPECT_EQ(window[3].at, sec(420));
+  EXPECT_NE(window[3].text.find("poi360_serve_arrivals"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Exposition formats.
+
+TEST(PrometheusText, EscapesNamesAndCoversAllKinds) {
+  obs::MetricsRegistry registry;
+  registry.counter("serve.arrivals").inc(3);
+  registry.gauge("pool.free").set(2.5);
+  registry.histogram("frame.delay_ms").observe(10.0);
+  registry.histogram("frame.delay_ms").observe(30.0);
+
+  const std::string text = registry.prometheus_text();
+  EXPECT_NE(text.find("# TYPE poi360_serve_arrivals counter\n"
+                      "poi360_serve_arrivals 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE poi360_pool_free gauge\n"
+                      "poi360_pool_free 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("poi360_frame_delay_ms_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("poi360_frame_delay_ms_sum 40\n"), std::string::npos);
+  EXPECT_NE(text.find("poi360_frame_delay_ms_min 10\n"), std::string::npos);
+  EXPECT_NE(text.find("poi360_frame_delay_ms_max 30\n"), std::string::npos);
+  // No un-sanitized dots anywhere in metric names.
+  EXPECT_EQ(text.find("serve.arrivals"), std::string::npos);
+}
+
+TEST(SoakSummaryJson, CarriesTheFullSchema) {
+  SoakConfig config = small_soak(4);
+  config.stuck_arrivals = {2};
+  const SoakSummary s = SoakDriver(config).run();
+  const std::string json = to_json(s);
+
+  EXPECT_EQ(json.find("{"), 0u);
+  EXPECT_NE(json.find("\"schema\": \"poi360.soak.v1\""), std::string::npos);
+  for (const char* key :
+       {"seed", "duration_s", "policy", "arrivals", "accepted",
+        "degrade_admissions", "rejected_admission", "rejected_pool_full",
+        "degrade_nudges", "completed", "shutdown_drained", "force_drained",
+        "failed", "live_at_end", "slots", "peak_concurrent",
+        "pool_high_water_warmup", "pool_high_water_end",
+        "registry_entries_warmup", "registry_entries_end",
+        "frames_displayed", "frames_skipped", "frames_abandoned",
+        "frames_frozen", "freeze_ratio", "mean_frame_delay_ms",
+        "snapshots_taken", "snapshots_retained"}) {
+    EXPECT_NE(json.find("\"" + std::string(key) + "\": "), std::string::npos)
+        << "missing key " << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SoakGate.*: the short churn the asan/tsan soak gates re-run. Minutes of
+// simulated serving with slot recycling, one stuck-session kill, and the
+// bounded-memory asserts — small enough to stay cheap under tsan.
+
+TEST(SoakGate, ChurnRecyclesSlotsCleanUnderSanitizers) {
+  SoakConfig config;
+  config.duration = sec(300);
+  config.seed = 9;
+  config.mean_interarrival = sec(10);
+  config.min_call = sec(5);
+  config.call_tick = sec(5);
+  config.mean_call = sec(25);
+  config.slots = 6;
+  config.warmup = sec(150);
+  config.snapshot_period = sec(30);
+  config.snapshot_window = 4;
+  config.session = short_session_template();
+  config.stuck_arrivals = {3};
+
+  SoakDriver driver(config);
+  const SoakSummary s = driver.run();
+
+  EXPECT_GT(s.arrivals, 10);
+  EXPECT_EQ(s.live_at_end, 0);
+  EXPECT_EQ(s.failed, 0);
+  EXPECT_GE(s.force_drained, 1);
+  EXPECT_LE(s.peak_concurrent, s.slots);
+  EXPECT_EQ(s.registry_entries_warmup, s.registry_entries_end);
+  EXPECT_EQ(s.arrivals, s.completed + s.force_drained + s.failed +
+                            s.rejected_admission + s.rejected_pool_full);
+}
+
+}  // namespace
+}  // namespace poi360::serve

@@ -78,6 +78,14 @@ def main():
     print(f"{'benchmark':<{width}}  {'base':>12}  {'now':>12}  ratio")
     for name in sorted(baseline):
         if name not in current:
+            # A baseline entry the current run never produced is a gate
+            # failure in its own right (a renamed or deleted benchmark
+            # silently exempts itself from regression checking otherwise);
+            # surface it in the table rather than skipping the row.
+            base = baseline[name]["cpu_time"]
+            unit = baseline[name]["time_unit"]
+            print(f"{name:<{width}}  {base:>10.1f}{unit}  {'-':>12}  "
+                  f"    -  << MISSING")
             continue
         base = baseline[name]["cpu_time"]
         now = current[name]["cpu_time"]
@@ -117,8 +125,10 @@ def main():
     ok = True
     if missing:
         ok = False
-        print(f"\nmissing from current run: {', '.join(missing)}",
-              file=sys.stderr)
+        print(f"\n{len(missing)} baseline benchmark(s) missing from the "
+              f"current run:", file=sys.stderr)
+        for name in missing:
+            print(f"  {name}", file=sys.stderr)
     if ceiling_failures:
         ok = False
         for name, ceiling, now in ceiling_failures:

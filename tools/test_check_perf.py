@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Regression tests for check_perf.py, driven as a subprocess the same way
+the perf gate invokes it. Run directly or via ctest (label `tools`)."""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK_PY = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "check_perf.py")
+
+
+def report(names_to_ns):
+    return {"benchmarks": [
+        {"name": name, "cpu_time": ns, "time_unit": "ns"}
+        for name, ns in names_to_ns.items()
+    ]}
+
+
+class CheckPerfTest(unittest.TestCase):
+    def run_gate(self, baseline, current, extra_args=()):
+        with tempfile.TemporaryDirectory() as tmp:
+            bpath = os.path.join(tmp, "baseline.json")
+            cpath = os.path.join(tmp, "current.json")
+            with open(bpath, "w") as f:
+                json.dump(report(baseline), f)
+            with open(cpath, "w") as f:
+                json.dump(report(current), f)
+            return subprocess.run(
+                [sys.executable, CHECK_PY, "--baseline", bpath,
+                 "--current", cpath, *extra_args],
+                capture_output=True, text=True)
+
+    def test_clean_match_passes(self):
+        r = self.run_gate({"BM_a": 100.0, "BM_b": 50.0},
+                          {"BM_a": 101.0, "BM_b": 49.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("perf gate OK", r.stdout)
+
+    def test_missing_baseline_entry_fails_with_name(self):
+        r = self.run_gate({"BM_kept": 100.0, "BM_vanished": 100.0},
+                          {"BM_kept": 100.0})
+        self.assertEqual(r.returncode, 1, r.stdout + r.stderr)
+        # Named loudly in both the comparison table and the failure report.
+        self.assertIn("BM_vanished", r.stdout)
+        self.assertIn("<< MISSING", r.stdout)
+        self.assertIn("BM_vanished", r.stderr)
+        self.assertIn("missing from the current run", r.stderr)
+
+    def test_regression_beyond_tolerance_fails(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 200.0})
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("<< REGRESSION", r.stdout)
+        self.assertIn("BM_a", r.stderr)
+
+    def test_regression_within_tolerance_passes(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 120.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_new_benchmark_is_informational_only(self):
+        r = self.run_gate({"BM_a": 100.0},
+                          {"BM_a": 100.0, "BM_fresh": 1.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("BM_fresh", r.stdout)
+
+    def test_ceiling_failure_names_benchmark(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 100.0},
+                          ["--max-ns", "BM_a=50"])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("exceeded its absolute ceiling", r.stderr)
+
+    def test_ceiling_on_missing_benchmark_fails(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 100.0},
+                          ["--max-ns", "BM_ghost=50"])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("BM_ghost", r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
