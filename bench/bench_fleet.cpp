@@ -1,0 +1,90 @@
+// Cell-scale fleet bench: N full POI360 sessions per proportional-fair cell,
+// cells sharded across workers. Reports per-percentile QoE plus the Jain
+// fairness index overall and per controller rung (FBCC-vs-FBCC contention
+// against FBCC-vs-GCC contention).
+//
+// Like bench_soak this does not use bench::init — the summary on stdout
+// (and --out-json) is a deterministic function of (config, seed) for every
+// --jobs value, so wall clock goes to stderr only and reruns diff clean.
+//
+//   bench_fleet [--cells N] [--sessions N] [--duration-s N] [--seed S]
+//               [--quantum-ms N] [--jobs N] [--ladder fbcc|gcc|mixed|full]
+//               [--out-json PATH]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "poi360/serve/fleet_driver.h"
+#include "util/options.h"
+
+using namespace poi360;
+
+int main(int argc, char** argv) {
+  serve::FleetConfig config;
+  std::string out_json;
+  std::int64_t quantum_ms = 0;  // 0 = keep the config default
+
+  bench::FlagParser parser;
+  parser.on_int("--cells", "N", &config.cells)
+      .on_int("--sessions", "N", &config.sessions_per_cell)
+      .on_seconds("--duration-s", "N", &config.duration)
+      .on_u64("--seed", "S", &config.seed)
+      .on_i64("--quantum-ms", "N", &quantum_ms)
+      .on_int("--jobs", "N", &config.jobs)
+      .on_value("--ladder", "fbcc|gcc|mixed|full",
+                [&config](const char* v) {
+                  using core::CompressionScheme;
+                  using core::RateControl;
+                  const std::string ladder = v;
+                  if (ladder == "fbcc") {
+                    config.ladder = {{RateControl::kFbcc,
+                                      CompressionScheme::kPoi360}};
+                  } else if (ladder == "gcc") {
+                    config.ladder = {{RateControl::kGcc,
+                                      CompressionScheme::kPoi360}};
+                  } else if (ladder == "mixed") {
+                    config.ladder = {{RateControl::kFbcc,
+                                      CompressionScheme::kPoi360},
+                                     {RateControl::kGcc,
+                                      CompressionScheme::kPoi360}};
+                  } else if (ladder == "full") {
+                    config.ladder = {{RateControl::kFbcc,
+                                      CompressionScheme::kPoi360},
+                                     {RateControl::kGcc,
+                                      CompressionScheme::kPoi360},
+                                     {RateControl::kGcc,
+                                      CompressionScheme::kConduit},
+                                     {RateControl::kGcc,
+                                      CompressionScheme::kPyramid}};
+                  } else {
+                    return false;
+                  }
+                  return true;
+                })
+      .on_string("--out-json", "PATH", &out_json);
+  parser.parse(argc, argv);
+  if (quantum_ms > 0) config.advance_quantum = msec(quantum_ms);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  serve::FleetDriver driver(std::move(config));
+  const serve::FleetSummary summary = driver.run();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::fputs(serve::to_text(summary).c_str(), stdout);
+  if (!out_json.empty()) {
+    std::ofstream out(out_json);
+    if (!out) {
+      std::fprintf(stderr, "bench_fleet: cannot write %s\n", out_json.c_str());
+      return 1;
+    }
+    out << serve::to_json(summary);
+  }
+  std::fprintf(stderr, "bench_fleet: wall %.2fs\n", wall_s);
+  return summary.failed_sessions == 0 ? 0 : 1;
+}

@@ -15,8 +15,10 @@
 #include "poi360/core/fbcc.h"
 #include "poi360/core/mismatch.h"
 #include "poi360/gcc/trendline.h"
+#include "poi360/lte/shared_cell.h"
 #include "poi360/obs/trace.h"
 #include "poi360/roi/head_motion.h"
+#include "poi360/serve/fleet_driver.h"
 #include "poi360/sim/simulator.h"
 #include "poi360/video/encoder.h"
 #include "poi360/video/quality.h"
@@ -231,6 +233,47 @@ static void BM_SimulatorPeriodic(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1285);
 }
 BENCHMARK(BM_SimulatorPeriodic);
+
+// The fleet cell's per-subframe scheduling query: one UE's proportional-fair
+// share off the committed demand snapshot plus the piecewise-constant
+// background timeline. Every cellular session pays this once per millisecond
+// when a fleet cell is attached, so it must stay a couple of lookups — no
+// allocation, no RNG beyond the timeline frontier extension.
+static void BM_SharedCellShare(benchmark::State& state) {
+  lte::SharedCell cell({}, 42);
+  const int a = cell.register_ue(1.0);
+  const int b = cell.register_ue(1.0);
+  cell.report_demand(a, 10000);
+  cell.report_demand(b, 10000);
+  cell.commit_demand();
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += msec(1);
+    benchmark::DoNotOptimize(cell.share(a, t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedCellShare);
+
+// Steady-state FleetCell stepping: 4 full sessions (mixed FBCC/GCC ladder)
+// sharing one cell, advanced one 100 ms quantum per iteration. Items =
+// session-quanta, so items/s prices the per-session step cost the fleet
+// perf gate bounds.
+static void BM_FleetSessionStep(benchmark::State& state) {
+  serve::FleetConfig config;
+  config.cells = 1;
+  config.sessions_per_cell = 4;
+  config.duration = sec(86400);  // never reached; the bench paces time
+  serve::FleetCell cell(config, 0);
+  cell.start();
+  SimTime t = 0;
+  for (auto _ : state) {
+    t += msec(100);
+    cell.advance_to(t);
+  }
+  state.SetItemsProcessed(state.iterations() * config.sessions_per_cell);
+}
+BENCHMARK(BM_FleetSessionStep);
 
 // Entry point: google-benchmark's main plus an `--out-json <path>` alias for
 // `--benchmark_out=<path> --benchmark_out_format=json`, matching the flag

@@ -13,26 +13,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <string>
 
 #include "poi360/serve/soak_driver.h"
+#include "util/options.h"
 
 using namespace poi360;
-
-namespace {
-
-void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--duration-s N] [--seed S] [--slots N]\n"
-               "          [--mean-gap-s N] [--mean-call-s N]\n"
-               "          [--policy reject|degrade] [--stuck ARRIVAL_IDX]\n"
-               "          [--out-json PATH]\n",
-               argv0);
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   serve::SoakConfig config;
@@ -40,44 +27,39 @@ int main(int argc, char** argv) {
   config.seed = 1;
   std::string out_json;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        usage(argv[0]);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (arg == "--duration-s") {
-      config.duration = sec(std::atoll(next()));
-    } else if (arg == "--seed") {
-      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
-    } else if (arg == "--slots") {
-      config.slots = std::atoi(next());
-    } else if (arg == "--mean-gap-s") {
-      config.mean_interarrival = sec(std::atoll(next()));
-    } else if (arg == "--mean-call-s") {
-      config.mean_call = sec(std::atoll(next()));
-    } else if (arg == "--policy") {
-      const std::string policy = next();
-      if (policy == "reject") {
-        config.admission.policy = serve::AdmissionController::Policy::kReject;
-      } else if (policy == "degrade") {
-        config.admission.policy = serve::AdmissionController::Policy::kDegrade;
-      } else {
-        usage(argv[0]);
-        return 2;
-      }
-    } else if (arg == "--stuck") {
-      config.stuck_arrivals.push_back(std::atoll(next()));
-    } else if (arg == "--out-json") {
-      out_json = next();
-    } else {
-      usage(argv[0]);
-      return 2;
-    }
-  }
+  bench::FlagParser parser;
+  parser
+      .usage_override(
+          "usage: %s [--duration-s N] [--seed S] [--slots N]\n"
+          "          [--mean-gap-s N] [--mean-call-s N]\n"
+          "          [--policy reject|degrade] [--stuck ARRIVAL_IDX]\n"
+          "          [--out-json PATH]\n")
+      .on_seconds("--duration-s", "N", &config.duration)
+      .on_u64("--seed", "S", &config.seed)
+      .on_int("--slots", "N", &config.slots)
+      .on_seconds("--mean-gap-s", "N", &config.mean_interarrival)
+      .on_seconds("--mean-call-s", "N", &config.mean_call)
+      .on_value("--policy", "reject|degrade",
+                [&config](const char* v) {
+                  const std::string policy = v;
+                  if (policy == "reject") {
+                    config.admission.policy =
+                        serve::AdmissionController::Policy::kReject;
+                  } else if (policy == "degrade") {
+                    config.admission.policy =
+                        serve::AdmissionController::Policy::kDegrade;
+                  } else {
+                    return false;
+                  }
+                  return true;
+                })
+      .on_value("--stuck", "ARRIVAL_IDX",
+                [&config](const char* v) {
+                  config.stuck_arrivals.push_back(std::atoll(v));
+                  return true;
+                })
+      .on_string("--out-json", "PATH", &out_json);
+  parser.parse(argc, argv);
 
   const auto wall_start = std::chrono::steady_clock::now();
   serve::SoakDriver driver(std::move(config));

@@ -12,12 +12,18 @@ endif()
 # Absolute ceilings (ns) for the tracing hot path: the disabled state is a
 # null-pointer test and must stay branch-cheap; the enabled state must stay
 # allocation-free ring writes. Generous bounds — they catch a reintroduced
-# allocation or lock, not scheduler jitter.
+# allocation or lock, not scheduler jitter. Same idea for the fleet hot
+# paths: SharedCell::share is the per-subframe scheduling query every
+# fleet-attached session pays (a snapshot read plus a timeline lookup, no
+# allocation), and BM_FleetSessionStep bounds the steady-state cost of
+# advancing one 4-session cell a 100 ms quantum.
 execute_process(
   COMMAND ${PYTHON} ${CHECK_PY} --baseline ${BASELINE} --current ${OUT_JSON}
           --max-ns BM_TraceSpanDisabled=25
           --max-ns BM_TraceSpanOff=60
           --max-ns BM_TraceSpanEnabled=600
+          --max-ns BM_SharedCellShare=300
+          --max-ns BM_FleetSessionStep=500000
   RESULT_VARIABLE gate_rc)
 if(NOT gate_rc EQUAL 0)
   message(FATAL_ERROR "perf gate failed (rc=${gate_rc})")

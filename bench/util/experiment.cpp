@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "poi360/common/table.h"
+#include "util/options.h"
 
 namespace poi360::bench {
 
@@ -60,14 +61,6 @@ void report_at_exit() {
   }
 }
 
-[[noreturn]] void harness_usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--jobs N] [--out-json PATH] [--progress] "
-               "[--trace-dir PATH]\n",
-               argv0);
-  std::exit(2);
-}
-
 }  // namespace
 
 void init(int argc, char** argv) {
@@ -77,25 +70,17 @@ void init(int argc, char** argv) {
     const char* slash = std::strrchr(argv[0], '/');
     s.bench_name = slash ? slash + 1 : argv[0];
   }
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) harness_usage(argv[0]);
-      return argv[++i];
-    };
-    if (flag == "--jobs") {
-      s.jobs = std::atoi(value());
-      if (s.jobs < 1) harness_usage(argv[0]);
-    } else if (flag == "--out-json") {
-      s.out_json = value();
-    } else if (flag == "--trace-dir") {
-      s.trace_dir = value();
-    } else if (flag == "--progress") {
-      s.progress = true;
-    } else {
-      harness_usage(argv[0]);
-    }
-  }
+  FlagParser parser;
+  parser
+      .on_value("--jobs", "N",
+                [&s](const char* v) {
+                  s.jobs = std::atoi(v);
+                  return s.jobs >= 1;
+                })
+      .on_string("--out-json", "PATH", &s.out_json)
+      .on_flag("--progress", &s.progress)
+      .on_string("--trace-dir", "PATH", &s.trace_dir);
+  parser.parse(argc, argv);
   if (!s.initialized) {
     s.initialized = true;
     std::atexit(report_at_exit);

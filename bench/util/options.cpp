@@ -1,0 +1,116 @@
+#include "util/options.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace poi360::bench {
+
+FlagParser& FlagParser::on_value(const char* name, const char* placeholder,
+                                 Handler h) {
+  specs_.push_back(Spec{name, placeholder, true, std::move(h), nullptr});
+  return *this;
+}
+
+FlagParser& FlagParser::on_flag(const char* name, bool* out) {
+  specs_.push_back(Spec{name, "", false, nullptr, out});
+  return *this;
+}
+
+FlagParser& FlagParser::on_int(const char* name, const char* placeholder,
+                               int* out) {
+  return on_value(name, placeholder, [out](const char* v) {
+    *out = std::atoi(v);
+    return true;
+  });
+}
+
+FlagParser& FlagParser::on_i64(const char* name, const char* placeholder,
+                               std::int64_t* out) {
+  return on_value(name, placeholder, [out](const char* v) {
+    *out = std::atoll(v);
+    return true;
+  });
+}
+
+FlagParser& FlagParser::on_u64(const char* name, const char* placeholder,
+                               std::uint64_t* out) {
+  return on_value(name, placeholder, [out](const char* v) {
+    *out = static_cast<std::uint64_t>(std::atoll(v));
+    return true;
+  });
+}
+
+FlagParser& FlagParser::on_double(const char* name, const char* placeholder,
+                                  double* out) {
+  return on_value(name, placeholder, [out](const char* v) {
+    *out = std::atof(v);
+    return true;
+  });
+}
+
+FlagParser& FlagParser::on_string(const char* name, const char* placeholder,
+                                  std::string* out) {
+  return on_value(name, placeholder, [out](const char* v) {
+    *out = v;
+    return true;
+  });
+}
+
+FlagParser& FlagParser::on_seconds(const char* name, const char* placeholder,
+                                   SimDuration* out) {
+  return on_value(name, placeholder, [out](const char* v) {
+    *out = sec(std::atoll(v));
+    return true;
+  });
+}
+
+FlagParser& FlagParser::usage_override(std::string text) {
+  usage_override_ = std::move(text);
+  return *this;
+}
+
+std::string FlagParser::usage(const char* argv0) const {
+  if (!usage_override_.empty()) {
+    std::string text = usage_override_;
+    const auto pos = text.find("%s");
+    if (pos != std::string::npos) text.replace(pos, 2, argv0);
+    return text;
+  }
+  std::string text = "usage: ";
+  text += argv0;
+  for (const Spec& spec : specs_) {
+    text += " [" + spec.name;
+    if (spec.takes_value) text += " " + spec.placeholder;
+    text += "]";
+  }
+  text += "\n";
+  return text;
+}
+
+void FlagParser::fail(const char* argv0) const {
+  std::fputs(usage(argv0).c_str(), stderr);
+  std::exit(2);
+}
+
+void FlagParser::parse(int argc, char** argv) const {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const Spec* spec = nullptr;
+    for (const Spec& s : specs_) {
+      if (arg == s.name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (!spec) fail(argv[0]);
+    if (!spec->takes_value) {
+      *spec->flag_out = true;
+      continue;
+    }
+    if (i + 1 >= argc) fail(argv[0]);
+    if (!spec->handler(argv[++i])) fail(argv[0]);
+  }
+}
+
+}  // namespace poi360::bench

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "poi360/common/time.h"
+
+// Shared options-struct flag parser for the bench mains. Every bench used to
+// hand-roll the same argv loop (--jobs/--out-json/--trace-dir/--seed et al.)
+// with its own usage string and exit(2) path; FlagParser centralizes the
+// loop while preserving each bench's exact CLI contract: flags bind straight
+// into the bench's options struct, the usage line is generated from the
+// registration order (or overridden verbatim for benches with a historical
+// multi-line usage), unknown flags and bad values print usage and exit 2.
+//
+// Number parsing deliberately uses atoi/atoll semantics — that is what the
+// hand-rolled loops did, and the parser's job is to be byte-identical to
+// them, not stricter.
+
+namespace poi360::bench {
+
+class FlagParser {
+ public:
+  /// Returns false to reject the value: usage + exit 2.
+  using Handler = std::function<bool(const char*)>;
+
+  /// Value-taking flag `name VALUE`; `placeholder` names VALUE in usage.
+  FlagParser& on_value(const char* name, const char* placeholder, Handler h);
+
+  /// Bare boolean flag; presence sets `*out = true`.
+  FlagParser& on_flag(const char* name, bool* out);
+
+  // Typed bindings over on_value, matching the historical atoi/atoll
+  // parsing of the hand-rolled loops.
+  FlagParser& on_int(const char* name, const char* placeholder, int* out);
+  FlagParser& on_i64(const char* name, const char* placeholder,
+                     std::int64_t* out);
+  FlagParser& on_u64(const char* name, const char* placeholder,
+                     std::uint64_t* out);
+  FlagParser& on_double(const char* name, const char* placeholder,
+                        double* out);
+  FlagParser& on_string(const char* name, const char* placeholder,
+                        std::string* out);
+  /// Whole seconds -> SimDuration (the `--duration-s N` convention).
+  FlagParser& on_seconds(const char* name, const char* placeholder,
+                         SimDuration* out);
+
+  /// Replaces the auto-generated single-line usage; the first "%s" is
+  /// substituted with argv[0].
+  FlagParser& usage_override(std::string text);
+
+  /// The usage text for argv0 (auto-generated or overridden).
+  std::string usage(const char* argv0) const;
+
+  /// Parses argv. On an unknown flag, a missing value, or a rejected value,
+  /// prints usage to stderr and exits 2.
+  void parse(int argc, char** argv) const;
+
+ private:
+  struct Spec {
+    std::string name;
+    std::string placeholder;
+    bool takes_value = true;
+    Handler handler;
+    bool* flag_out = nullptr;
+  };
+
+  [[noreturn]] void fail(const char* argv0) const;
+
+  std::vector<Spec> specs_;
+  std::string usage_override_;
+};
+
+}  // namespace poi360::bench

@@ -115,6 +115,15 @@ struct SessionConfig {
   // -- cellular path ----------------------------------------------------------
   lte::ChannelConfig channel{};
   lte::UplinkConfig uplink{};
+  /// Fleet seam: when attached, this session's uplink is one registered UE
+  /// of an externally owned `lte::SharedCell` — it reports its backlog as
+  /// demand and its capacity is scaled by the cell's proportional-fair
+  /// share (`serve::FleetDriver` builds these). Detached by default: the
+  /// session owns its cell via `channel` and behaves exactly as before.
+  /// Fleet configs should also disable the private competition models
+  /// (`channel.mean_cell_load`/`load_std` = 0, `explicit_users` = -1) so
+  /// the shared cell is the only contention source.
+  lte::CellHandle cell_handle{};
   /// Fault injection on the modem diagnostic feed (loss, stalls, jitter,
   /// duplicates, garbage, handovers). Disabled by default: the clean feed
   /// stays byte-identical. Handover events also hit the physical uplink

@@ -103,6 +103,9 @@ Session::Session(SessionConfig config)
           }
           core_link_->send(std::move(p));
         });
+    if (config_.cell_handle.attached()) {
+      uplink_->set_cell(config_.cell_handle);
+    }
     if (config_.diag_faults.enabled) {
       diag_faults_ = std::make_unique<lte::DiagFaultModel>(
           sim_, config_.diag_faults, rng_.fork(0xFA117).engine()(),
@@ -171,6 +174,16 @@ Session::Session(SessionConfig config)
 }
 
 Session::~Session() = default;
+
+Session::Observers Session::observers() const {
+  Observers o;
+  o.diag_faults = diag_faults_.get();
+  const auto* media = core_link_ ? core_link_.get() : wireline_link_.get();
+  o.media_chaos = media ? &media->stats() : nullptr;
+  o.feedback_chaos = feedback_link_ ? &feedback_link_->stats() : nullptr;
+  o.receiver = receiver_.get();
+  return o;
+}
 
 void Session::run() {
   start();

@@ -97,24 +97,24 @@ class Session {
   const metrics::SessionMetrics& metrics() const { return metrics_; }
   const SessionConfig& config() const { return config_; }
 
-  /// Present only when `config.diag_faults.enabled` on a cellular session;
-  /// exposes the injector's delivery statistics for tests and benches.
-  const lte::DiagFaultModel* diag_fault_model() const {
-    return diag_faults_.get();
-  }
-
-  /// Chaos statistics of the media link past the radio (core link on
-  /// cellular, last-hop link on wireline) and of the feedback link.
-  const net::ChaosStats& media_chaos_stats() const {
-    return (core_link_ ? core_link_ : wireline_link_)->stats();
-  }
-  const net::ChaosStats& feedback_chaos_stats() const {
-    return feedback_link_->stats();
-  }
-
-  /// Receiver internals, exposed for the chaos test suite (bounded-state
-  /// assertions need peak counters mid-flight, not just the final metrics).
-  const rtp::RtpReceiver& rtp_receiver() const { return *receiver_; }
+  /// Read-only window into the session's internals for tests, benches and
+  /// the serving layer. Uniform optional semantics: every member is a
+  /// pointer that is non-null exactly when the component exists under this
+  /// config — no mixed raw-pointer/reference conventions.
+  struct Observers {
+    /// Diag-feed fault injector; present only when `config.diag_faults
+    /// .enabled` on a cellular session.
+    const lte::DiagFaultModel* diag_faults = nullptr;
+    /// Chaos statistics of the media link past the radio (core link on
+    /// cellular, last-hop link on wireline).
+    const net::ChaosStats* media_chaos = nullptr;
+    /// Chaos statistics of the reverse (feedback) link.
+    const net::ChaosStats* feedback_chaos = nullptr;
+    /// Receiver internals (bounded-state peak counters mid-flight, recovery
+    /// statistics); always present.
+    const rtp::RtpReceiver* receiver = nullptr;
+  };
+  Observers observers() const;
 
   /// Optional observer invoked on every rate-control telemetry sample
   /// (used by the rate_control_trace example).

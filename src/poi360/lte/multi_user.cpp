@@ -30,15 +30,17 @@ void MultiUserCell::advance_user(User& user, SimTime now) {
   }
 }
 
-double MultiUserCell::foreground_share(SimTime now) {
+double MultiUserCell::competing_weight(SimTime now) {
   int active = 0;
   for (auto& user : users_) {
     advance_user(user, now);
     if (user.active) ++active;
   }
-  const double competing_weight =
-      config_.background_weight * static_cast<double>(active);
-  return 1.0 / (1.0 + competing_weight);
+  return config_.background_weight * static_cast<double>(active);
+}
+
+double MultiUserCell::foreground_share(SimTime now) {
+  return 1.0 / (1.0 + competing_weight(now));
 }
 
 int MultiUserCell::active_users() const {

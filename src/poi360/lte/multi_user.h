@@ -37,6 +37,12 @@ class MultiUserCell {
   /// cell's uplink resources available to the foreground UE in (0, 1].
   double foreground_share(SimTime now);
 
+  /// Advances the on/off processes to `now` and returns the aggregate PF
+  /// weight of the active background users (`background_weight · active`).
+  /// `foreground_share` is `1 / (1 + competing_weight)`; SharedCell uses the
+  /// weight directly so it can add N first-class UEs to the denominator.
+  double competing_weight(SimTime now);
+
   int active_users() const;
 
   const Config& config() const { return config_; }

@@ -1,0 +1,155 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "poi360/common/rng.h"
+#include "poi360/common/time.h"
+#include "poi360/lte/multi_user.h"
+
+namespace poi360::lte {
+
+/// A proportional-fair cell whose capacity is a shared, injectable resource.
+///
+/// `MultiUserCell` bakes the single-foreground contract into its API: one
+/// implicit foreground UE, everyone else an anonymous on/off source, and the
+/// only question you can ask is "what share does *the* foreground get".
+/// SharedCell inverts the ownership: N first-class UEs register as demand
+/// sources (each one a full POI360 session, a CBR voice flow, an FTP bulk
+/// transfer, ...) and each asks for *its* share, while the same on/off
+/// background process models the residual non-registered load. With exactly
+/// one registered unit-weight UE the share sequence is draw-for-draw
+/// identical to `MultiUserCell::foreground_share`, which is what keeps every
+/// pre-existing single-session run byte-identical.
+///
+/// Time discipline: the fleet driver advances its sessions one master
+/// quantum at a time, so session B asks for shares at times session A has
+/// already passed. The background process therefore cannot be advanced
+/// destructively per query; instead its active-user count is recorded as a
+/// piecewise-constant timeline. Queries at or behind the frontier are pure
+/// lookups (order-independent across UEs); a query past the frontier extends
+/// the timeline, drawing from the RNG exactly as MultiUserCell would have.
+///
+/// Demand discipline: UEs report their live uplink backlog every subframe,
+/// but shares are computed against the snapshot frozen by the latest
+/// `commit_demand()` (the fleet driver commits at quantum boundaries, when
+/// every session sits at the same master time). Within a quantum each UE's
+/// share is thus a deterministic function of the boundary state, independent
+/// of the order sessions are stepped in.
+///
+/// Not thread-safe: one SharedCell and all its sessions belong to a single
+/// worker (the fleet driver shards whole cells across workers).
+class SharedCell {
+ public:
+  struct Config {
+    /// Residual non-registered on/off load; same process (and, per seed,
+    /// same draws) as MultiUserCell.
+    MultiUserCell::Config background{};
+  };
+
+  SharedCell(Config config, std::uint64_t seed);
+
+  /// Registers a first-class demand source with the given PF weight
+  /// (1.0 = a default heavily-backlogged video UE) and returns its UE id.
+  /// Register everything before the first `share()` call.
+  int register_ue(double weight = 1.0);
+
+  int registered_ues() const { return static_cast<int>(ues_.size()); }
+
+  /// Updates `ue`'s live backlog (bytes; > 0 means backlogged). Cheap —
+  /// called once per subframe by attached uplinks. Takes effect at the next
+  /// `commit_demand()`.
+  void report_demand(int ue, std::int64_t backlog_bytes);
+
+  /// Freezes the live demand table into the snapshot `share()` reads.
+  void commit_demand();
+
+  /// Proportional-fair capacity share of `ue` at `now` in (0, 1]: its
+  /// weight over the committed backlogged weight plus the background load.
+  /// The asking UE always counts itself backlogged — a momentarily empty
+  /// buffer still costs it its grant slot, exactly like MultiUserCell's
+  /// foreground. `now` may be behind the frontier (see class comment).
+  double share(int ue, SimTime now);
+
+  /// Share a newly registered, backlogged unit-weight UE would receive at
+  /// `now` — what the admission controller prices an arrival at.
+  double prospective_share(SimTime now);
+
+  /// Total committed backlogged weight of registered UEs.
+  double backlogged_weight() const { return sched_weight_; }
+
+  /// Background users active at the frontier.
+  int active_background() const;
+
+  /// Drops background-timeline segments strictly before `t` (the segment
+  /// covering `t` survives). Call at quantum boundaries to bound memory.
+  void trim(SimTime t);
+
+  /// Furthest time the background process has been advanced to.
+  SimTime frontier() const { return frontier_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  struct Ue {
+    double weight = 1.0;
+    std::int64_t live_demand = 0;
+    bool backlogged = false;  // committed snapshot
+  };
+  struct BgUser {
+    bool active = false;
+    SimTime toggle_at = 0;
+  };
+  struct Segment {
+    SimTime start = 0;
+    int active = 0;
+  };
+
+  void extend(SimTime now);
+  double background_weight_at(SimTime now);
+
+  Config config_;
+  Rng rng_;
+  std::vector<Ue> ues_;
+  std::vector<BgUser> background_;
+  /// Piecewise-constant active-background count; segments_[i] holds from
+  /// its start until the next segment's start. Never empty.
+  std::deque<Segment> segments_;
+  std::vector<std::pair<SimTime, int>> pending_;  // extend() scratch
+  SimTime frontier_ = 0;
+  double sched_weight_ = 0.0;
+};
+
+/// Non-owning (cell, ue) pair threaded through `SessionConfig` into the LTE
+/// uplink — the seam that lets a Session draw capacity from a cell it does
+/// not own. Default-constructed handles are inert: the uplink keeps its
+/// private channel model and consumes the RNG identically, so single-session
+/// runs are unaffected. The pointed-to SharedCell must outlive the session.
+class CellHandle {
+ public:
+  CellHandle() = default;
+  CellHandle(SharedCell* cell, int ue) : cell_(cell), ue_(ue) {}
+
+  bool attached() const { return cell_ != nullptr; }
+
+  /// Forwards the uplink's firmware-buffer level as this UE's demand.
+  void report_backlog(std::int64_t bytes) const {
+    if (cell_) cell_->report_demand(ue_, bytes);
+  }
+
+  /// This UE's PF share at `now`; 1.0 when unattached.
+  double share(SimTime now) const {
+    return cell_ ? cell_->share(ue_, now) : 1.0;
+  }
+
+  SharedCell* cell() const { return cell_; }
+  int ue() const { return ue_; }
+
+ private:
+  SharedCell* cell_ = nullptr;
+  int ue_ = 0;
+};
+
+}  // namespace poi360::lte

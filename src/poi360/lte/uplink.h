@@ -12,6 +12,7 @@
 #include "poi360/common/units.h"
 #include "poi360/lte/channel.h"
 #include "poi360/lte/diag.h"
+#include "poi360/lte/shared_cell.h"
 #include "poi360/lte/tbs.h"
 #include "poi360/obs/trace.h"
 #include "poi360/sim/simulator.h"
@@ -158,6 +159,13 @@ class LteUplink {
   void set_diag_sink(DiagSink sink) { diag_sink_ = std::move(sink); }
   void set_subframe_probe(SubframeProbe probe) { probe_ = std::move(probe); }
 
+  /// Attaches this UE to a shared cell: each subframe it reports its
+  /// firmware-buffer backlog as demand and the channel capacity is scaled
+  /// by the cell's proportional-fair share for this UE. Unattached (the
+  /// default) the private channel model owns the competition and nothing
+  /// changes — no extra RNG draws, byte-identical runs.
+  void set_cell(CellHandle cell) { cell_ = cell; }
+
   /// PHY fault/condition tracing: surge and famine windows become "b"/"e"
   /// spans on the "lte" track, handovers become instants. nullptr = off.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
@@ -168,7 +176,11 @@ class LteUplink {
  private:
   void on_subframe() {
     const SimTime now = sim_.now();
-    const Bitrate capacity = channel_.advance(now);
+    Bitrate capacity = channel_.advance(now);
+    if (cell_.attached()) {
+      cell_.report_backlog(buffer_bytes_);
+      capacity *= cell_.share(now);
+    }
 
     // The scheduler sees the stale buffer level from the BSR round trip.
     const std::int64_t reported =
@@ -286,6 +298,7 @@ class LteUplink {
   sim::Simulator& sim_;
   UplinkConfig config_;
   UplinkChannel channel_;
+  CellHandle cell_;
   Rng rng_;
   Sink sink_;
   DiagSink diag_sink_;

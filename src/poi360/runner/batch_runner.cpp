@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -96,6 +97,46 @@ BatchResult BatchRunner::run(const ExperimentSpec& spec) const {
   return run(spec.expand(), spec.name());
 }
 
+void BatchRunner::parallel_for(
+    int jobs, std::size_t count,
+    const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+  const int workers = std::max(
+      1, std::min(resolve_jobs(jobs), static_cast<int>(count)));
+
+  // Each worker claims the next unstarted index, so output slots written by
+  // `task` land in index order by construction regardless of scheduling.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::size_t first_error_index = count;
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (i < first_error_index) {
+          first_error_index = i;
+          first_error = std::current_exception();
+        }
+      }
+    }
+  };
+
+  if (workers == 1) {
+    worker();  // inline: no thread overhead for serial batches
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int j = 0; j < workers; ++j) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 BatchResult BatchRunner::run(std::vector<RunSpec> specs,
                              std::string experiment) const {
   BatchResult result;
@@ -105,31 +146,17 @@ BatchResult BatchRunner::run(std::vector<RunSpec> specs,
   result.runs.resize(specs.size());
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Each worker claims the next unstarted index and writes its own result
-  // slot, so the output order is the grid order by construction.
-  std::atomic<std::size_t> next{0};
   std::mutex progress_mutex;
   int completed = 0;
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= specs.size()) return;
-      result.runs[i] = execute_run(specs[i]);
-      if (options_.on_progress) {
-        std::lock_guard<std::mutex> lock(progress_mutex);
-        options_.on_progress(result.runs[i], ++completed, total);
-      }
+  // execute_run captures per-run exceptions into the result slot, so the
+  // pool's own rethrow path only fires on harness bugs.
+  parallel_for(result.jobs, specs.size(), [&](std::size_t i) {
+    result.runs[i] = execute_run(specs[i]);
+    if (options_.on_progress) {
+      std::lock_guard<std::mutex> lock(progress_mutex);
+      options_.on_progress(result.runs[i], ++completed, total);
     }
-  };
-
-  if (result.jobs == 1) {
-    worker();  // inline: no thread overhead for serial batches
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(result.jobs));
-    for (int j = 0; j < result.jobs; ++j) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  });
 
   result.wall_seconds = seconds_since(t0);
   return result;

@@ -77,6 +77,16 @@ class BatchRunner {
   /// concurrency), before clamping to any batch size.
   static int resolve_jobs(int jobs);
 
+  /// Runs `task(0) .. task(count-1)` over a fixed worker pool (index-claim
+  /// scheduling, `jobs` resolved via resolve_jobs and clamped to `count`;
+  /// <= 1 worker runs inline with no thread overhead). `task` must be safe
+  /// to call concurrently for distinct indices. The first exception thrown
+  /// by a task (lowest index wins) is rethrown on the caller's thread after
+  /// every worker has drained. This is the primitive both run() and the
+  /// fleet driver's cell sharding are built on.
+  static void parallel_for(int jobs, std::size_t count,
+                           const std::function<void(std::size_t)>& task);
+
   BatchResult run(const ExperimentSpec& spec) const;
   BatchResult run(std::vector<RunSpec> specs,
                   std::string experiment = {}) const;

@@ -1,0 +1,375 @@
+#include "poi360/serve/fleet_driver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "poi360/common/stats.h"
+#include "poi360/runner/batch_runner.h"
+#include "poi360/runner/experiment_spec.h"
+
+namespace poi360::serve {
+
+namespace {
+
+std::string fmt(const char* format, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, v);
+  return buf;
+}
+
+FleetPercentiles percentiles_of(const SampleSet& samples) {
+  FleetPercentiles p;
+  if (samples.empty()) return p;
+  p.p10 = samples.percentile(0.10);
+  p.p50 = samples.percentile(0.50);
+  p.p90 = samples.percentile(0.90);
+  p.p99 = samples.percentile(0.99);
+  return p;
+}
+
+std::string percentiles_text(const FleetPercentiles& p, const char* format) {
+  return "p10=" + fmt(format, p.p10) + " p50=" + fmt(format, p.p50) +
+         " p90=" + fmt(format, p.p90) + " p99=" + fmt(format, p.p99);
+}
+
+std::string percentiles_json(const FleetPercentiles& p, const char* format) {
+  return "{\"p10\": " + fmt(format, p.p10) + ", \"p50\": " +
+         fmt(format, p.p50) + ", \"p90\": " + fmt(format, p.p90) +
+         ", \"p99\": " + fmt(format, p.p99) + "}";
+}
+
+}  // namespace
+
+std::string to_string(const FleetRung& rung) {
+  return core::to_string(rung.rate_control) + "/" +
+         core::to_string(rung.compression);
+}
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FleetCell::FleetCell(const FleetConfig& config, int cell_index)
+    : config_(config),
+      cell_index_(cell_index),
+      cell_(config.cell,
+            Rng(config.seed)
+                .fork(0xF1EE7u + static_cast<std::uint64_t>(cell_index))
+                .engine()()),
+      cross_rng_(Rng(config.seed).fork(0xCB05u).fork(
+          static_cast<std::uint64_t>(cell_index))) {
+  if (config_.ladder.empty()) {
+    throw std::invalid_argument("fleet ladder must not be empty");
+  }
+  const int n = std::max(1, config_.sessions_per_cell);
+  sessions_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const FleetRung& rung =
+        config_.ladder[static_cast<std::size_t>(i) % config_.ladder.size()];
+    core::SessionConfig sc = config_.session;
+    sc.network = core::NetworkType::kCellular;
+    sc.rate_control = rung.rate_control;
+    sc.compression = rung.compression;
+    sc.duration = config_.duration;
+    sc.seed = runner::derive_seed(config_.seed, cell_index * n + i);
+    // The shared cell is the only contention source: the private OU load
+    // and explicit multi-user models would double-count the competition.
+    sc.channel.explicit_users = -1;
+    sc.channel.mean_cell_load = 0.0;
+    sc.channel.load_std = 0.0;
+    sc.cell_handle = lte::CellHandle(&cell_, cell_.register_ue(1.0));
+    rungs_.push_back(to_string(rung));
+    seeds_.push_back(sc.seed);
+    errors_.emplace_back();
+    sessions_.push_back(std::make_unique<core::Session>(sc));
+  }
+  add_cross_traffic(config_.voice);
+  add_cross_traffic(config_.ftp);
+}
+
+FleetCell::~FleetCell() = default;
+
+void FleetCell::add_cross_traffic(const CrossTrafficSpec& spec) {
+  for (int i = 0; i < spec.count; ++i) {
+    CrossSource src;
+    src.ue = cell_.register_ue(std::max(1e-3, spec.weight));
+    src.mean_on = std::max<SimDuration>(msec(10), spec.mean_on);
+    src.mean_off = std::max<SimDuration>(msec(10), spec.mean_off);
+    // Random initial phase, like the cell's background users.
+    const double duty = to_seconds(src.mean_on) /
+                        (to_seconds(src.mean_on) + to_seconds(src.mean_off));
+    src.active = cross_rng_.bernoulli(duty);
+    src.toggle_at = sec_f(cross_rng_.exponential(
+        to_seconds(src.active ? src.mean_on : src.mean_off)));
+    cell_.report_demand(src.ue, src.active ? 1 : 0);
+    cross_.push_back(src);
+  }
+}
+
+void FleetCell::step_cross_traffic(SimTime t) {
+  for (CrossSource& src : cross_) {
+    while (src.toggle_at <= t) {
+      src.active = !src.active;
+      src.toggle_at += std::max<SimDuration>(
+          msec(10), sec_f(cross_rng_.exponential(to_seconds(
+                        src.active ? src.mean_on : src.mean_off))));
+    }
+    cell_.report_demand(src.ue, src.active ? 1 : 0);
+  }
+}
+
+void FleetCell::start() {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    try {
+      sessions_[i]->start();
+    } catch (const std::exception& e) {
+      errors_[i] = e.what();
+    } catch (...) {
+      errors_[i] = "unknown exception";
+    }
+  }
+  cell_.commit_demand();
+}
+
+void FleetCell::advance_to(SimTime t) {
+  // Freeze the quantum's demand snapshot with every session (and the cross
+  // traffic) sitting at master time now_, so the shares each session sees
+  // in (now_, t] do not depend on the order the sessions are stepped in.
+  step_cross_traffic(now_);
+  cell_.commit_demand();
+  cell_.trim(now_);
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!errors_[i].empty()) continue;
+    try {
+      sessions_[i]->advance_until(t);
+    } catch (const std::exception& e) {
+      errors_[i] = e.what();
+    } catch (...) {
+      errors_[i] = "unknown exception";
+    }
+  }
+  now_ = t;
+}
+
+void FleetCell::finish() {
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!errors_[i].empty()) continue;
+    try {
+      sessions_[i]->finish();
+    } catch (const std::exception& e) {
+      errors_[i] = e.what();
+    } catch (...) {
+      errors_[i] = "unknown exception";
+    }
+  }
+}
+
+std::vector<FleetSessionResult> FleetCell::results() const {
+  std::vector<FleetSessionResult> out;
+  out.reserve(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    FleetSessionResult r;
+    r.cell = cell_index_;
+    r.index = static_cast<int>(i);
+    r.seed = seeds_[i];
+    r.rung = rungs_[i];
+    r.ok = errors_[i].empty();
+    r.error = errors_[i];
+    if (r.ok) {
+      const metrics::SessionMetrics& m = sessions_[i]->metrics();
+      r.displayed_frames = m.displayed_frames();
+      r.mean_throughput_mbps = m.mean_throughput() / 1e6;
+      r.freeze_ratio = m.freeze_ratio(config_.session.freeze_threshold);
+      std::int64_t mismatched = 0;
+      for (const metrics::FrameRecord& f : m.frames()) {
+        if (f.roi_mismatch) ++mismatched;
+      }
+      r.mismatch_ratio =
+          m.frames().empty()
+              ? 0.0
+              : static_cast<double>(mismatched) /
+                    static_cast<double>(m.frames().size());
+      const SampleSet delays = m.frame_delays_ms();
+      if (!delays.empty()) {
+        r.mean_delay_ms = delays.mean();
+        r.p95_delay_ms = delays.percentile(0.95);
+      }
+      r.mean_roi_psnr_db = m.mean_roi_psnr();
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+FleetDriver::FleetDriver(FleetConfig config) : config_(std::move(config)) {}
+
+FleetSummary FleetDriver::run() {
+  if (ran_) throw std::logic_error("FleetDriver::run may be called once");
+  ran_ = true;
+
+  const int cells = std::max(1, config_.cells);
+  const SimDuration quantum =
+      std::max<SimDuration>(msec(1), config_.advance_quantum);
+  std::vector<std::vector<FleetSessionResult>> per_cell(
+      static_cast<std::size_t>(cells));
+
+  // Each cell is self-contained (own SharedCell, own sessions, own RNG
+  // streams derived from (seed, cell index)), so sharding cells across
+  // workers cannot change any cell's results — only the wall clock.
+  runner::BatchRunner::parallel_for(
+      config_.jobs, static_cast<std::size_t>(cells), [&](std::size_t c) {
+        FleetCell cell(config_, static_cast<int>(c));
+        cell.start();
+        SimTime t = 0;
+        while (t < config_.duration) {
+          t = std::min<SimTime>(t + quantum, config_.duration);
+          cell.advance_to(t);
+        }
+        cell.finish();
+        per_cell[c] = cell.results();
+      });
+
+  FleetSummary s;
+  s.seed = config_.seed;
+  s.cells = cells;
+  s.sessions_per_cell = std::max(1, config_.sessions_per_cell);
+  s.duration = config_.duration;
+  for (auto& rows : per_cell) {
+    for (FleetSessionResult& r : rows) s.sessions.push_back(std::move(r));
+  }
+
+  SampleSet freeze;
+  SampleSet mismatch;
+  SampleSet delay;
+  SampleSet throughput;
+  std::vector<std::string> rung_order;
+  std::vector<std::vector<double>> rung_throughput;
+  for (const FleetSessionResult& r : s.sessions) {
+    if (!r.ok) {
+      ++s.failed_sessions;
+      continue;
+    }
+    freeze.add(r.freeze_ratio);
+    mismatch.add(r.mismatch_ratio);
+    delay.add(r.mean_delay_ms);
+    throughput.add(r.mean_throughput_mbps);
+    auto it = std::find(rung_order.begin(), rung_order.end(), r.rung);
+    if (it == rung_order.end()) {
+      rung_order.push_back(r.rung);
+      rung_throughput.emplace_back();
+      it = rung_order.end() - 1;
+    }
+    rung_throughput[static_cast<std::size_t>(it - rung_order.begin())]
+        .push_back(r.mean_throughput_mbps);
+  }
+  s.freeze = percentiles_of(freeze);
+  s.mismatch = percentiles_of(mismatch);
+  s.delay_ms = percentiles_of(delay);
+  s.mean_throughput_mbps = throughput.empty() ? 0.0 : throughput.mean();
+  s.jain_all = jain_index(throughput.samples());
+  for (std::size_t i = 0; i < rung_order.size(); ++i) {
+    s.jain_by_rung.emplace_back(rung_order[i],
+                                jain_index(rung_throughput[i]));
+  }
+  return s;
+}
+
+std::string to_text(const FleetSummary& s) {
+  std::string out;
+  out += "fleet summary: seed=" + std::to_string(s.seed) +
+         " cells=" + std::to_string(s.cells) +
+         " sessions_per_cell=" + std::to_string(s.sessions_per_cell) +
+         " duration_s=" + fmt("%.0f", to_seconds(s.duration)) +
+         " sessions=" + std::to_string(s.sessions.size()) +
+         " failed=" + std::to_string(s.failed_sessions) + "\n";
+  out += "  freeze_ratio   : " + percentiles_text(s.freeze, "%.4f") + "\n";
+  out += "  mismatch_ratio : " + percentiles_text(s.mismatch, "%.4f") + "\n";
+  out += "  frame_delay_ms : " + percentiles_text(s.delay_ms, "%.1f") + "\n";
+  out += "  throughput     : mean_mbps=" +
+         fmt("%.3f", s.mean_throughput_mbps) +
+         " jain_all=" + fmt("%.4f", s.jain_all) + "\n";
+  for (const auto& [rung, jain] : s.jain_by_rung) {
+    out += "  jain[" + rung + "] = " + fmt("%.4f", jain) + "\n";
+  }
+  out += "  per-session (cell slot rung seed shown thpt_mbps freeze "
+         "mismatch delay_ms p95_ms psnr_db):\n";
+  for (const FleetSessionResult& r : s.sessions) {
+    char row[256];
+    if (r.ok) {
+      std::snprintf(row, sizeof(row),
+                    "    %3d %4d  %-14s %8llu %6lld %9.3f %7.4f %8.4f "
+                    "%8.1f %7.1f %7.2f\n",
+                    r.cell, r.index, r.rung.c_str(),
+                    static_cast<unsigned long long>(r.seed),
+                    static_cast<long long>(r.displayed_frames),
+                    r.mean_throughput_mbps, r.freeze_ratio, r.mismatch_ratio,
+                    r.mean_delay_ms, r.p95_delay_ms, r.mean_roi_psnr_db);
+      out += row;
+    } else {
+      std::snprintf(row, sizeof(row), "    %3d %4d  %-14s %8llu  FAILED: ",
+                    r.cell, r.index, r.rung.c_str(),
+                    static_cast<unsigned long long>(r.seed));
+      out += row;
+      out += r.error + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_json(const FleetSummary& s) {
+  std::string out = "{\n";
+  out += "  \"schema\": \"poi360.fleet.v1\",\n";
+  out += "  \"seed\": " + std::to_string(s.seed) + ",\n";
+  out += "  \"cells\": " + std::to_string(s.cells) + ",\n";
+  out += "  \"sessions_per_cell\": " + std::to_string(s.sessions_per_cell) +
+         ",\n";
+  out += "  \"duration_s\": " + fmt("%.3f", to_seconds(s.duration)) + ",\n";
+  out += "  \"failed_sessions\": " + std::to_string(s.failed_sessions) +
+         ",\n";
+  out += "  \"freeze_ratio\": " + percentiles_json(s.freeze, "%.6f") + ",\n";
+  out += "  \"mismatch_ratio\": " + percentiles_json(s.mismatch, "%.6f") +
+         ",\n";
+  out += "  \"frame_delay_ms\": " + percentiles_json(s.delay_ms, "%.3f") +
+         ",\n";
+  out += "  \"mean_throughput_mbps\": " +
+         fmt("%.6f", s.mean_throughput_mbps) + ",\n";
+  out += "  \"jain_all\": " + fmt("%.6f", s.jain_all) + ",\n";
+  out += "  \"jain_by_rung\": {";
+  for (std::size_t i = 0; i < s.jain_by_rung.size(); ++i) {
+    if (i) out += ", ";
+    out += "\"" + s.jain_by_rung[i].first +
+           "\": " + fmt("%.6f", s.jain_by_rung[i].second);
+  }
+  out += "},\n";
+  out += "  \"sessions\": [\n";
+  for (std::size_t i = 0; i < s.sessions.size(); ++i) {
+    const FleetSessionResult& r = s.sessions[i];
+    out += "    {\"cell\": " + std::to_string(r.cell) +
+           ", \"slot\": " + std::to_string(r.index) +
+           ", \"rung\": \"" + r.rung + "\"" +
+           ", \"seed\": " + std::to_string(r.seed) +
+           ", \"ok\": " + (r.ok ? "true" : "false") +
+           ", \"displayed\": " + std::to_string(r.displayed_frames) +
+           ", \"thpt_mbps\": " + fmt("%.6f", r.mean_throughput_mbps) +
+           ", \"freeze\": " + fmt("%.6f", r.freeze_ratio) +
+           ", \"mismatch\": " + fmt("%.6f", r.mismatch_ratio) +
+           ", \"delay_ms\": " + fmt("%.3f", r.mean_delay_ms) +
+           ", \"p95_ms\": " + fmt("%.3f", r.p95_delay_ms) +
+           ", \"psnr_db\": " + fmt("%.3f", r.mean_roi_psnr_db) + "}";
+    out += (i + 1 < s.sessions.size()) ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace poi360::serve

@@ -98,7 +98,7 @@ std::int64_t ManagedSession::progress_marker() const {
   const obs::MetricsRegistry& reg = session_->metrics().registry();
   return reg.counter_value("frame.displayed") +
          reg.counter_value("sender.skipped_frames") +
-         session_->rtp_receiver().recovery_stats().frames_abandoned;
+         session_->observers().receiver->recovery_stats().frames_abandoned;
 }
 
 bool ManagedSession::observe_stuck(SimTime now) {

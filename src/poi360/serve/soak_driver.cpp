@@ -267,7 +267,7 @@ void SoakDriver::harvest(const ManagedSession& ms) {
 
   const std::int64_t skipped = reg.counter_value("sender.skipped_frames");
   const std::int64_t abandoned =
-      session->rtp_receiver().recovery_stats().frames_abandoned;
+      session->observers().receiver->recovery_stats().frames_abandoned;
   registry_.counter("serve.frames.displayed")
       .inc(reg.counter_value("frame.displayed"));
   registry_.counter("serve.frames.skipped").inc(skipped);

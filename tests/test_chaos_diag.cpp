@@ -64,7 +64,7 @@ TEST(ChaosDiag, RandomizedFaultSchedulesNeverWedgeTheSession) {
 
     // The injector's own accounting must balance (jittered deliveries
     // still pending at the simulation horizon are counted in_flight).
-    const auto* faults = session.diag_fault_model();
+    const auto* faults = session.observers().diag_faults;
     ASSERT_NE(faults, nullptr);
     const auto& s = faults->stats();
     EXPECT_EQ(s.delivered + s.dropped + s.in_flight,

@@ -71,9 +71,9 @@ TEST(ChaosTransport, SustainedBurstLossKeepsReceiverStateBounded) {
   const auto& m = session.metrics();
   expect_sane(m, config.duration);
 
-  const auto& rec = session.rtp_receiver().recovery_stats();
+  const auto& rec = session.observers().receiver->recovery_stats();
   // The chaos actually bit: bursts dropped packets and frames were lost.
-  EXPECT_GT(session.media_chaos_stats().dropped_burst, 100);
+  EXPECT_GT(session.observers().media_chaos->dropped_burst, 100);
   EXPECT_GT(rec.frames_abandoned, 0);
   // Bounded state: the high-water marks never crossed the caps.
   EXPECT_LE(rec.peak_assemblies, config.receiver.max_assemblies);
@@ -82,7 +82,7 @@ TEST(ChaosTransport, SustainedBurstLossKeepsReceiverStateBounded) {
   // Every incomplete frame is abandoned within the deadline: at the horizon
   // only assemblies younger than ~deadline can remain (< 22 frames at
   // 36 FPS for a 600 ms deadline).
-  EXPECT_LE(session.rtp_receiver().assemblies(), 24u);
+  EXPECT_LE(session.observers().receiver->assemblies(), 24u);
   // The session kept displaying through it all.
   EXPECT_GT(m.displayed_frames(), 200);
   // Receiver losses count as frozen time, like sender skips.
@@ -151,8 +151,8 @@ TEST(ChaosTransport, GuardStaysQuietOnACleanFeedbackPath) {
   EXPECT_EQ(t.feedback_stale_time, 0);
   EXPECT_EQ(t.frames_abandoned, 0);
   EXPECT_EQ(t.invalid_packets, 0);
-  EXPECT_EQ(session.media_chaos_stats().dropped_burst, 0);
-  EXPECT_EQ(session.media_chaos_stats().duplicated, 0);
+  EXPECT_EQ(session.observers().media_chaos->dropped_burst, 0);
+  EXPECT_EQ(session.observers().media_chaos->duplicated, 0);
 }
 
 TEST(ChaosTransport, GccSessionsSurviveTheSameChaos) {
@@ -171,7 +171,7 @@ TEST(ChaosTransport, GccSessionsSurviveTheSameChaos) {
   session.run();
   const auto& m = session.metrics();
   expect_sane(m, config.duration);
-  const auto& rec = session.rtp_receiver().recovery_stats();
+  const auto& rec = session.observers().receiver->recovery_stats();
   EXPECT_LE(rec.peak_assemblies, config.receiver.max_assemblies);
   EXPECT_GT(m.displayed_frames(), 150);
 }
@@ -187,7 +187,7 @@ TEST(ChaosTransport, WirelinePathTakesChaosToo) {
   session.run();
   const auto& m = session.metrics();
   expect_sane(m, config.duration);
-  EXPECT_GT(session.media_chaos_stats().dropped(), 50);
+  EXPECT_GT(session.observers().media_chaos->dropped(), 50);
   EXPECT_GT(m.displayed_frames(), 60);
 }
 
@@ -214,7 +214,7 @@ TEST(ChaosTransport, RandomizedProfilesNeverWedgeTheSession) {
     session.run();
     const auto& m = session.metrics();
     expect_sane(m, config.duration);
-    const auto& rec = session.rtp_receiver().recovery_stats();
+    const auto& rec = session.observers().receiver->recovery_stats();
     EXPECT_LE(rec.peak_assemblies, config.receiver.max_assemblies)
         << "seed " << seed;
     EXPECT_LE(rec.peak_outstanding_nacks,

@@ -1,0 +1,262 @@
+// Fleet-layer tests: the SharedCell proportional-fair scheduler (including
+// the draw-identity contract against MultiUserCell that keeps single-session
+// runs byte-identical), the admission controller's fleet pricing, and the
+// FleetDriver end-to-end gates (FleetGate.*) that the fleet sanitizer gates
+// re-run under asan/tsan.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "poi360/lte/multi_user.h"
+#include "poi360/lte/shared_cell.h"
+#include "poi360/serve/admission.h"
+#include "poi360/serve/fleet_driver.h"
+
+using namespace poi360;
+
+namespace {
+
+// The tentpole degenerate-case contract: one registered unit-weight UE must
+// see, draw for draw and bit for bit, the share sequence MultiUserCell's
+// foreground sees for the same seed and query grid. This is what keeps every
+// pre-existing single-session bench byte-identical after the uplink moved to
+// the CellHandle seam.
+TEST(SharedCell, DegenerateShareMatchesMultiUserCellDraws) {
+  const std::uint64_t seed = 77;
+  lte::MultiUserCell::Config bg;
+  lte::MultiUserCell legacy(bg, seed);
+  lte::SharedCell cell(lte::SharedCell::Config{bg}, seed);
+  const int ue = cell.register_ue(1.0);
+  cell.report_demand(ue, 1);
+  cell.commit_demand();
+  for (SimTime t = 0; t <= sec(5); t += msec(1)) {
+    ASSERT_DOUBLE_EQ(legacy.foreground_share(t), cell.share(ue, t))
+        << "diverged at t=" << t;
+  }
+}
+
+TEST(SharedCell, SharesSplitAmongBackloggedUes) {
+  // No background users: shares are a pure function of the committed demand.
+  lte::SharedCell::Config config;
+  config.background.background_users = 0;
+  lte::SharedCell cell(config, 1);
+  const int a = cell.register_ue(1.0);
+  const int b = cell.register_ue(1.0);
+  const int c = cell.register_ue(2.0);
+
+  // Nothing committed yet: each asker only counts itself.
+  EXPECT_DOUBLE_EQ(1.0, cell.share(a, msec(1)));
+
+  cell.report_demand(a, 5000);
+  cell.report_demand(b, 5000);
+  cell.report_demand(c, 5000);
+  cell.commit_demand();
+  EXPECT_DOUBLE_EQ(1.0 / 4.0, cell.share(a, msec(2)));
+  EXPECT_DOUBLE_EQ(1.0 / 4.0, cell.share(b, msec(2)));
+  EXPECT_DOUBLE_EQ(2.0 / 4.0, cell.share(c, msec(2)));
+
+  // b drains: its weight leaves the denominator at the next commit, and an
+  // idle b still prices itself into its own share (grant-slot cost).
+  cell.report_demand(b, 0);
+  cell.commit_demand();
+  EXPECT_DOUBLE_EQ(1.0 / 3.0, cell.share(a, msec(3)));
+  EXPECT_DOUBLE_EQ(2.0 / 3.0, cell.share(c, msec(3)));
+  EXPECT_DOUBLE_EQ(1.0 / 4.0, cell.share(b, msec(3)));
+}
+
+TEST(SharedCell, LiveDemandInvisibleUntilCommit) {
+  lte::SharedCell::Config config;
+  config.background.background_users = 0;
+  lte::SharedCell cell(config, 1);
+  const int a = cell.register_ue(1.0);
+  const int b = cell.register_ue(1.0);
+  cell.report_demand(a, 1000);
+  cell.report_demand(b, 1000);
+  cell.commit_demand();
+  EXPECT_DOUBLE_EQ(0.5, cell.share(a, msec(1)));
+  // b reports empty mid-quantum: a's share must not move until the boundary.
+  cell.report_demand(b, 0);
+  EXPECT_DOUBLE_EQ(0.5, cell.share(a, msec(2)));
+  cell.commit_demand();
+  EXPECT_DOUBLE_EQ(1.0, cell.share(a, msec(3)));
+}
+
+// The fleet driver interleaves sessions one quantum at a time, so UE B asks
+// about times UE A already passed. Re-querying an earlier time must return
+// exactly what was returned the first time (the background timeline is a
+// recording, not a destructive advance).
+TEST(SharedCell, NonMonotoneQueriesAreConsistent) {
+  lte::SharedCell cell({}, 9);
+  const int ue = cell.register_ue(1.0);
+  cell.report_demand(ue, 1);
+  cell.commit_demand();
+  std::vector<double> first;
+  for (SimTime t = 0; t <= sec(3); t += msec(7)) {
+    first.push_back(cell.share(ue, t));
+  }
+  // Frontier is now at 3 s; replay the same grid backwards.
+  std::size_t i = first.size();
+  for (SimTime t = sec(3) - (sec(3) % msec(7)); t >= 0; t -= msec(7)) {
+    ASSERT_DOUBLE_EQ(first[--i], cell.share(ue, t)) << "t=" << t;
+    if (t == 0) break;
+  }
+}
+
+TEST(SharedCell, TrimKeepsCoveringSegment) {
+  lte::SharedCell cell({}, 9);
+  const int ue = cell.register_ue(1.0);
+  cell.report_demand(ue, 1);
+  cell.commit_demand();
+  const double at_2s = cell.share(ue, sec(2));
+  const double at_5s = cell.share(ue, sec(5));
+  cell.trim(sec(2));
+  // The segment covering 2 s survives a trim at 2 s.
+  EXPECT_DOUBLE_EQ(at_2s, cell.share(ue, sec(2)));
+  EXPECT_DOUBLE_EQ(at_5s, cell.share(ue, sec(5)));
+}
+
+TEST(SharedCell, ProspectiveSharePricesAnArrival) {
+  lte::SharedCell::Config config;
+  config.background.background_users = 0;
+  lte::SharedCell cell(config, 1);
+  EXPECT_DOUBLE_EQ(1.0, cell.prospective_share(msec(1)));
+  const int a = cell.register_ue(1.0);
+  cell.report_demand(a, 100);
+  cell.commit_demand();
+  EXPECT_DOUBLE_EQ(0.5, cell.prospective_share(msec(2)));
+}
+
+TEST(SharedCell, RejectsNonPositiveWeight) {
+  lte::SharedCell cell({}, 1);
+  EXPECT_THROW(cell.register_ue(0.0), std::invalid_argument);
+  EXPECT_THROW(cell.register_ue(-1.0), std::invalid_argument);
+}
+
+TEST(CellHandle, DetachedHandleIsInert) {
+  lte::CellHandle handle;
+  EXPECT_FALSE(handle.attached());
+  EXPECT_DOUBLE_EQ(1.0, handle.share(sec(1)));
+  handle.report_backlog(1000);  // must be a no-op, not a crash
+}
+
+TEST(Admission, AttachedCellDrivesHeadroom) {
+  serve::AdmissionController::Config config;
+  config.cell.background_users = 0;  // private model: full share
+  serve::AdmissionController admission(config, 1);
+  const Bitrate base = admission.headroom(msec(1));
+  EXPECT_DOUBLE_EQ(config.cell_capacity * config.headroom_fraction, base);
+
+  // Fleet mode: three committed unit-weight UEs, no background — an arrival
+  // would be the fourth backlogged unit, so it is priced at a quarter share,
+  // and the static admitted_demand reservation is not double-counted.
+  lte::SharedCell::Config cell_config;
+  cell_config.background.background_users = 0;
+  lte::SharedCell cell(cell_config, 1);
+  for (int i = 0; i < 3; ++i) {
+    cell.report_demand(cell.register_ue(1.0), 1000);
+  }
+  cell.commit_demand();
+  admission.attach_cell(&cell);
+  admission.on_admitted(mbps(100));  // would zero out the static path
+  EXPECT_DOUBLE_EQ(base / 4.0, admission.headroom(msec(2)));
+
+  admission.attach_cell(nullptr);
+  EXPECT_DOUBLE_EQ(base - mbps(100), admission.headroom(msec(3)));
+}
+
+TEST(Fleet, JainIndexBasics) {
+  EXPECT_DOUBLE_EQ(0.0, serve::jain_index({}));
+  EXPECT_DOUBLE_EQ(1.0, serve::jain_index({2.0, 2.0, 2.0}));
+  // One user hogging everything: J -> 1/n.
+  EXPECT_NEAR(1.0 / 3.0, serve::jain_index({1.0, 0.0, 0.0}), 1e-12);
+}
+
+TEST(Fleet, RungLabels) {
+  serve::FleetRung rung;
+  EXPECT_EQ("FBCC/POI360", serve::to_string(rung));
+  rung.rate_control = core::RateControl::kGcc;
+  rung.compression = core::CompressionScheme::kConduit;
+  EXPECT_EQ("GCC/Conduit", serve::to_string(rung));
+}
+
+serve::FleetConfig small_fleet() {
+  serve::FleetConfig config;
+  config.cells = 2;
+  config.sessions_per_cell = 4;
+  config.duration = sec(6);
+  config.seed = 3;
+  return config;
+}
+
+// Sharding cells across workers must not change a single byte of the report.
+TEST(FleetGate, DeterministicAcrossJobs) {
+  serve::FleetConfig config = small_fleet();
+  config.jobs = 1;
+  const serve::FleetSummary serial = serve::FleetDriver(config).run();
+  config.jobs = 4;
+  const serve::FleetSummary sharded = serve::FleetDriver(config).run();
+  EXPECT_EQ(serve::to_text(serial), serve::to_text(sharded));
+  EXPECT_EQ(serve::to_json(serial), serve::to_json(sharded));
+  EXPECT_EQ(0, serial.failed_sessions);
+}
+
+// Mixed FBCC/GCC population on one cell: every session must make progress
+// and the fairness indices must be meaningful (in (0, 1], both rung
+// populations reported).
+TEST(FleetGate, MixedLadderFairnessSmoke) {
+  serve::FleetConfig config = small_fleet();
+  config.cells = 1;
+  config.sessions_per_cell = 6;
+  config.duration = sec(8);
+  const serve::FleetSummary summary = serve::FleetDriver(config).run();
+  ASSERT_EQ(6u, summary.sessions.size());
+  EXPECT_EQ(0, summary.failed_sessions);
+  for (const serve::FleetSessionResult& s : summary.sessions) {
+    EXPECT_TRUE(s.ok) << s.error;
+    EXPECT_GT(s.displayed_frames, 0) << "cell " << s.cell << " slot "
+                                     << s.index;
+    EXPECT_GT(s.mean_throughput_mbps, 0.0);
+  }
+  EXPECT_GT(summary.jain_all, 0.0);
+  EXPECT_LE(summary.jain_all, 1.0 + 1e-12);
+  ASSERT_EQ(2u, summary.jain_by_rung.size());
+  EXPECT_EQ("FBCC/POI360", summary.jain_by_rung[0].first);
+  EXPECT_EQ("GCC/POI360", summary.jain_by_rung[1].first);
+  for (const auto& [rung, jain] : summary.jain_by_rung) {
+    EXPECT_GT(jain, 0.0) << rung;
+    EXPECT_LE(jain, 1.0 + 1e-12) << rung;
+  }
+}
+
+// More sessions sharing the same cell must depress per-session throughput —
+// the contention is real, not cosmetic.
+TEST(FleetGate, ContentionDepressesPerSessionThroughput) {
+  serve::FleetConfig config = small_fleet();
+  config.cells = 1;
+  config.sessions_per_cell = 1;
+  config.ladder = {{core::RateControl::kFbcc,
+                    core::CompressionScheme::kPoi360}};
+  config.voice.count = 0;
+  config.ftp.count = 0;
+  const serve::FleetSummary solo = serve::FleetDriver(config).run();
+  config.sessions_per_cell = 8;
+  const serve::FleetSummary crowded = serve::FleetDriver(config).run();
+  ASSERT_EQ(0, solo.failed_sessions);
+  ASSERT_EQ(0, crowded.failed_sessions);
+  EXPECT_LT(crowded.mean_throughput_mbps,
+            0.7 * solo.mean_throughput_mbps);
+}
+
+TEST(Fleet, RunIsSingleShot) {
+  serve::FleetConfig config = small_fleet();
+  config.cells = 1;
+  config.sessions_per_cell = 1;
+  config.duration = sec(1);
+  serve::FleetDriver driver(config);
+  driver.run();
+  EXPECT_THROW(driver.run(), std::logic_error);
+}
+
+}  // namespace
