@@ -63,6 +63,26 @@ static void BM_EncodeFrame(benchmark::State& state) {
 }
 BENCHMARK(BM_EncodeFrame);
 
+// The intra-refresh scan in isolation: every iteration alternates between
+// two cache-shared matrices whose pairwise upgrade mass the encoder
+// memoizes, i.e. the steady-state cost of a session flipping its ROI.
+static void BM_IntraRefreshScan(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  video::PanoramicEncoder encoder(grid, {});
+  const video::GeometricMode mode(1.4);
+  video::ModeMatrixCache cache(grid);
+  cache.add_mode(3, mode);
+  const video::CompressionMatrixView a = cache.matrix(3, {6, 4});
+  const video::CompressionMatrixView b = cache.matrix(3, {7, 4});
+  int i = 0;
+  for (auto _ : state) {
+    const auto& m = (i++ & 1) ? b : a;
+    auto frame = encoder.encode(0, {6, 4}, 3, m, mbps(3));
+    benchmark::DoNotOptimize(frame.bytes);
+  }
+}
+BENCHMARK(BM_IntraRefreshScan);
+
 static void BM_RoiRegionPsnr(benchmark::State& state) {
   const auto grid = video::TileGrid::paper_default();
   const video::GeometricMode mode(1.4);
@@ -75,6 +95,41 @@ static void BM_RoiRegionPsnr(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RoiRegionPsnr);
+
+// First-touch quality evaluation: a freshly built matrix per iteration, so
+// the PSNR ring sidecar's freeze (per-tile factors + per-center partial
+// sums) is inside the timed region. This is what a session pays once per
+// (mode, ROI) matrix, amortized across every later display.
+static void BM_RoiRegionPsnrCold(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  const video::GeometricMode mode(1.4);
+  const video::QualityModel model;
+  int i = 0;
+  for (auto _ : state) {
+    const auto matrix = mode.matrix_for(grid, {i++ % grid.cols(), 4});
+    benchmark::DoNotOptimize(
+        video::roi_region_psnr(model, grid, matrix, {6, 4}, 0.06));
+  }
+}
+BENCHMARK(BM_RoiRegionPsnrCold);
+
+// Steady state: a cache-shared matrix whose sidecar is already frozen,
+// evaluated at a varying display ROI — the per-displayed-frame cost inside
+// Session::on_display.
+static void BM_RoiRegionPsnrWarm(benchmark::State& state) {
+  const auto grid = video::TileGrid::paper_default();
+  const video::GeometricMode mode(1.4);
+  video::ModeMatrixCache cache(grid);
+  cache.add_mode(3, mode);
+  const video::CompressionMatrixView matrix = cache.matrix(3, {6, 4});
+  const video::QualityModel model;
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(video::roi_region_psnr(
+        model, grid, *matrix, {i++ % grid.cols(), 4}, 0.06));
+  }
+}
+BENCHMARK(BM_RoiRegionPsnrWarm);
 
 static void BM_TrendlineUpdate(benchmark::State& state) {
   gcc::TrendlineEstimator trendline;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "poi360/video/kernels.h"
+
 namespace poi360::video {
 
 CompressionMatrix::CompressionMatrix(int cols, int rows, double initial)
@@ -28,6 +30,54 @@ CompressionMatrix::CompressionMatrix(int cols, int rows,
   freeze();
 }
 
+CompressionMatrix::CompressionMatrix(int cols, int rows,
+                                     std::vector<double> levels,
+                                     std::vector<double> log2_levels,
+                                     std::vector<double> inv_levels)
+    : cols_(cols),
+      rows_(rows),
+      levels_(std::move(levels)),
+      log2_levels_(std::move(log2_levels)),
+      inv_levels_(std::move(inv_levels)) {
+  // The scalar aggregates still come from the same row-major scans as
+  // freeze(), over bitwise-identical gathered values — so the result is
+  // bit-for-bit what a from-scratch build produces.
+  min_level_ = *std::min_element(levels_.begin(), levels_.end());
+  double sum = 0.0;
+  for (double inv : inv_levels_) sum += inv;
+  effective_tiles_ = sum;
+  frozen_ = true;
+}
+
+CompressionMatrix::CompressionMatrix(const CompressionMatrix& o)
+    : cols_(o.cols_),
+      rows_(o.rows_),
+      levels_(o.levels_),
+      log2_levels_(o.log2_levels_),
+      inv_levels_(o.inv_levels_),
+      min_level_(o.min_level_),
+      effective_tiles_(o.effective_tiles_),
+      frozen_(o.frozen_),
+      psnr_(o.psnr_) {
+  // sealed_ stays false: the copy is a private value (copy-on-thaw).
+}
+
+CompressionMatrix& CompressionMatrix::operator=(const CompressionMatrix& o) {
+  if (this != &o) {
+    cols_ = o.cols_;
+    rows_ = o.rows_;
+    levels_ = o.levels_;
+    log2_levels_ = o.log2_levels_;
+    inv_levels_ = o.inv_levels_;
+    min_level_ = o.min_level_;
+    effective_tiles_ = o.effective_tiles_;
+    frozen_ = o.frozen_;
+    psnr_ = o.psnr_;
+    sealed_ = false;
+  }
+  return *this;
+}
+
 std::size_t CompressionMatrix::index(TileIndex t) const {
   if (t.i < 0 || t.i >= cols_ || t.j < 0 || t.j >= rows_) {
     throw std::out_of_range("tile outside CompressionMatrix");
@@ -39,14 +89,70 @@ void CompressionMatrix::freeze() const {
   // Same scans, same order as the old per-call implementations — the frozen
   // values are bit-identical to what every call used to recompute.
   min_level_ = *std::min_element(levels_.begin(), levels_.end());
+  inv_levels_.resize(levels_.size());
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    inv_levels_[k] = 1.0 / levels_[k];
+  }
   double sum = 0.0;
-  for (double l : levels_) sum += 1.0 / l;
+  for (double inv : inv_levels_) sum += inv;
   effective_tiles_ = sum;
   log2_levels_.resize(levels_.size());
   for (std::size_t k = 0; k < levels_.size(); ++k) {
     log2_levels_[k] = std::log2(levels_[k]);
   }
   frozen_ = true;
+}
+
+const CompressionMatrix::PsnrRings& CompressionMatrix::psnr_rings(
+    const TileGrid& grid, const QualityModel& model) const {
+  if (psnr_.built && psnr_.db_per_octave == model.downsample_db_per_octave &&
+      psnr_.floor_db == model.floor_db) {
+    return psnr_;
+  }
+  if (grid.cols() != cols_ || grid.rows() != rows_) {
+    throw std::invalid_argument("grid shape does not match CompressionMatrix");
+  }
+  if (!frozen_) freeze();
+
+  PsnrRings& r = psnr_;
+  r.db_per_octave = model.downsample_db_per_octave;
+  r.floor_db = model.floor_db;
+  r.floor_mse = std::pow(10.0, -model.floor_db / 10.0);
+  r.tables = TileGridTables::shared_for(grid);
+
+  // Linear-MSE downsampling factor per tile. With the encoder term
+  // enc_mse = 10^(-enc_psnr/10) hoisted per call, the unclamped tile MSE is
+  // enc_mse * factor and the QualityModel floor clamps it at floor_mse.
+  const int tiles = tile_count();
+  r.mse_factors.resize(static_cast<std::size_t>(tiles));
+  for (int t = 0; t < tiles; ++t) {
+    r.mse_factors[t] =
+        std::pow(10.0, r.db_per_octave * log2_levels_[t] / 10.0);
+  }
+
+  // Per-(center, ring) partial sums and maxima of the factors, in the ring
+  // walk's scan order. When enc_mse * ring_max <= floor_mse no tile in the
+  // ring clamps, so ring_mse = enc_mse * ring_sum with no gather at all.
+  const int n_rings = TileGridTables::kRings;
+  r.ring_sum.assign(static_cast<std::size_t>(tiles) * n_rings, 0.0);
+  r.ring_max.assign(static_cast<std::size_t>(tiles) * n_rings, 0.0);
+  for (int center = 0; center < tiles; ++center) {
+    for (int ring = 0; ring < n_rings; ++ring) {
+      const std::int32_t* idx = r.tables->ring_tiles(center, ring);
+      const int n = r.tables->ring_count(center, ring);
+      double sum = 0.0;
+      double mx = 0.0;
+      for (int k = 0; k < n; ++k) {
+        const double f = r.mse_factors[idx[k]];
+        sum += f;
+        mx = std::max(mx, f);
+      }
+      r.ring_sum[static_cast<std::size_t>(center) * n_rings + ring] = sum;
+      r.ring_max[static_cast<std::size_t>(center) * n_rings + ring] = mx;
+    }
+  }
+  r.built = true;
+  return psnr_;
 }
 
 std::vector<double> CompressionMode::level_lut(const TileGrid& grid) const {
@@ -88,12 +194,24 @@ CompressionMatrix CompressionMode::matrix_for(const TileGrid& grid,
   return gather_from_lut(level_lut(grid), grid, roi);
 }
 
-ModeMatrixCache::ModeMatrixCache(const TileGrid& grid) : grid_(grid) {}
+ModeMatrixCache::ModeMatrixCache(const TileGrid& grid)
+    : grid_(grid), tables_(TileGridTables::shared_for(grid)) {}
 
 void ModeMatrixCache::add_mode(int mode_id, const CompressionMode& mode) {
   ModeEntry entry;
   entry.lut = mode.level_lut(grid_);
-  entry.matrices.assign(static_cast<std::size_t>(grid_.tile_count()), nullptr);
+  // Derived LUTs: materializing a matrix becomes three contiguous gathers
+  // with zero transcendentals. A gather of identical values is bitwise
+  // identical to recomputing per tile, so cached matrices still match the
+  // uncached matrix_for() path exactly.
+  entry.log2_lut.resize(entry.lut.size());
+  entry.inv_lut.resize(entry.lut.size());
+  for (std::size_t e = 0; e < entry.lut.size(); ++e) {
+    entry.log2_lut[e] = std::log2(entry.lut[e]);
+    entry.inv_lut[e] = 1.0 / entry.lut[e];
+  }
+  entry.matrices.assign(static_cast<std::size_t>(grid_.tile_count()),
+                        CompressionMatrixView());
   modes_[mode_id] = std::move(entry);
 }
 
@@ -108,10 +226,18 @@ CompressionMatrixView ModeMatrixCache::matrix(int mode_id,
   }
   auto& slot = it->second.matrices[static_cast<std::size_t>(grid_.flat(roi))];
   if (!slot) {
-    slot = std::make_shared<const CompressionMatrix>(
-        gather_from_lut(it->second.lut, grid_, roi));
+    const ModeEntry& entry = it->second;
+    const std::size_t n = static_cast<std::size_t>(grid_.tile_count());
+    const std::int32_t* idx = tables_->lut_index(grid_.flat(roi));
+    std::vector<double> levels(n), log2_levels(n), inv_levels(n);
+    kernels::gather(entry.lut.data(), idx, n, levels.data());
+    kernels::gather(entry.log2_lut.data(), idx, n, log2_levels.data());
+    kernels::gather(entry.inv_lut.data(), idx, n, inv_levels.data());
+    slot = CompressionMatrixView(
+        CompressionMatrix(grid_.cols(), grid_.rows(), std::move(levels),
+                          std::move(log2_levels), std::move(inv_levels)));
   }
-  return CompressionMatrixView(slot);
+  return slot;
 }
 
 GeometricMode::GeometricMode(double c, double max_level)

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "poi360/video/compression.h"
+#include "poi360/video/kernels.h"
 #include "poi360/video/tile_grid.h"
 
 namespace poi360::video {
@@ -47,30 +48,40 @@ double roi_region_psnr(const QualityModel& model, const TileGrid& grid,
   // periphery contributes but cannot rescue a degraded center (and vice
   // versa a degraded periphery is still clearly visible).
   constexpr double kRingWeight[] = {0.55, 0.37, 0.08};
+  static_assert(sizeof(kRingWeight) / sizeof(kRingWeight[0]) ==
+                TileGridTables::kRings);
   // The encoder term depends only on bpp, never on the tile — hoisted out
-  // of the 15-tile scan so the loop pays only the per-tile downsampling
-  // penalty (whose log2 the matrix memoizes).
+  // of the ring scan as a single linear-MSE factor. The per-tile MSE
+  //   10^(-max(floor, enc - db·log2 l)/10)
+  // factors as min(floor_mse, enc_mse · factor_t), because x ↦ 10^(-x/10)
+  // is monotone decreasing; factor_t and its per-(center, ring) partial
+  // sums are frozen on the matrix, so a warm call is O(rings) with zero
+  // transcendentals until the final log10.
   const double enc_psnr = model.encode_psnr(bpp);
+  const double enc_mse = std::pow(10.0, -enc_psnr / 10.0);
+  const CompressionMatrix::PsnrRings& pr = levels.psnr_rings(grid, model);
+  const int c = grid.flat(center);
   double weighted_mse = 0.0;
   double total_weight = 0.0;
-  for (int ring = 0; ring <= 2; ++ring) {
-    // Collect tiles at exactly this Chebyshev distance (with yaw wrap).
-    double ring_mse = 0.0;
-    int ring_count = 0;
-    for (int dj = -ring; dj <= ring; ++dj) {
-      const int j = center.j + dj;
-      if (j < 0 || j >= grid.rows()) continue;
-      for (int di = -ring; di <= ring; ++di) {
-        if (std::max(std::abs(di), std::abs(dj)) != ring) continue;
-        int i = (center.i + di) % grid.cols();
-        if (i < 0) i += grid.cols();
-        const double psnr =
-            model.tile_psnr_from(enc_psnr, levels.log2_at_unchecked(i, j));
-        ring_mse += std::pow(10.0, -psnr / 10.0);
-        ++ring_count;
-      }
-    }
+  for (int ring = 0; ring < TileGridTables::kRings; ++ring) {
+    // Ring membership (with yaw wrap and pitch clipping) is memoized per
+    // (grid, center); clipped rings keep their reduced count so the
+    // per-ring mean — and thus the weight renormalization at grid edges —
+    // is unchanged.
+    const int ring_count = pr.tables->ring_count(c, ring);
     if (ring_count == 0) continue;
+    const std::size_t slot =
+        static_cast<std::size_t>(c) * TileGridTables::kRings + ring;
+    double ring_mse;
+    if (enc_mse * pr.ring_max[slot] <= pr.floor_mse) {
+      // No tile in the ring hits the PSNR floor: the clamp is inert and the
+      // whole gather collapses into one multiply by the frozen partial sum.
+      ring_mse = enc_mse * pr.ring_sum[slot];
+    } else {
+      ring_mse = kernels::ring_mse_sum(pr.mse_factors.data(),
+                                       pr.tables->ring_tiles(c, ring),
+                                       ring_count, enc_mse, pr.floor_mse);
+    }
     weighted_mse += kRingWeight[ring] * ring_mse / ring_count;
     total_weight += kRingWeight[ring];
   }

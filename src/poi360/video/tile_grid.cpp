@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 namespace poi360::video {
 
@@ -34,6 +37,67 @@ TileIndex TileGrid::tile_at(double yaw_deg, double pitch_deg) const {
   int j = static_cast<int>((pitch + 90.0) / 180.0 * rows_);
   j = std::clamp(j, 0, rows_ - 1);
   return {i, j};
+}
+
+TileGridTables::TileGridTables(const TileGrid& grid)
+    : cols_(grid.cols()), rows_(grid.rows()) {
+  const int tiles = tile_count();
+
+  // Materialization gather map: tile (i, j) of a matrix centered at
+  // (ci, cj) reads level_lut[dx(i, ci) * rows + dy(j, cj)].
+  lut_index_.resize(static_cast<std::size_t>(tiles) * tiles);
+  for (int cj = 0; cj < rows_; ++cj) {
+    for (int ci = 0; ci < cols_; ++ci) {
+      std::int32_t* out =
+          lut_index_.data() +
+          static_cast<std::size_t>(cj * cols_ + ci) * tiles;
+      for (int j = 0; j < rows_; ++j) {
+        const int dy = grid.dy(j, cj);
+        for (int i = 0; i < cols_; ++i) {
+          out[j * cols_ + i] = grid.dx(i, ci) * rows_ + dy;
+        }
+      }
+    }
+  }
+
+  // Ring walk, in the exact dj/di order of the original scan. Clipped rows
+  // shrink a ring (pitch pole); yaw wrap can revisit a column on narrow
+  // grids — both behaviours are preserved verbatim, tiles and order.
+  ring_begin_.resize(static_cast<std::size_t>(tiles) * (kRings + 1));
+  for (int cj = 0; cj < rows_; ++cj) {
+    for (int ci = 0; ci < cols_; ++ci) {
+      const int center = cj * cols_ + ci;
+      for (int ring = 0; ring < kRings; ++ring) {
+        ring_begin_[ring_slot(center, ring)] =
+            static_cast<std::int32_t>(ring_tiles_.size());
+        for (int dj = -ring; dj <= ring; ++dj) {
+          const int j = cj + dj;
+          if (j < 0 || j >= rows_) continue;
+          for (int di = -ring; di <= ring; ++di) {
+            if (std::max(std::abs(di), std::abs(dj)) != ring) continue;
+            int i = (ci + di) % cols_;
+            if (i < 0) i += cols_;
+            ring_tiles_.push_back(j * cols_ + i);
+          }
+        }
+      }
+      ring_begin_[ring_slot(center, kRings)] =
+          static_cast<std::int32_t>(ring_tiles_.size());
+    }
+  }
+}
+
+std::shared_ptr<const TileGridTables> TileGridTables::shared_for(
+    const TileGrid& grid) {
+  static std::mutex mu;
+  static std::map<std::pair<int, int>, std::shared_ptr<const TileGridTables>>
+      registry;
+  const std::lock_guard<std::mutex> lock(mu);
+  auto& slot = registry[{grid.cols(), grid.rows()}];
+  if (!slot) {
+    slot = std::shared_ptr<const TileGridTables>(new TileGridTables(grid));
+  }
+  return slot;
 }
 
 }  // namespace poi360::video

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 namespace poi360::video {
 
@@ -61,6 +63,64 @@ class TileGrid {
   int rows_;
   int frame_width_px_;
   int frame_height_px_;
+};
+
+/// Precomputed per-(grid, center) geometry for the encoder-path kernels.
+///
+/// Two scalar loops used to recompute this geometry on every call: the
+/// level-LUT gather that materializes a compression matrix (a cyclic
+/// dx/dy per tile) and the Chebyshev ring scan of `roi_region_psnr` (a
+/// wrap-and-clip per FOV tile). Both depend only on (cols, rows, center),
+/// so they are tabulated once per grid shape and shared immutably:
+/// materialization and the ring walk become contiguous index gathers.
+///
+/// Tile visit order is bit-for-bit the order of the loops these tables
+/// replaced — the gathered sums land on identical values in identical
+/// order, which is what keeps the bench outputs byte-identical.
+class TileGridTables {
+ public:
+  static constexpr int kRings = 3;  // Chebyshev rings 0..2 span the FOV
+
+  /// Shared immutable tables for `grid`'s shape, built on first request
+  /// (process-wide registry keyed by (cols, rows); the lock is only ever
+  /// taken on cold paths — hot paths hold the returned pointer).
+  static std::shared_ptr<const TileGridTables> shared_for(const TileGrid& grid);
+
+  int cols() const { return cols_; }
+  int rows() const { return rows_; }
+  int tile_count() const { return cols_ * rows_; }
+
+  /// LUT gather map: for a matrix centered at flat tile `center`, tile t's
+  /// level lives at `level_lut[lut_index(center)[t]]` (same [dx*rows+dy]
+  /// layout as CompressionMode::level_lut). Row-major over tiles.
+  const std::int32_t* lut_index(int center) const {
+    return lut_index_.data() +
+           static_cast<std::size_t>(center) * tile_count();
+  }
+
+  /// Ring walk for `center`: flat tile indices of Chebyshev ring `ring`,
+  /// clipped at the pitch poles and wrapped in yaw, in the exact dj/di
+  /// scan order of the original roi_region_psnr loop.
+  const std::int32_t* ring_tiles(int center, int ring) const {
+    return ring_tiles_.data() + ring_begin_[ring_slot(center, ring)];
+  }
+  int ring_count(int center, int ring) const {
+    const int s = ring_slot(center, ring);
+    return ring_begin_[s + 1] - ring_begin_[s];
+  }
+
+ private:
+  explicit TileGridTables(const TileGrid& grid);
+
+  int ring_slot(int center, int ring) const {
+    return center * (kRings + 1) + ring;
+  }
+
+  int cols_;
+  int rows_;
+  std::vector<std::int32_t> lut_index_;   // [center][tile] -> dx * rows + dy
+  std::vector<std::int32_t> ring_tiles_;  // per-center ring segments, packed
+  std::vector<std::int32_t> ring_begin_;  // [center * 4 + ring], +1 sentinel
 };
 
 }  // namespace poi360::video

@@ -1,0 +1,335 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "poi360/video/compression.h"
+#include "poi360/video/kernels.h"
+#include "poi360/video/quality.h"
+#include "poi360/video/tile_grid.h"
+
+namespace poi360::video {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pre-change reference implementations. These are the scalar per-tile loops
+// the SoA kernels replaced, kept verbatim so every optimization stays pinned
+// to the original math.
+
+/// roi_region_psnr as it was before the MSE factorization: a pow() per FOV
+/// tile inside the ring scan.
+double reference_roi_region_psnr(const QualityModel& model,
+                                 const TileGrid& grid,
+                                 const CompressionMatrix& levels,
+                                 TileIndex center, double bpp) {
+  constexpr double kRingWeight[] = {0.55, 0.37, 0.08};
+  const double enc_psnr = model.encode_psnr(bpp);
+  double weighted_mse = 0.0;
+  double total_weight = 0.0;
+  for (int ring = 0; ring <= 2; ++ring) {
+    double ring_mse = 0.0;
+    int ring_count = 0;
+    for (int dj = -ring; dj <= ring; ++dj) {
+      const int j = center.j + dj;
+      if (j < 0 || j >= grid.rows()) continue;
+      for (int di = -ring; di <= ring; ++di) {
+        if (std::max(std::abs(di), std::abs(dj)) != ring) continue;
+        int i = (center.i + di) % grid.cols();
+        if (i < 0) i += grid.cols();
+        const double psnr =
+            model.tile_psnr_from(enc_psnr, levels.log2_at_unchecked(i, j));
+        ring_mse += std::pow(10.0, -psnr / 10.0);
+        ++ring_count;
+      }
+    }
+    if (ring_count == 0) continue;
+    weighted_mse += kRingWeight[ring] * ring_mse / ring_count;
+    total_weight += kRingWeight[ring];
+  }
+  return -10.0 * std::log10(weighted_mse / total_weight);
+}
+
+/// The intra-refresh scan as it was before frozen inverse levels: a divide
+/// per tile per matrix.
+double reference_upgrade_scan(const CompressionMatrix& cur,
+                              const CompressionMatrix& prev) {
+  double upgraded_tiles = 0.0;
+  for (int j = 0; j < cur.rows(); ++j) {
+    for (int i = 0; i < cur.cols(); ++i) {
+      const double gain =
+          1.0 / cur.at_unchecked(i, j) - 1.0 / prev.at_unchecked(i, j);
+      if (gain > 0.0) upgraded_tiles += gain;
+    }
+  }
+  return upgraded_tiles;
+}
+
+// The production path is bit-identical to the reference in the scalar
+// build; under POI360_SIMD the lane-reassociated reductions may differ in
+// the last ulps. Both regimes sit far inside this bound (in dB it is still
+// ~1000x tighter than any assertion elsewhere in the suite).
+constexpr double kUlpSlack = 1e-10;
+
+// ------------------------------------------------------------ kernels -----
+
+TEST(Kernels, UpgradeGainSumScalarMatchesReferenceBitwise) {
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  for (int m = 1; m <= table.size(); ++m) {
+    const CompressionMatrix cur = table.mode(m).matrix_for(grid, {6, 4});
+    const CompressionMatrix prev =
+        table.mode((m % table.size()) + 1).matrix_for(grid, {9, 2});
+    const double ref = reference_upgrade_scan(cur, prev);
+    const double got = kernels::upgrade_gain_sum_scalar(
+        cur.inv_levels_data(), prev.inv_levels_data(),
+        static_cast<std::size_t>(cur.tile_count()));
+    ASSERT_EQ(got, ref) << "mode " << m;  // exact: same values, same order
+  }
+}
+
+TEST(Kernels, UpgradeGainSumDispatchMatchesScalar) {
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode a(1.6), b(1.2);
+  const CompressionMatrix cur = a.matrix_for(grid, {0, 0});
+  const CompressionMatrix prev = b.matrix_for(grid, {11, 7});
+  const std::size_t n = static_cast<std::size_t>(cur.tile_count());
+  // Sweep every prefix length so the SIMD main-loop/tail split is covered
+  // for all residues of the lane count.
+  for (std::size_t len = 0; len <= n; ++len) {
+    const double scalar = kernels::upgrade_gain_sum_scalar(
+        cur.inv_levels_data(), prev.inv_levels_data(), len);
+    const double dispatched = kernels::upgrade_gain_sum(
+        cur.inv_levels_data(), prev.inv_levels_data(), len);
+    ASSERT_NEAR(dispatched, scalar, kUlpSlack * (1.0 + scalar)) << len;
+  }
+}
+
+TEST(Kernels, RingMseSumDispatchMatchesScalar) {
+  // Synthetic factors and a gather map with repeats (yaw wrap revisits).
+  std::vector<double> factors;
+  for (int k = 0; k < 96; ++k) factors.push_back(1.0 + 0.37 * (k % 13));
+  std::vector<std::int32_t> idx;
+  for (int k = 0; k < 41; ++k) idx.push_back((k * 7 + 3) % 96);
+  idx.push_back(idx.front());  // duplicate entry
+  for (int n = 0; n <= static_cast<int>(idx.size()); ++n) {
+    for (double enc_mse : {1e-4, 3e-3, 0.05}) {
+      const double floor_mse = 0.1;  // low enough to clamp some tiles
+      const double scalar = kernels::ring_mse_sum_scalar(
+          factors.data(), idx.data(), n, enc_mse, floor_mse);
+      const double dispatched = kernels::ring_mse_sum(
+          factors.data(), idx.data(), n, enc_mse, floor_mse);
+      ASSERT_NEAR(dispatched, scalar, kUlpSlack * (1.0 + scalar))
+          << "n=" << n << " enc_mse=" << enc_mse;
+    }
+  }
+}
+
+TEST(Kernels, GatherCopiesExactly) {
+  const std::vector<double> src = {3.5, -1.0, 0.25, 7.0};
+  const std::vector<std::int32_t> idx = {3, 3, 0, 2, 1};
+  std::vector<double> out(idx.size(), 0.0);
+  kernels::gather(src.data(), idx.data(), idx.size(), out.data());
+  EXPECT_EQ(out, (std::vector<double>{7.0, 7.0, 3.5, 0.25, -1.0}));
+}
+
+// ------------------------------------------- roi_region_psnr differential --
+
+/// All 8 ModeTable modes x every matrix center x every evaluation center on
+/// the paper grid, in both the clamp-free regime (bpp 0.06) and the
+/// floor-clamped regime (bpp 0.002, where enc_psnr sits close to the floor
+/// and the per-tile min() engages the gather fallback).
+TEST(RoiPsnrDifferential, AllModesAllCentersMatchReference) {
+  const QualityModel q;
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  ModeMatrixCache cache(grid);
+  for (int m = 1; m <= table.size(); ++m) cache.add_mode(m, table.mode(m));
+
+  for (int m = 1; m <= table.size(); ++m) {
+    for (int rj = 0; rj < grid.rows(); ++rj) {
+      for (int ri = 0; ri < grid.cols(); ++ri) {
+        const CompressionMatrixView cached = cache.matrix(m, {ri, rj});
+        for (double bpp : {0.06, 0.002}) {
+          // Evaluate at the matrix's own center, at an offset interior
+          // center, and at a pole corner — matched vs mismatched ROI and
+          // clipped vs full rings, for every matrix.
+          for (TileIndex eval :
+               {TileIndex{ri, rj}, TileIndex{(ri + 3) % grid.cols(), 4},
+                TileIndex{0, 0}}) {
+            const double ref =
+                reference_roi_region_psnr(q, grid, *cached, eval, bpp);
+            const double got = roi_region_psnr(q, grid, *cached, eval, bpp);
+            ASSERT_NEAR(got, ref, kUlpSlack)
+                << "mode " << m << " matrix (" << ri << "," << rj
+                << ") eval (" << eval.i << "," << eval.j << ") bpp " << bpp;
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Narrow grid: ring 2 wraps in yaw far enough to revisit columns. The
+/// original scan counted revisited tiles twice; the memoized ring walk must
+/// preserve that verbatim.
+TEST(RoiPsnrDifferential, NarrowGridYawWrapMatchesReference) {
+  const QualityModel q;
+  const TileGrid grid(3, 8, 960, 1920);
+  const GeometricMode mode(1.4);
+  for (int rj = 0; rj < grid.rows(); ++rj) {
+    for (int ri = 0; ri < grid.cols(); ++ri) {
+      const CompressionMatrix m = mode.matrix_for(grid, {ri, rj});
+      for (double bpp : {0.06, 0.002}) {
+        const double ref = reference_roi_region_psnr(q, grid, m, {ri, rj}, bpp);
+        const double got = roi_region_psnr(q, grid, m, {ri, rj}, bpp);
+        ASSERT_NEAR(got, ref, kUlpSlack)
+            << "(" << ri << "," << rj << ") bpp " << bpp;
+      }
+    }
+  }
+}
+
+/// A non-default QualityModel must rebuild the frozen ring sidecar rather
+/// than serve factors for stale (db_per_octave, floor_db) parameters.
+TEST(RoiPsnrDifferential, SidecarRebuildsOnModelChange) {
+  QualityModel q;
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode mode(1.5);
+  const CompressionMatrix m = mode.matrix_for(grid, {6, 4});
+  const double before = roi_region_psnr(q, grid, m, {6, 4}, 0.06);
+  EXPECT_NEAR(before, reference_roi_region_psnr(q, grid, m, {6, 4}, 0.06),
+              kUlpSlack);
+  q.downsample_db_per_octave = 5.0;
+  q.floor_db = 14.0;
+  const double after = roi_region_psnr(q, grid, m, {6, 4}, 0.06);
+  EXPECT_NEAR(after, reference_roi_region_psnr(q, grid, m, {6, 4}, 0.06),
+              kUlpSlack);
+  EXPECT_NE(before, after);
+}
+
+/// Golden spot checks: values captured from the pre-change implementation
+/// at HEAD, so the suite also guards against a future edit that changes the
+/// reference and the production path in lockstep.
+TEST(RoiPsnrDifferential, GoldenSpotChecks) {
+  const QualityModel q;
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  struct Golden {
+    int mode;
+    TileIndex matrix_center;
+    TileIndex eval_center;
+    double bpp;
+    double psnr;
+  };
+  const Golden golden[] = {
+      {1, {6, 4}, {6, 4}, 0.06, 33.214978545369036},
+      {3, {6, 4}, {8, 4}, 0.06, 30.824291763229699},
+      {8, {0, 0}, {11, 7}, 0.03, 27.491325742666774},
+      {5, {3, 2}, {3, 0}, 0.002, 10.0},  // fully floor-clamped region
+      {2, {10, 7}, {0, 7}, 0.12, 35.711349693882035},
+  };
+  for (const Golden& g : golden) {
+    const CompressionMatrix m =
+        table.mode(g.mode).matrix_for(grid, g.matrix_center);
+    EXPECT_NEAR(roi_region_psnr(q, grid, m, g.eval_center, g.bpp), g.psnr,
+                1e-9)
+        << "mode " << g.mode;
+  }
+}
+
+// --------------------------------------------------------- ring geometry --
+
+TEST(RingGeometry, InteriorAndPoleRingCounts) {
+  const TileGrid grid = TileGrid::paper_default();
+  const auto tables = TileGridTables::shared_for(grid);
+  const int interior = grid.flat({6, 4});
+  EXPECT_EQ(tables->ring_count(interior, 0), 1);
+  EXPECT_EQ(tables->ring_count(interior, 1), 8);
+  EXPECT_EQ(tables->ring_count(interior, 2), 16);
+  // Top-row center: dj < 0 rows are clipped away, shrinking rings 1 and 2.
+  const int pole = grid.flat({6, 0});
+  EXPECT_EQ(tables->ring_count(pole, 0), 1);
+  EXPECT_EQ(tables->ring_count(pole, 1), 5);
+  EXPECT_EQ(tables->ring_count(pole, 2), 9);
+}
+
+TEST(RingGeometry, SharedForMemoizesPerShape) {
+  const TileGrid a = TileGrid::paper_default();
+  const TileGrid b(12, 8, 1920, 960);  // same shape, different pixels
+  const TileGrid c(6, 4, 3840, 1920);
+  EXPECT_EQ(TileGridTables::shared_for(a).get(),
+            TileGridTables::shared_for(b).get());
+  EXPECT_NE(TileGridTables::shared_for(a).get(),
+            TileGridTables::shared_for(c).get());
+}
+
+/// Weight renormalization at grid edges: on a uniform matrix every tile has
+/// the same PSNR, so the region PSNR must equal the tile PSNR no matter how
+/// many ring tiles the pitch poles clip away — the ring weights cancel only
+/// if each surviving ring is still divided by its *clipped* count.
+TEST(RingGeometry, EdgeRenormalizationKeepsUniformFrameExact) {
+  const QualityModel q;
+  const TileGrid grid = TileGrid::paper_default();
+  const CompressionMatrix uniform(grid.cols(), grid.rows(), 1.0);
+  const double tile = q.tile_psnr(0.06, 1.0);
+  for (TileIndex center :
+       {TileIndex{0, 0}, TileIndex{6, 0}, TileIndex{11, 7}, TileIndex{0, 4},
+        TileIndex{6, 7}}) {
+    EXPECT_NEAR(roi_region_psnr(q, grid, uniform, center, 0.06), tile, 1e-9)
+        << "(" << center.i << "," << center.j << ")";
+  }
+}
+
+// ------------------------------------------------------- seal semantics --
+
+TEST(SealedMatrix, CacheServedMatrixRejectsSet) {
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  ModeMatrixCache cache(grid);
+  cache.add_mode(1, table.mode(1));
+  const CompressionMatrixView view = cache.matrix(1, {6, 4});
+  auto& shared = const_cast<CompressionMatrix&>(*view);
+  EXPECT_THROW(shared.set({0, 0}, 2.0), std::logic_error);
+  // Out-of-range stays the stronger error even on sealed matrices.
+  EXPECT_THROW(shared.set({99, 0}, 2.0), std::out_of_range);
+}
+
+TEST(SealedMatrix, AdHocViewSealsItsBoxedCopyOnly) {
+  const TileGrid grid = TileGrid::paper_default();
+  const GeometricMode mode(1.4);
+  CompressionMatrix original = mode.matrix_for(grid, {6, 4});
+  const CompressionMatrixView view(original);
+  EXPECT_THROW(const_cast<CompressionMatrix&>(*view).set({0, 0}, 2.0),
+               std::logic_error);
+  // The caller's matrix was copied into the view's box; it stays mutable.
+  EXPECT_NO_THROW(original.set({0, 0}, 2.0));
+}
+
+TEST(SealedMatrix, CopyOfSealedMatrixIsMutable) {
+  const TileGrid grid = TileGrid::paper_default();
+  const ModeTable table(8, 1.8, 1.1);
+  ModeMatrixCache cache(grid);
+  cache.add_mode(1, table.mode(1));
+  const CompressionMatrixView view = cache.matrix(1, {6, 4});
+  CompressionMatrix copy = *view;  // copy-on-thaw
+  EXPECT_NO_THROW(copy.set({0, 0}, 4.0));
+  EXPECT_DOUBLE_EQ(copy.at({0, 0}), 4.0);
+  // The shared original is untouched.
+  EXPECT_NE(copy.at({0, 0}), view.at({0, 0}));
+}
+
+TEST(SealedMatrix, SetInvalidatesPsnrSidecar) {
+  const QualityModel q;
+  const TileGrid grid = TileGrid::paper_default();
+  CompressionMatrix m(grid.cols(), grid.rows(), 2.0);
+  const double before = roi_region_psnr(q, grid, m, {6, 4}, 0.06);
+  m.set({6, 4}, 1.0);  // after the sidecar froze
+  const double after = roi_region_psnr(q, grid, m, {6, 4}, 0.06);
+  EXPECT_NEAR(after, reference_roi_region_psnr(q, grid, m, {6, 4}, 0.06),
+              kUlpSlack);
+  EXPECT_GT(after, before);
+}
+
+}  // namespace
+}  // namespace poi360::video

@@ -41,6 +41,13 @@ def load_benchmarks(path):
     return out
 
 
+def load_build_type(path):
+    """google-benchmark's context.library_build_type ("release"/"debug")."""
+    with open(path) as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("library_build_type")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", required=True,
@@ -53,6 +60,13 @@ def main():
     ap.add_argument("--update", action="store_true",
                     help="overwrite the baseline with the current report "
                          "instead of comparing")
+    ap.add_argument("--min-delta-ns", type=float, default=2.0,
+                    help="absolute cpu_time slack (ns) below which a "
+                         "relative regression is ignored (default 2.0). "
+                         "Sub-ns benchmarks shift by fractions of a "
+                         "nanosecond between -O2 and -O3 codegen, which "
+                         "trips any percentage tolerance; such benchmarks "
+                         "are guarded by --max-ns ceilings instead.")
     ap.add_argument("--max-ns", action="append", default=[],
                     metavar="NAME=CEIL",
                     help="absolute cpu_time ceiling (ns) for one benchmark; "
@@ -71,6 +85,17 @@ def main():
 
     baseline = load_benchmarks(args.baseline)
     current = load_benchmarks(args.current)
+
+    # Comparing a debug-library run against a release-library baseline (or
+    # vice versa) skews every ratio the same way; warn — non-fatally, the
+    # generous tolerance still catches algorithmic blowups — so a surprising
+    # table has its likely explanation attached.
+    base_bt = load_build_type(args.baseline)
+    cur_bt = load_build_type(args.current)
+    if base_bt and cur_bt and base_bt != cur_bt:
+        print(f"warning: library_build_type mismatch: baseline '{base_bt}' "
+              f"vs current '{cur_bt}' — timings may not be comparable",
+              file=sys.stderr)
 
     missing = sorted(set(baseline) - set(current))
     regressions = []
@@ -92,7 +117,7 @@ def main():
         unit = baseline[name]["time_unit"]
         ratio = now / base if base > 0 else float("inf")
         flag = ""
-        if ratio > 1.0 + args.tolerance:
+        if ratio > 1.0 + args.tolerance and now - base > args.min_delta_ns:
             regressions.append((name, base, now, ratio))
             flag = "  << REGRESSION"
         print(f"{name:<{width}}  {base:>10.1f}{unit}  {now:>10.1f}{unit}  "

@@ -13,22 +13,26 @@ CHECK_PY = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         "check_perf.py")
 
 
-def report(names_to_ns):
-    return {"benchmarks": [
+def report(names_to_ns, build_type=None):
+    doc = {"benchmarks": [
         {"name": name, "cpu_time": ns, "time_unit": "ns"}
         for name, ns in names_to_ns.items()
     ]}
+    if build_type is not None:
+        doc["context"] = {"library_build_type": build_type}
+    return doc
 
 
 class CheckPerfTest(unittest.TestCase):
-    def run_gate(self, baseline, current, extra_args=()):
+    def run_gate(self, baseline, current, extra_args=(),
+                 baseline_build_type=None, current_build_type=None):
         with tempfile.TemporaryDirectory() as tmp:
             bpath = os.path.join(tmp, "baseline.json")
             cpath = os.path.join(tmp, "current.json")
             with open(bpath, "w") as f:
-                json.dump(report(baseline), f)
+                json.dump(report(baseline, baseline_build_type), f)
             with open(cpath, "w") as f:
-                json.dump(report(current), f)
+                json.dump(report(current, current_build_type), f)
             return subprocess.run(
                 [sys.executable, CHECK_PY, "--baseline", bpath,
                  "--current", cpath, *extra_args],
@@ -77,6 +81,44 @@ class CheckPerfTest(unittest.TestCase):
                           ["--max-ns", "BM_ghost=50"])
         self.assertEqual(r.returncode, 1)
         self.assertIn("BM_ghost", r.stderr)
+
+    def test_subns_regression_within_delta_passes(self):
+        # 1.3 -> 2.2 is 1.7x but only 0.9ns — codegen noise between -O2 and
+        # -O3, ignored by the default 2ns absolute slack.
+        r = self.run_gate({"BM_tiny": 1.3}, {"BM_tiny": 2.2})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+
+    def test_subns_regression_beyond_delta_fails(self):
+        r = self.run_gate({"BM_tiny": 1.3}, {"BM_tiny": 4.0})
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("BM_tiny", r.stderr)
+
+    def test_zero_min_delta_restores_strict_ratio_check(self):
+        r = self.run_gate({"BM_tiny": 1.3}, {"BM_tiny": 2.2},
+                          ["--min-delta-ns", "0"])
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("<< REGRESSION", r.stdout)
+
+    def test_build_type_mismatch_warns_but_passes(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 100.0},
+                          baseline_build_type="release",
+                          current_build_type="debug")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertIn("library_build_type mismatch", r.stderr)
+        self.assertIn("release", r.stderr)
+        self.assertIn("debug", r.stderr)
+
+    def test_build_type_match_is_silent(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 100.0},
+                          baseline_build_type="release",
+                          current_build_type="release")
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("library_build_type mismatch", r.stderr)
+
+    def test_absent_build_type_is_silent(self):
+        r = self.run_gate({"BM_a": 100.0}, {"BM_a": 100.0})
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
+        self.assertNotIn("library_build_type mismatch", r.stderr)
 
 
 if __name__ == "__main__":
