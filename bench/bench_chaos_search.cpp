@@ -1,0 +1,106 @@
+// Coverage-guided chaos search driver: hunts QoE cliffs across the joint
+// fault/traffic/motion space (bisection + mutation + annealing, see
+// DESIGN.md §14) and replays the committed corpus.
+//
+// Like bench_soak/bench_fleet, stdout is a deterministic function of
+// (seed, budget, duration) — byte-identical for every --jobs value — and
+// wall clock goes to stderr only.
+//
+//   bench_chaos_search [--budget N] [--seed S] [--duration-s N] [--jobs N]
+//                      [--corpus-dir PATH] [--freeze-threshold X]
+//                      [--out-json PATH]
+//   bench_chaos_search --replay CORPUS_DIR [--jobs N]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "poi360/search/campaign.h"
+#include "poi360/search/corpus.h"
+#include "util/options.h"
+
+using namespace poi360;
+
+namespace {
+
+int replay_main(const std::string& dir, int jobs) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::vector<search::ReplayResult> results =
+      search::replay_corpus(dir, jobs);
+  int failed = 0;
+  for (const search::ReplayResult& r : results) {
+    std::printf("%s %s\n%s", r.ok ? "PASS" : "FAIL", r.name.c_str(),
+                r.detail.c_str());
+    if (!r.ok) ++failed;
+  }
+  std::printf("replayed %zu entries, %d failed\n", results.size(), failed);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  std::fprintf(stderr, "bench_chaos_search: wall %.2fs\n", wall_s);
+  return failed == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  search::CampaignConfig config;
+  std::int64_t duration_s = 20;
+  std::string replay_dir;
+  std::string out_json;
+
+  bench::FlagParser parser;
+  parser
+      .usage_override(
+          "usage: %s [--budget N] [--seed S] [--duration-s N] [--jobs N]\n"
+          "          [--corpus-dir PATH] [--freeze-threshold X]\n"
+          "          [--out-json PATH]\n"
+          "          [--replay CORPUS_DIR]   (replay mode: re-run a "
+          "committed corpus)\n")
+      .on_int("--budget", "N", &config.budget)
+      .on_u64("--seed", "S", &config.seed)
+      .on_i64("--duration-s", "N", &duration_s)
+      .on_int("--jobs", "N", &config.jobs)
+      .on_string("--corpus-dir", "PATH", &config.corpus_dir)
+      .on_double("--freeze-threshold", "X", &config.freeze_threshold)
+      .on_string("--replay", "CORPUS_DIR", &replay_dir)
+      .on_string("--out-json", "PATH", &out_json);
+  parser.parse(argc, argv);
+  config.duration_s = static_cast<double>(duration_s);
+
+  if (!replay_dir.empty()) return replay_main(replay_dir, config.jobs);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  const search::CampaignResult result = search::run_campaign(config);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  std::fputs(result.report.c_str(), stdout);
+  if (!out_json.empty()) {
+    common::Json j = common::Json::object();
+    j.set("bench", "bench_chaos_search");
+    j.set("seed", config.seed);
+    j.set("budget", config.budget);
+    j.set("sessions", result.sessions);
+    j.set("coverage", static_cast<std::int64_t>(result.coverage.size()));
+    common::Json cliffs = common::Json::array();
+    for (const search::CorpusEntry& entry : result.entries) {
+      cliffs.push_back(search::to_json(entry));
+    }
+    j.set("cliffs", std::move(cliffs));
+    std::ofstream out(out_json);
+    if (!out) {
+      std::fprintf(stderr, "bench_chaos_search: cannot write %s\n",
+                   out_json.c_str());
+      return 1;
+    }
+    out << j.dump(2) << "\n";
+  }
+  std::fprintf(stderr, "bench_chaos_search: wall %.2fs\n", wall_s);
+  return 0;
+}

@@ -93,7 +93,8 @@ void FlagParser::fail(const char* argv0) const {
   std::exit(2);
 }
 
-void FlagParser::parse(int argc, char** argv) const {
+std::optional<FlagParser::ParseError> FlagParser::try_parse(
+    int argc, char** argv) const {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const Spec* spec = nullptr;
@@ -103,14 +104,25 @@ void FlagParser::parse(int argc, char** argv) const {
         break;
       }
     }
-    if (!spec) fail(argv[0]);
+    if (!spec) {
+      return ParseError{ParseError::Kind::kUnknownFlag, arg};
+    }
     if (!spec->takes_value) {
       *spec->flag_out = true;
       continue;
     }
-    if (i + 1 >= argc) fail(argv[0]);
-    if (!spec->handler(argv[++i])) fail(argv[0]);
+    if (i + 1 >= argc) {
+      return ParseError{ParseError::Kind::kMissingValue, arg};
+    }
+    if (!spec->handler(argv[++i])) {
+      return ParseError{ParseError::Kind::kRejectedValue, arg};
+    }
   }
+  return std::nullopt;
+}
+
+void FlagParser::parse(int argc, char** argv) const {
+  if (try_parse(argc, argv)) fail(argv[0]);
 }
 
 }  // namespace poi360::bench

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,18 @@ class FlagParser {
 
   /// The usage text for argv0 (auto-generated or overridden).
   std::string usage(const char* argv0) const;
+
+  /// Why try_parse stopped.
+  struct ParseError {
+    enum class Kind { kUnknownFlag, kMissingValue, kRejectedValue };
+    Kind kind = Kind::kUnknownFlag;
+    std::string flag;  // the offending argv token
+  };
+
+  /// Parses argv; bindings are applied in argv order up to the first error,
+  /// which is returned (nullopt = clean parse). This is the testable seam
+  /// under parse(); it never prints and never exits.
+  std::optional<ParseError> try_parse(int argc, char** argv) const;
 
   /// Parses argv. On an unknown flag, a missing value, or a rejected value,
   /// prints usage to stderr and exits 2.

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+// Minimal JSON value for the repo's serialization seams (chaos specs, the
+// search corpus). Design goals, in order:
+//
+//   1. Deterministic text: objects keep insertion order, integers print as
+//      integers, doubles print with enough digits (%.17g) to round-trip
+//      exactly — so a value parsed from a committed corpus file and dumped
+//      again is byte-identical, and emitted files never depend on hash
+//      order or locale.
+//   2. Lossless numbers: int64 and double are distinct storage classes, so
+//      SimDuration microsecond counts and seeds survive a round trip
+//      without drifting through a double.
+//   3. Small: parse + dump + typed accessors, nothing else. The result
+//      emitters in runner/result_io keep their hand-rolled strings; this
+//      class exists for data that must be read *back*.
+
+namespace poi360::common {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;                      // null
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v)
+      : type_(Type::kInt), int_(static_cast<std::int64_t>(v)) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json array();
+  static Json object();
+
+  /// Parses one JSON document (trailing whitespace allowed, anything else
+  /// throws JsonError with a byte offset).
+  static Json parse(const std::string& text);
+
+  /// Deterministic serialization. indent = 0 emits one line; indent > 0
+  /// pretty-prints with that many spaces per level (and a trailing
+  /// newline-free result either way).
+  std::string dump(int indent = 0) const;
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+
+  // -- scalar access (throws JsonError on type mismatch) -------------------
+  bool as_bool() const;
+  std::int64_t as_i64() const;   // accepts kInt only (no silent truncation)
+  double as_double() const;      // accepts kInt or kDouble
+  const std::string& as_string() const;
+
+  // -- array access --------------------------------------------------------
+  void push_back(Json v);
+  std::size_t size() const;
+  const Json& at(std::size_t i) const;
+
+  // -- object access -------------------------------------------------------
+  /// Sets (or replaces) a key, preserving first-insertion order.
+  Json& set(const std::string& key, Json v);
+  bool has(const std::string& key) const;
+  /// Throws JsonError when the key is absent.
+  const Json& at(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& items() const;
+
+  // -- defaulted typed lookups (the config round-trip idiom) ---------------
+  bool get_bool(const std::string& key, bool fallback) const;
+  std::int64_t get_i64(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace poi360::common

@@ -1,0 +1,50 @@
+#include "poi360/lte/diag_fault_json.h"
+
+namespace poi360::lte {
+
+using common::Json;
+
+Json to_json(const DiagFaultConfig& c) {
+  Json j = Json::object();
+  j.set("enabled", c.enabled);
+  j.set("loss_prob", c.loss_prob);
+  j.set("stall_per_min", c.stall_per_min);
+  j.set("stall_mean_duration_us", c.stall_mean_duration);
+  j.set("stall_min_duration_us", c.stall_min_duration);
+  j.set("delivery_jitter_us", c.delivery_jitter);
+  j.set("duplicate_prob", c.duplicate_prob);
+  j.set("garbage_prob", c.garbage_prob);
+  j.set("handover_per_min", c.handover_per_min);
+  j.set("handover_detach_mean_us", c.handover_detach_mean);
+  j.set("handover_detach_min_us", c.handover_detach_min);
+  j.set("handover_gain_min", c.handover_gain_min);
+  j.set("handover_gain_max", c.handover_gain_max);
+  j.set("handover_gain_duration_us", c.handover_gain_duration);
+  return j;
+}
+
+DiagFaultConfig diag_fault_config_from_json(const Json& j) {
+  DiagFaultConfig c;
+  c.enabled = j.get_bool("enabled", c.enabled);
+  c.loss_prob = j.get_double("loss_prob", c.loss_prob);
+  c.stall_per_min = j.get_double("stall_per_min", c.stall_per_min);
+  c.stall_mean_duration =
+      j.get_i64("stall_mean_duration_us", c.stall_mean_duration);
+  c.stall_min_duration =
+      j.get_i64("stall_min_duration_us", c.stall_min_duration);
+  c.delivery_jitter = j.get_i64("delivery_jitter_us", c.delivery_jitter);
+  c.duplicate_prob = j.get_double("duplicate_prob", c.duplicate_prob);
+  c.garbage_prob = j.get_double("garbage_prob", c.garbage_prob);
+  c.handover_per_min = j.get_double("handover_per_min", c.handover_per_min);
+  c.handover_detach_mean =
+      j.get_i64("handover_detach_mean_us", c.handover_detach_mean);
+  c.handover_detach_min =
+      j.get_i64("handover_detach_min_us", c.handover_detach_min);
+  c.handover_gain_min = j.get_double("handover_gain_min", c.handover_gain_min);
+  c.handover_gain_max = j.get_double("handover_gain_max", c.handover_gain_max);
+  c.handover_gain_duration =
+      j.get_i64("handover_gain_duration_us", c.handover_gain_duration);
+  return c;
+}
+
+}  // namespace poi360::lte

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "poi360/common/json.h"
+#include "poi360/lte/diag_fault.h"
+
+// JSON round-trip for the diag-feed fault model — the sensor-path twin of
+// net/chaos_json.h, with the same conventions: every DiagFaultConfig field
+// is representable, durations are integer microseconds (lossless), and
+// absent keys keep the field's default so old corpus entries stay readable
+// as knobs are added.
+
+namespace poi360::lte {
+
+common::Json to_json(const DiagFaultConfig& config);
+DiagFaultConfig diag_fault_config_from_json(const common::Json& j);
+
+}  // namespace poi360::lte

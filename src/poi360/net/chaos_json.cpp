@@ -1,0 +1,47 @@
+#include "poi360/net/chaos_json.h"
+
+namespace poi360::net {
+
+using common::Json;
+
+Json to_json(const ChaosConfig& c) {
+  Json j = Json::object();
+  j.set("ge_p_good_bad", c.ge_p_good_bad);
+  j.set("ge_p_bad_good", c.ge_p_bad_good);
+  j.set("ge_loss_bad", c.ge_loss_bad);
+  j.set("ge_loss_good", c.ge_loss_good);
+  j.set("reorder_prob", c.reorder_prob);
+  j.set("reorder_extra_us", c.reorder_extra);
+  j.set("duplicate_prob", c.duplicate_prob);
+  j.set("duplicate_skew_us", c.duplicate_skew);
+  j.set("blackout_per_min", c.blackout_per_min);
+  j.set("blackout_mean_duration_us", c.blackout_mean_duration);
+  j.set("blackout_min_duration_us", c.blackout_min_duration);
+  j.set("spike_per_min", c.spike_per_min);
+  j.set("spike_mean_extra_us", c.spike_mean_extra);
+  j.set("spike_duration_us", c.spike_duration);
+  return j;
+}
+
+ChaosConfig chaos_config_from_json(const Json& j) {
+  ChaosConfig c;
+  c.ge_p_good_bad = j.get_double("ge_p_good_bad", c.ge_p_good_bad);
+  c.ge_p_bad_good = j.get_double("ge_p_bad_good", c.ge_p_bad_good);
+  c.ge_loss_bad = j.get_double("ge_loss_bad", c.ge_loss_bad);
+  c.ge_loss_good = j.get_double("ge_loss_good", c.ge_loss_good);
+  c.reorder_prob = j.get_double("reorder_prob", c.reorder_prob);
+  c.reorder_extra = j.get_i64("reorder_extra_us", c.reorder_extra);
+  c.duplicate_prob = j.get_double("duplicate_prob", c.duplicate_prob);
+  c.duplicate_skew = j.get_i64("duplicate_skew_us", c.duplicate_skew);
+  c.blackout_per_min = j.get_double("blackout_per_min", c.blackout_per_min);
+  c.blackout_mean_duration =
+      j.get_i64("blackout_mean_duration_us", c.blackout_mean_duration);
+  c.blackout_min_duration =
+      j.get_i64("blackout_min_duration_us", c.blackout_min_duration);
+  c.spike_per_min = j.get_double("spike_per_min", c.spike_per_min);
+  c.spike_mean_extra = j.get_i64("spike_mean_extra_us", c.spike_mean_extra);
+  c.spike_duration = j.get_i64("spike_duration_us", c.spike_duration);
+  return c;
+}
+
+}  // namespace poi360::net

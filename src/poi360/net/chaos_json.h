@@ -1,0 +1,19 @@
+#pragma once
+
+#include "poi360/common/json.h"
+#include "poi360/net/chaos.h"
+
+// JSON round-trip for the transport fault model, so a serialized scenario
+// spec (the search corpus, saved campaign configs) fully determines a
+// ChaosLink. Every field of ChaosConfig is representable; durations are
+// integer microseconds (SimTime's native unit), so the trip is lossless.
+//
+// from_json is default-tolerant: absent keys keep the field's default, so
+// committed corpus entries survive new knobs being added later.
+
+namespace poi360::net {
+
+common::Json to_json(const ChaosConfig& config);
+ChaosConfig chaos_config_from_json(const common::Json& j);
+
+}  // namespace poi360::net

@@ -1,0 +1,101 @@
+#include "poi360/search/annealing.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "poi360/runner/experiment_spec.h"
+
+namespace poi360::search {
+
+namespace {
+
+double gap_of(const Evaluator::Paired& p) {
+  return std::abs(p.fbcc.freeze_ratio - p.gcc.freeze_ratio);
+}
+
+std::string fmt4(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Cliff> AnnealingSearch::run(Evaluator& evaluator, int budget,
+                                        std::string& log) {
+  const int steps = budget / 2;  // each step is one paired (FBCC+GCC) eval
+  if (steps < 2) {
+    log += name() + ": budget too small, skipped\n";
+    return {};
+  }
+  Rng rng(runner::derive_seed(options_.seed, 2));
+  const std::uint64_t session_seed = runner::derive_seed(options_.seed, 200);
+
+  // Start from a random point of the shared knob space (not the benign
+  // default, whose gap is ~0 and wastes the early hot steps).
+  ChaosSpec current = random_spec(rng);
+  current.seed = session_seed;
+  current.duration_s = options_.duration_s;
+
+  Evaluator::Paired current_eval = evaluator.evaluate_paired({current})[0];
+  double current_gap = gap_of(current_eval);
+  ChaosSpec best = current;
+  Evaluator::Paired best_eval = current_eval;
+  double best_gap = current_gap;
+  log += name() + ": step 0 gap " + fmt4(current_gap) + " (start)\n";
+
+  double temperature = options_.initial_temperature;
+  for (int step = 1; step < steps; ++step) {
+    ChaosSpec proposal = mutate_spec(current, rng);
+    proposal.seed = session_seed;  // same realization: the knobs move, the
+    proposal.duration_s = options_.duration_s;  // seed never does
+    const Evaluator::Paired eval = evaluator.evaluate_paired({proposal})[0];
+    const double gap = gap_of(eval);
+
+    // Metropolis on -gap: always accept improvements, accept regressions
+    // with probability exp(delta / T).
+    const double delta = gap - current_gap;
+    const bool accept =
+        delta >= 0.0 ||
+        (temperature > 0.0 && rng.bernoulli(std::exp(delta / temperature)));
+    if (accept) {
+      current = proposal;
+      current_eval = eval;
+      current_gap = gap;
+    }
+    if (gap > best_gap) {
+      best = proposal;
+      best_eval = eval;
+      best_gap = gap;
+    }
+    log += name() + ": step " + std::to_string(step) + " gap " + fmt4(gap) +
+           (accept ? " accept" : " reject") + " (best " + fmt4(best_gap) +
+           ")\n";
+    temperature *= options_.cooling;
+  }
+
+  if (best_gap < options_.min_gap) {
+    log += name() + ": best gap " + fmt4(best_gap) + " below threshold " +
+           fmt4(options_.min_gap) + ", nothing committed\n";
+    return {};
+  }
+
+  Cliff cliff;
+  cliff.name = "anneal_fbcc_gcc_gap";
+  cliff.kind = "annealing";
+  cliff.spec = best;
+  cliff.rate_control = core::RateControl::kFbcc;
+  cliff.paired = true;
+  cliff.outcome = best_eval.fbcc;
+  cliff.baseline = best_eval.gcc;
+  const char* loser = best_eval.fbcc.freeze_ratio > best_eval.gcc.freeze_ratio
+                          ? "FBCC"
+                          : "GCC";
+  cliff.note = "freeze-ratio gap " + fmt4(best_gap) + " (" + loser +
+               " worse: fbcc " + fmt4(best_eval.fbcc.freeze_ratio) +
+               " vs gcc " + fmt4(best_eval.gcc.freeze_ratio) + ")";
+  log += name() + ": " + cliff.note + "\n";
+  return {cliff};
+}
+
+}  // namespace poi360::search

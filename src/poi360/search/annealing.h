@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+
+#include "poi360/search/driver.h"
+#include "poi360/search/knobs.h"
+
+// Simulated annealing toward the worst-case FBCC-vs-GCC QoE gap: each step
+// proposes a knob mutation, evaluates FBCC and GCC under the identical
+// (spec, seed) fault schedule, and scores the absolute freeze-ratio gap
+// between the controllers. Maximizing |gap| surfaces the scenarios where
+// the controller choice matters most — in either direction: a large
+// GCC-worse gap documents FBCC's claimed advantage at its starkest, a
+// large FBCC-worse gap is a regression magnet the corpus must pin down.
+
+namespace poi360::search {
+
+class AnnealingSearch : public SearchDriver {
+ public:
+  struct Options {
+    std::uint64_t seed = 1000;
+    double duration_s = 20.0;
+    double initial_temperature = 0.06;  // in freeze-ratio units
+    double cooling = 0.85;              // per-step temperature factor
+    double min_gap = 0.02;  // smallest |gap| worth committing
+  };
+
+  explicit AnnealingSearch(Options options) : options_(options) {}
+
+  std::string name() const override { return "anneal:fbcc_gcc_gap"; }
+
+  std::vector<Cliff> run(Evaluator& evaluator, int budget,
+                         std::string& log) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace poi360::search

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "poi360/search/driver.h"
+
+// Minimal-trigger bisection: find the smallest value of one integer knob
+// whose outcome trips a predicate, assuming the predicate is monotone in
+// the knob (more fault -> worse QoE). Probes share one seed, so every
+// point on the axis faces the identical viewer/channel realization and the
+// bracket converges on a reproducible boundary, not on seed noise.
+
+namespace poi360::search {
+
+/// One bisectable knob axis over the chaos space.
+struct BisectionAxis {
+  std::string name;  // knob name, e.g. "burst_dwell"
+  std::string unit;  // for log/notes, e.g. "pkts", "ms"
+  std::int64_t lo = 1;
+  std::int64_t hi = 64;
+  core::RateControl rate_control = core::RateControl::kFbcc;
+  /// Builds the full spec realizing knob value x.
+  std::function<ChaosSpec(std::int64_t)> spec_at;
+  /// The cliff predicate (must be monotone along the axis).
+  std::function<bool(const QoeOutcome&)> trips;
+  /// One-line description of why the outcome trips (for the corpus note).
+  std::function<std::string(const QoeOutcome&)> describe;
+};
+
+class BisectionSearch : public SearchDriver {
+ public:
+  explicit BisectionSearch(BisectionAxis axis) : axis_(std::move(axis)) {}
+
+  std::string name() const override { return "bisect:" + axis_.name; }
+
+  /// Classic bracket shrink: probe hi (no trip -> no cliff in range), probe
+  /// lo (trip -> lo is already minimal), then halve. Uses at most
+  /// 2 + ceil(log2(hi - lo)) sessions; stops early when the budget runs
+  /// out and reports the still-valid upper end of the bracket.
+  std::vector<Cliff> run(Evaluator& evaluator, int budget,
+                         std::string& log) override;
+
+ private:
+  QoeOutcome probe(Evaluator& evaluator, std::int64_t x);
+
+  BisectionAxis axis_;
+};
+
+/// The two canonical axes of this repo's cliff corpus.
+///
+/// Smallest Gilbert–Elliott bad-state dwell (mean packets per fade, at
+/// fixed fade arrival rate and 90% in-fade loss) that pushes FBCC's freeze
+/// ratio past `freeze_threshold`.
+BisectionAxis burst_dwell_axis(std::uint64_t seed, double duration_s,
+                               double freeze_threshold);
+
+/// Smallest feedback-path blackout span (ms, deterministic span via the
+/// min-duration floor) that trips the sender's feedback-staleness watchdog
+/// (FeedbackGuardConfig.timeout = 600 ms) at least once.
+BisectionAxis feedback_blackout_axis(std::uint64_t seed, double duration_s);
+
+}  // namespace poi360::search

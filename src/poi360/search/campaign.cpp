@@ -1,0 +1,97 @@
+#include "poi360/search/campaign.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "poi360/search/annealing.h"
+#include "poi360/search/bisection.h"
+#include "poi360/search/mutation.h"
+
+namespace poi360::search {
+
+CampaignResult run_campaign(const CampaignConfig& config) {
+  CampaignResult result;
+  Evaluator evaluator(Evaluator::Options{config.jobs});
+
+  result.report += "chaos-search campaign: seed=" +
+                   std::to_string(config.seed) +
+                   " budget=" + std::to_string(config.budget) +
+                   " duration_s=" + std::to_string(
+                       static_cast<std::int64_t>(config.duration_s)) +
+                   "\n";
+
+  const auto run_strategy = [&](SearchDriver& driver, int share) {
+    if (share <= 0) return;
+    std::string log;
+    std::vector<Cliff> found = driver.run(evaluator, share, log);
+    result.report += log;
+    for (Cliff& cliff : found) {
+      result.coverage.insert(coverage_bucket(cliff.outcome));
+      result.cliffs.push_back(std::move(cliff));
+    }
+  };
+
+  // Budget split: the two bisections take what they need (2 + log2(range)
+  // sessions each), annealing gets ~40% of the remainder in paired steps,
+  // mutation the rest in whole generations.
+  const int budget = std::max(config.budget, 0);
+  {
+    BisectionSearch burst(burst_dwell_axis(config.seed, config.duration_s,
+                                           config.freeze_threshold));
+    run_strategy(burst, std::min(8, budget / 4));
+  }
+  {
+    BisectionSearch blackout(
+        feedback_blackout_axis(config.seed, config.duration_s));
+    run_strategy(blackout,
+                 std::min(13, std::max(0, budget - evaluator.sessions_run()) /
+                                  2));
+  }
+  {
+    const int remaining = std::max(0, budget - evaluator.sessions_run());
+    AnnealingSearch::Options options;
+    options.seed = config.seed;
+    options.duration_s = config.duration_s;
+    options.min_gap = config.min_gap;
+    AnnealingSearch anneal(options);
+    run_strategy(anneal, (remaining * 2 / 5) & ~1);
+  }
+  {
+    const int remaining = std::max(0, budget - evaluator.sessions_run());
+    MutationSearch::Options options;
+    options.seed = config.seed;
+    options.duration_s = config.duration_s;
+    MutationSearch mutate(options, &result.coverage);
+    run_strategy(mutate, remaining);
+  }
+
+  result.sessions = evaluator.sessions_run();
+
+  result.report += "coverage: " + std::to_string(result.coverage.size()) +
+                   " buckets\n";
+  for (const std::string& bucket : result.coverage.buckets()) {
+    result.report += "  " + bucket + "\n";
+  }
+  result.report += "cliffs: " + std::to_string(result.cliffs.size()) + "\n";
+  for (const Cliff& cliff : result.cliffs) {
+    result.report +=
+        "  " + cliff.name + " [" + cliff.kind + "] " + cliff.note + "\n";
+  }
+  result.report +=
+      "sessions: " + std::to_string(result.sessions) + "/" +
+      std::to_string(config.budget) + "\n";
+
+  result.entries.reserve(result.cliffs.size());
+  for (const Cliff& cliff : result.cliffs) {
+    result.entries.push_back(make_entry(cliff));
+  }
+  if (!config.corpus_dir.empty() && !result.entries.empty()) {
+    write_corpus(config.corpus_dir, result.entries);
+    result.report += "corpus: wrote " +
+                     std::to_string(result.entries.size()) + " entries to " +
+                     config.corpus_dir + "\n";
+  }
+  return result;
+}
+
+}  // namespace poi360::search

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "poi360/search/corpus.h"
+#include "poi360/search/driver.h"
+
+// One full search campaign: the three strategies run in sequence against a
+// shared session budget and a shared coverage map, and every cliff found is
+// converted to a corpus entry (and optionally written to disk). The whole
+// report — logs, coverage, cliffs — is a deterministic function of
+// (seed, budget, duration), byte-identical for any worker count.
+
+namespace poi360::search {
+
+struct CampaignConfig {
+  std::uint64_t seed = 1000;  // runner::kDefaultSeed0
+  int budget = 64;            // total session evaluations
+  double duration_s = 20.0;   // simulated seconds per session
+  int jobs = 0;               // BatchRunner workers; 0 = auto
+  double freeze_threshold = 0.10;  // bisection cliff predicate
+  double min_gap = 0.02;           // annealing commit threshold
+  std::string corpus_dir;  // when non-empty, write entries here
+};
+
+struct CampaignResult {
+  std::vector<Cliff> cliffs;
+  std::vector<CorpusEntry> entries;  // committed form of `cliffs`
+  int sessions = 0;                  // budget actually spent
+  CoverageMap coverage;
+  /// The full deterministic report (strategy logs + coverage + cliff
+  /// summary) — what bench_chaos_search prints on stdout.
+  std::string report;
+};
+
+CampaignResult run_campaign(const CampaignConfig& config);
+
+}  // namespace poi360::search

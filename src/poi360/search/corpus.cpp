@@ -1,0 +1,234 @@
+#include "poi360/search/corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "poi360/search/evaluator.h"
+
+namespace poi360::search {
+
+namespace {
+
+using common::Json;
+
+/// Named metric lookup over a replay measurement. Paired entries get the
+/// synthetic "gap_freeze_ratio" on top of the primary outcome's fields.
+double metric_value(const std::string& name, const QoeOutcome& primary,
+                    const QoeOutcome& baseline, bool paired) {
+  if (name == "freeze_ratio") return primary.freeze_ratio;
+  if (name == "mean_roi_psnr") return primary.mean_roi_psnr;
+  if (name == "p95_delay_ms") return primary.p95_delay_ms;
+  if (name == "degraded_fraction") return primary.degraded_fraction;
+  if (name == "fallback_episodes") {
+    return static_cast<double>(primary.fallback_episodes);
+  }
+  if (name == "feedback_stale_episodes") {
+    return static_cast<double>(primary.feedback_stale_episodes);
+  }
+  if (name == "frames_abandoned") {
+    return static_cast<double>(primary.frames_abandoned);
+  }
+  if (name == "nack_give_ups") {
+    return static_cast<double>(primary.nack_give_ups);
+  }
+  if (name == "keyframe_requests") {
+    return static_cast<double>(primary.keyframe_requests);
+  }
+  if (paired && name == "gap_freeze_ratio") {
+    return std::abs(primary.freeze_ratio - baseline.freeze_ratio);
+  }
+  throw std::runtime_error("corpus: unknown envelope metric \"" + name +
+                           "\"");
+}
+
+EnvelopeBound band(const std::string& metric, double value, double rel,
+                   double abs_slack) {
+  const double slack = std::max(rel * std::abs(value), abs_slack);
+  return EnvelopeBound{metric, value - slack, value + slack};
+}
+
+core::RateControl rate_control_from_string(const std::string& s) {
+  if (s == "FBCC") return core::RateControl::kFbcc;
+  if (s == "GCC") return core::RateControl::kGcc;
+  throw std::runtime_error("corpus: unknown rate control \"" + s + "\"");
+}
+
+std::string fmt6(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+CorpusEntry make_entry(const Cliff& cliff) {
+  CorpusEntry entry;
+  entry.name = cliff.name;
+  entry.kind = cliff.kind;
+  entry.note = cliff.note;
+  entry.spec = cliff.spec;
+  entry.rate_control = cliff.rate_control;
+  entry.paired = cliff.paired;
+  entry.metrics = cliff.outcome;
+  entry.baseline = cliff.baseline;
+
+  // Replay is exactly deterministic today, so any envelope containing the
+  // point passes; the slack is headroom for *intentional* future drift
+  // (e.g. a controller retune) before the corpus demands re-blessing.
+  const QoeOutcome& o = cliff.outcome;
+  entry.envelope.push_back(band("freeze_ratio", o.freeze_ratio, 0.15, 0.02));
+  entry.envelope.push_back(
+      band("mean_roi_psnr", o.mean_roi_psnr, 0.05, 0.5));
+  entry.envelope.push_back(band("p95_delay_ms", o.p95_delay_ms, 0.20, 30.0));
+  if (o.feedback_stale_episodes > 0) {
+    entry.envelope.push_back(
+        band("feedback_stale_episodes",
+             static_cast<double>(o.feedback_stale_episodes), 0.5, 1.0));
+  }
+  if (o.frames_abandoned > 0) {
+    entry.envelope.push_back(band(
+        "frames_abandoned", static_cast<double>(o.frames_abandoned), 0.5,
+        2.0));
+  }
+  if (o.fallback_episodes > 0) {
+    entry.envelope.push_back(
+        band("fallback_episodes", static_cast<double>(o.fallback_episodes),
+             0.5, 1.0));
+  }
+  if (cliff.paired) {
+    const double gap =
+        std::abs(o.freeze_ratio - cliff.baseline.freeze_ratio);
+    entry.envelope.push_back(band("gap_freeze_ratio", gap, 0.30, 0.02));
+  }
+  return entry;
+}
+
+Json to_json(const CorpusEntry& entry) {
+  Json j = Json::object();
+  j.set("schema", entry.schema);
+  j.set("name", entry.name);
+  j.set("kind", entry.kind);
+  j.set("note", entry.note);
+  j.set("rate_control", core::to_string(entry.rate_control));
+  j.set("paired", entry.paired);
+  j.set("spec", entry.spec.to_json());
+  j.set("metrics", entry.metrics.to_json());
+  if (entry.paired) j.set("baseline", entry.baseline.to_json());
+  Json env = Json::array();
+  for (const EnvelopeBound& b : entry.envelope) {
+    Json bound = Json::object();
+    bound.set("metric", b.metric);
+    bound.set("lo", b.lo);
+    bound.set("hi", b.hi);
+    env.push_back(std::move(bound));
+  }
+  j.set("envelope", std::move(env));
+  return j;
+}
+
+CorpusEntry entry_from_json(const Json& j) {
+  CorpusEntry entry;
+  entry.schema = j.get_string("schema", "");
+  if (entry.schema != kCorpusSchema) {
+    throw std::runtime_error("corpus: unsupported schema \"" + entry.schema +
+                             "\"");
+  }
+  entry.name = j.at("name").as_string();
+  entry.kind = j.get_string("kind", "");
+  entry.note = j.get_string("note", "");
+  entry.rate_control =
+      rate_control_from_string(j.get_string("rate_control", "FBCC"));
+  entry.paired = j.get_bool("paired", false);
+  entry.spec = ChaosSpec::from_json(j.at("spec"));
+  entry.metrics = QoeOutcome::from_json(j.at("metrics"));
+  if (entry.paired) entry.baseline = QoeOutcome::from_json(j.at("baseline"));
+  const Json& env = j.at("envelope");
+  for (std::size_t i = 0; i < env.size(); ++i) {
+    const Json& b = env.at(i);
+    entry.envelope.push_back(EnvelopeBound{b.at("metric").as_string(),
+                                           b.at("lo").as_double(),
+                                           b.at("hi").as_double()});
+  }
+  return entry;
+}
+
+void write_corpus(const std::string& dir,
+                  const std::vector<CorpusEntry>& entries) {
+  std::filesystem::create_directories(dir);
+  for (const CorpusEntry& entry : entries) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (entry.name + ".json");
+    std::ofstream out(path);
+    if (!out) {
+      throw std::runtime_error("corpus: cannot write " + path.string());
+    }
+    out << to_json(entry).dump(2) << "\n";
+  }
+}
+
+std::vector<CorpusEntry> load_corpus(const std::string& dir) {
+  std::vector<std::filesystem::path> paths;
+  for (const auto& de : std::filesystem::directory_iterator(dir)) {
+    if (de.path().extension() == ".json") paths.push_back(de.path());
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<CorpusEntry> entries;
+  entries.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("corpus: cannot read " + path.string());
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    try {
+      entries.push_back(entry_from_json(Json::parse(buf.str())));
+    } catch (const std::exception& e) {
+      throw std::runtime_error("corpus: " + path.string() + ": " + e.what());
+    }
+  }
+  return entries;
+}
+
+ReplayResult replay_entry(const CorpusEntry& entry, int jobs) {
+  Evaluator evaluator(Evaluator::Options{jobs});
+  QoeOutcome primary;
+  QoeOutcome baseline;
+  if (entry.paired) {
+    Evaluator::Paired p = evaluator.evaluate_paired({entry.spec})[0];
+    // The entry's primary condition is whatever it was measured under.
+    primary = entry.rate_control == core::RateControl::kFbcc ? p.fbcc : p.gcc;
+    baseline = entry.rate_control == core::RateControl::kFbcc ? p.gcc : p.fbcc;
+  } else {
+    primary = evaluator.evaluate({entry.spec}, entry.rate_control)[0];
+  }
+
+  ReplayResult result;
+  result.name = entry.name;
+  result.ok = true;
+  for (const EnvelopeBound& b : entry.envelope) {
+    const double v = metric_value(b.metric, primary, baseline, entry.paired);
+    const bool in_band = v >= b.lo && v <= b.hi;
+    if (!in_band) result.ok = false;
+    result.detail += "  " + b.metric + " " + fmt6(v) + " in [" + fmt6(b.lo) +
+                     ", " + fmt6(b.hi) + "] " + (in_band ? "OK" : "FAIL") +
+                     "\n";
+  }
+  return result;
+}
+
+std::vector<ReplayResult> replay_corpus(const std::string& dir, int jobs) {
+  std::vector<ReplayResult> results;
+  for (const CorpusEntry& entry : load_corpus(dir)) {
+    results.push_back(replay_entry(entry, jobs));
+  }
+  return results;
+}
+
+}  // namespace poi360::search

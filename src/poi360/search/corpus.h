@@ -1,0 +1,71 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poi360/search/driver.h"
+
+// The cliff corpus: every worst case the search finds becomes a committed
+// JSON file (schema poi360.cliff.v1) holding the spec, the seed, the
+// condition, the metrics measured at discovery, and a tolerance envelope
+// around the metrics that matter. The replay harness re-runs each entry
+// deterministically and fails when any enveloped metric leaves its band —
+// turning found cliffs into permanent regression tests.
+
+namespace poi360::search {
+
+inline constexpr const char* kCorpusSchema = "poi360.cliff.v1";
+
+/// One [lo, hi] band around a discovery-time metric value.
+struct EnvelopeBound {
+  std::string metric;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+struct CorpusEntry {
+  std::string schema = kCorpusSchema;
+  std::string name;
+  std::string kind;
+  std::string note;
+  ChaosSpec spec;
+  core::RateControl rate_control = core::RateControl::kFbcc;
+  bool paired = false;
+  QoeOutcome metrics;   // under rate_control at discovery
+  QoeOutcome baseline;  // under the other controller (paired entries)
+  std::vector<EnvelopeBound> envelope;
+};
+
+/// Builds the committed form of a cliff, deriving the envelope from the
+/// discovery-time outcome (relative + absolute slack per metric; paired
+/// entries additionally envelope the controller gap).
+CorpusEntry make_entry(const Cliff& cliff);
+
+common::Json to_json(const CorpusEntry& entry);
+CorpusEntry entry_from_json(const common::Json& j);
+
+/// Writes `<dir>/<name>.json` for each entry (pretty-printed, trailing
+/// newline, deterministic bytes). Creates the directory if missing.
+void write_corpus(const std::string& dir,
+                  const std::vector<CorpusEntry>& entries);
+
+/// Loads every *.json under `dir`, sorted by filename. Throws on parse or
+/// schema errors.
+std::vector<CorpusEntry> load_corpus(const std::string& dir);
+
+/// Outcome of replaying one entry.
+struct ReplayResult {
+  std::string name;
+  bool ok = false;
+  /// Deterministic per-metric report: "metric value [lo, hi] OK|FAIL" lines.
+  std::string detail;
+};
+
+/// Re-runs the entry's spec (both controllers for paired entries) and
+/// checks every enveloped metric.
+ReplayResult replay_entry(const CorpusEntry& entry, int jobs = 0);
+
+/// Replays a whole corpus directory, in filename order.
+std::vector<ReplayResult> replay_corpus(const std::string& dir, int jobs = 0);
+
+}  // namespace poi360::search

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "poi360/search/chaos_spec.h"
+#include "poi360/search/evaluator.h"
+#include "poi360/search/outcome.h"
+
+// The common strategy interface. Each strategy spends a session budget
+// through the shared Evaluator and returns the cliffs it found; the
+// campaign (campaign.h) owns budget split, coverage accounting across
+// strategies, and corpus emission.
+//
+// Determinism contract: a strategy must derive all randomness from its
+// seed, make decisions only from grid-ordered Evaluator results, and never
+// consult the clock — the whole campaign output is then byte-identical for
+// any --jobs value.
+
+namespace poi360::search {
+
+/// One discovered QoE cliff: a spec, the condition it was measured under,
+/// and the outcome(s) at discovery time. `paired` entries carry the GCC
+/// baseline measured with the same seed (annealed FBCC-vs-GCC gaps).
+struct Cliff {
+  std::string name;  // corpus file stem, unique within a campaign
+  std::string kind;  // "bisection" | "mutation" | "annealing"
+  std::string note;  // one-line human description
+  ChaosSpec spec;
+  core::RateControl rate_control = core::RateControl::kFbcc;
+  QoeOutcome outcome;        // under rate_control
+  bool paired = false;
+  QoeOutcome baseline;       // under the other controller, when paired
+};
+
+class SearchDriver {
+ public:
+  virtual ~SearchDriver() = default;
+  virtual std::string name() const = 0;
+
+  /// Spends at most `budget` sessions through `evaluator`; returns the
+  /// cliffs found (possibly none) and appends a deterministic trace of what
+  /// it did to `log` (one line per probe/round — this becomes part of the
+  /// campaign's stdout, so no wall clock, no pointers, no float formatting
+  /// surprises).
+  virtual std::vector<Cliff> run(Evaluator& evaluator, int budget,
+                                 std::string& log) = 0;
+};
+
+}  // namespace poi360::search

@@ -1,0 +1,74 @@
+#include "poi360/search/evaluator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace poi360::search {
+
+namespace {
+
+runner::RunSpec make_run(int run_id, const ChaosSpec& spec,
+                         core::RateControl rate_control) {
+  runner::RunSpec run;
+  run.run_id = run_id;
+  run.experiment = "chaos_search";
+  run.params = {{"rc", core::to_string(rate_control)}};
+  run.seed = spec.seed;
+  run.config = spec.session(rate_control);
+  return run;
+}
+
+}  // namespace
+
+std::vector<QoeOutcome> Evaluator::run_batch(
+    std::vector<runner::RunSpec> runs) {
+  runner::BatchRunner::Options options;
+  options.jobs = options_.jobs;
+  const runner::BatchResult batch =
+      runner::BatchRunner(options).run(std::move(runs), "chaos_search");
+
+  std::vector<QoeOutcome> outcomes;
+  outcomes.reserve(batch.runs.size());
+  for (const runner::RunResult& r : batch.runs) {
+    if (!r.ok) {
+      throw std::runtime_error("chaos search run " + r.spec.label() +
+                               " failed: " + r.error);
+    }
+    outcomes.push_back(extract_outcome(r.metrics));
+  }
+  sessions_run_ += static_cast<int>(batch.runs.size());
+  return outcomes;
+}
+
+std::vector<QoeOutcome> Evaluator::evaluate(
+    const std::vector<ChaosSpec>& specs, core::RateControl rate_control) {
+  std::vector<runner::RunSpec> runs;
+  runs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    runs.push_back(
+        make_run(static_cast<int>(i), specs[i], rate_control));
+  }
+  return run_batch(std::move(runs));
+}
+
+std::vector<Evaluator::Paired> Evaluator::evaluate_paired(
+    const std::vector<ChaosSpec>& specs) {
+  std::vector<runner::RunSpec> runs;
+  runs.reserve(specs.size() * 2);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    runs.push_back(make_run(static_cast<int>(2 * i), specs[i],
+                            core::RateControl::kFbcc));
+    runs.push_back(make_run(static_cast<int>(2 * i + 1), specs[i],
+                            core::RateControl::kGcc));
+  }
+  const std::vector<QoeOutcome> flat = run_batch(std::move(runs));
+
+  std::vector<Paired> paired;
+  paired.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    paired.push_back(Paired{flat[2 * i], flat[2 * i + 1]});
+  }
+  return paired;
+}
+
+}  // namespace poi360::search

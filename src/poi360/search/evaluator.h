@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "poi360/runner/batch_runner.h"
+#include "poi360/search/chaos_spec.h"
+#include "poi360/search/outcome.h"
+
+// The strategies' only window onto the simulator: hand a batch of specs in,
+// get grid-ordered outcomes back. Batches run through BatchRunner, whose
+// results are always in submission order regardless of worker count — so a
+// strategy that makes every decision *after* its batch returns is
+// automatically byte-identical across --jobs values. Strategies should
+// batch as wide as their logic allows (a bisection probes one point at a
+// time; mutation rounds evaluate a whole generation at once).
+
+namespace poi360::search {
+
+class Evaluator {
+ public:
+  struct Options {
+    int jobs = 0;  // BatchRunner worker count; 0 = auto
+  };
+
+  Evaluator() = default;
+  explicit Evaluator(Options options) : options_(options) {}
+
+  /// Runs each spec as one session under the given rate control; outcomes
+  /// come back in spec order. Throws std::runtime_error when a session
+  /// fails (a search must not silently treat a crash as a QoE point —
+  /// crashes are *better* than cliffs and deserve a loud exit).
+  std::vector<QoeOutcome> evaluate(const std::vector<ChaosSpec>& specs,
+                                   core::RateControl rate_control);
+
+  /// Paired FBCC/GCC evaluation of each spec — same seed, same fault
+  /// schedule, only the controller differs (the paper's paired-comparison
+  /// protocol). Outcomes in spec order.
+  struct Paired {
+    QoeOutcome fbcc;
+    QoeOutcome gcc;
+  };
+  std::vector<Paired> evaluate_paired(const std::vector<ChaosSpec>& specs);
+
+  /// Sessions executed so far — the campaign budget currency.
+  int sessions_run() const { return sessions_run_; }
+
+ private:
+  std::vector<QoeOutcome> run_batch(std::vector<runner::RunSpec> runs);
+
+  Options options_{};
+  int sessions_run_ = 0;
+};
+
+}  // namespace poi360::search

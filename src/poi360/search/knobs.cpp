@@ -1,0 +1,140 @@
+#include "poi360/search/knobs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace poi360::search {
+
+namespace {
+
+double ms_of(SimDuration d) { return to_millis(d); }
+SimDuration dur_of(double ms) { return sec_f(ms / 1000.0); }
+
+const Knob kKnobs[] = {
+    // -- media path (ChaosLink on the core/wireline segment) ---------------
+    {"media.ge_p_good_bad", 0.0, 0.03,
+     [](const ChaosSpec& s) { return s.media.ge_p_good_bad; },
+     [](ChaosSpec& s, double v) { s.media.ge_p_good_bad = v; }},
+    {"media.ge_p_bad_good", 1.0 / 64.0, 1.0,
+     [](const ChaosSpec& s) { return s.media.ge_p_bad_good; },
+     [](ChaosSpec& s, double v) { s.media.ge_p_bad_good = v; }},
+    {"media.ge_loss_bad", 0.3, 1.0,
+     [](const ChaosSpec& s) { return s.media.ge_loss_bad; },
+     [](ChaosSpec& s, double v) { s.media.ge_loss_bad = v; }},
+    {"media.reorder_prob", 0.0, 0.05,
+     [](const ChaosSpec& s) { return s.media.reorder_prob; },
+     [](ChaosSpec& s, double v) { s.media.reorder_prob = v; }},
+    {"media.blackout_per_min", 0.0, 8.0,
+     [](const ChaosSpec& s) { return s.media.blackout_per_min; },
+     [](ChaosSpec& s, double v) { s.media.blackout_per_min = v; }},
+    {"media.blackout_mean_ms", 100.0, 1500.0,
+     [](const ChaosSpec& s) { return ms_of(s.media.blackout_mean_duration); },
+     [](ChaosSpec& s, double v) { s.media.blackout_mean_duration = dur_of(v); }},
+
+    // -- feedback path (starves the sender; exercises the watchdog) --------
+    {"feedback.blackout_per_min", 0.0, 8.0,
+     [](const ChaosSpec& s) { return s.feedback.blackout_per_min; },
+     [](ChaosSpec& s, double v) { s.feedback.blackout_per_min = v; }},
+    {"feedback.blackout_min_ms", 50.0, 1500.0,
+     [](const ChaosSpec& s) { return ms_of(s.feedback.blackout_min_duration); },
+     [](ChaosSpec& s, double v) {
+       s.feedback.blackout_min_duration = dur_of(v);
+     }},
+    {"feedback.ge_loss_good", 0.0, 0.3,
+     [](const ChaosSpec& s) { return s.feedback.ge_loss_good; },
+     [](ChaosSpec& s, double v) { s.feedback.ge_loss_good = v; }},
+
+    // -- diag feed (FBCC's sensor) -----------------------------------------
+    {"diag.loss_prob", 0.0, 0.6,
+     [](const ChaosSpec& s) { return s.diag.loss_prob; },
+     [](ChaosSpec& s, double v) { s.diag.loss_prob = v; }},
+    {"diag.stall_per_min", 0.0, 10.0,
+     [](const ChaosSpec& s) { return s.diag.stall_per_min; },
+     [](ChaosSpec& s, double v) { s.diag.stall_per_min = v; }},
+    {"diag.stall_mean_ms", 100.0, 2000.0,
+     [](const ChaosSpec& s) { return ms_of(s.diag.stall_mean_duration); },
+     [](ChaosSpec& s, double v) { s.diag.stall_mean_duration = dur_of(v); }},
+    {"diag.garbage_prob", 0.0, 0.25,
+     [](const ChaosSpec& s) { return s.diag.garbage_prob; },
+     [](ChaosSpec& s, double v) { s.diag.garbage_prob = v; }},
+    {"diag.handover_per_min", 0.0, 4.0,
+     [](const ChaosSpec& s) { return s.diag.handover_per_min; },
+     [](ChaosSpec& s, double v) { s.diag.handover_per_min = v; }},
+
+    // -- cross traffic / channel -------------------------------------------
+    {"traffic.rss_dbm", -115.0, -60.0,
+     [](const ChaosSpec& s) { return s.traffic.rss_dbm; },
+     [](ChaosSpec& s, double v) { s.traffic.rss_dbm = v; }},
+    {"traffic.mean_cell_load", 0.0, 0.8,
+     [](const ChaosSpec& s) { return s.traffic.mean_cell_load; },
+     [](ChaosSpec& s, double v) { s.traffic.mean_cell_load = v; }},
+    {"traffic.speed_mph", 0.0, 50.0,
+     [](const ChaosSpec& s) { return s.traffic.speed_mph; },
+     [](ChaosSpec& s, double v) { s.traffic.speed_mph = v; }},
+
+    // -- viewer motion ------------------------------------------------------
+    {"motion.mean_fixation_s", 0.3, 2.0,
+     [](const ChaosSpec& s) { return s.motion.mean_fixation_s; },
+     [](ChaosSpec& s, double v) { s.motion.mean_fixation_s = v; }},
+    {"motion.large_shift_prob", 0.0, 0.4,
+     [](const ChaosSpec& s) { return s.motion.large_shift_prob; },
+     [](ChaosSpec& s, double v) { s.motion.large_shift_prob = v; }},
+};
+
+}  // namespace
+
+std::span<const Knob> knob_table() { return kKnobs; }
+
+void normalize_spec(ChaosSpec& spec) {
+  spec.diag.enabled = spec.diag.loss_prob > 0.0 ||
+                      spec.diag.stall_per_min > 0.0 ||
+                      spec.diag.delivery_jitter > 0 ||
+                      spec.diag.duplicate_prob > 0.0 ||
+                      spec.diag.garbage_prob > 0.0 ||
+                      spec.diag.handover_per_min > 0.0;
+  // The Gilbert–Elliott chain needs a recovery probability once fades can
+  // start; keep it inside the table's range.
+  if (spec.media.ge_p_good_bad > 0.0 && spec.media.ge_p_bad_good <= 0.0) {
+    spec.media.ge_p_bad_good = 1.0;
+  }
+  // A fade with no in-fade loss is a no-op; give enabled chains a floor.
+  if (spec.media.ge_p_good_bad > 0.0 && spec.media.ge_loss_bad < 0.3) {
+    spec.media.ge_loss_bad = 0.3;
+  }
+}
+
+ChaosSpec random_spec(Rng& rng) {
+  ChaosSpec spec;
+  for (const Knob& k : kKnobs) {
+    // One draw per knob, always, so the stream stays aligned regardless of
+    // which knobs end up perturbed.
+    const bool touch = rng.bernoulli(1.0 / 3.0);
+    const double v = rng.uniform(k.lo, k.hi);
+    if (touch) k.set(spec, v);
+  }
+  normalize_spec(spec);
+  return spec;
+}
+
+ChaosSpec mutate_spec(const ChaosSpec& parent, Rng& rng) {
+  ChaosSpec spec = parent;
+  const std::int64_t edits = rng.uniform_int(1, 2);
+  for (std::int64_t e = 0; e < edits; ++e) {
+    const Knob& k =
+        kKnobs[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(std::size(kKnobs)) - 1))];
+    double v;
+    if (rng.bernoulli(0.5)) {
+      v = rng.uniform(k.lo, k.hi);
+    } else {
+      const double cur = k.get(spec);
+      const double base = cur != 0.0 ? cur : 0.1 * (k.hi - k.lo) + k.lo;
+      v = std::clamp(base * std::exp(rng.normal(0.0, 0.5)), k.lo, k.hi);
+    }
+    k.set(spec, v);
+  }
+  normalize_spec(spec);
+  return spec;
+}
+
+}  // namespace poi360::search

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <span>
+
+#include "poi360/common/rng.h"
+#include "poi360/search/chaos_spec.h"
+
+// The searchable knob table: every continuous dimension of the chaos space
+// with its legal range, as get/set accessors over ChaosSpec. The mutation
+// and annealing strategies share this table, so "the space the search
+// explores" is defined exactly once. Durations are exposed in milliseconds
+// (doubles) and snapped back to SimDuration on set.
+
+namespace poi360::search {
+
+struct Knob {
+  const char* name;
+  double lo;
+  double hi;
+  double (*get)(const ChaosSpec&);
+  void (*set)(ChaosSpec&, double);
+};
+
+/// All searchable knobs, in a fixed order (the order is part of the
+/// determinism contract: strategies index into this table with seeded
+/// draws).
+std::span<const Knob> knob_table();
+
+/// A fresh random point: each knob is perturbed away from the benign
+/// default with probability ~1/3, uniformly within its range, so typical
+/// samples stress a few subsystems at once instead of all of them.
+ChaosSpec random_spec(Rng& rng);
+
+/// Mutates 1–2 knobs of `parent`: either resampled uniformly or scaled by
+/// a lognormal factor (clamped to range).
+ChaosSpec mutate_spec(const ChaosSpec& parent, Rng& rng);
+
+/// Post-sampling invariants: diag.enabled tracks whether any diag fault is
+/// active, and blackout mean durations stay >= their floors.
+void normalize_spec(ChaosSpec& spec);
+
+}  // namespace poi360::search

@@ -1,0 +1,87 @@
+#include "poi360/search/mutation.h"
+
+#include <cstdio>
+
+#include "poi360/runner/experiment_spec.h"
+
+namespace poi360::search {
+
+bool bucket_is_cliff(const QoeOutcome& o) {
+  return o.freeze_ratio > 0.05 || o.fallback_episodes > 0 ||
+         o.feedback_stale_episodes > 0 || o.frames_abandoned > 0 ||
+         o.nack_give_ups > 0;
+}
+
+std::vector<Cliff> MutationSearch::run(Evaluator& evaluator, int budget,
+                                       std::string& log) {
+  // All strategy randomness hangs off the documented seed contract: the
+  // strategy stream is repeat 1 of the campaign seed, and generation g's
+  // session seeds are repeats 100+g — decorrelated from each other and
+  // from the bisection probes, yet fully determined by --seed.
+  Rng rng(runner::derive_seed(options_.seed, 1));
+
+  std::vector<ChaosSpec> parents;
+  std::size_t next_parent = 0;
+  std::vector<Cliff> cliffs;
+  int spent = 0;
+  int generation = 0;
+
+  while (spent + options_.generation <= budget) {
+    const std::uint64_t session_seed =
+        runner::derive_seed(options_.seed, 100 + generation);
+    std::vector<ChaosSpec> batch;
+    batch.reserve(static_cast<std::size_t>(options_.generation));
+    for (int i = 0; i < options_.generation; ++i) {
+      // Alternate frontier mutations with fresh random points so the
+      // search keeps both exploiting found behaviours and probing cold
+      // regions; with an empty frontier everything is a fresh point.
+      ChaosSpec spec;
+      if (!parents.empty() && i % 2 == 0) {
+        spec = mutate_spec(parents[next_parent % parents.size()], rng);
+        ++next_parent;
+      } else {
+        spec = random_spec(rng);
+      }
+      spec.seed = session_seed;
+      spec.duration_s = options_.duration_s;
+      batch.push_back(std::move(spec));
+    }
+
+    const std::vector<QoeOutcome> outcomes =
+        evaluator.evaluate(batch, options_.rate_control);
+    spent += options_.generation;
+
+    int fresh = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const std::string bucket = coverage_bucket(outcomes[i]);
+      if (!coverage_->insert(bucket)) continue;
+      ++fresh;
+      parents.push_back(batch[i]);
+      if (bucket_is_cliff(outcomes[i])) {
+        Cliff cliff;
+        cliff.name = "mutation_" + bucket;
+        cliff.kind = "mutation";
+        cliff.spec = batch[i];
+        cliff.rate_control = options_.rate_control;
+        cliff.outcome = outcomes[i];
+        char note[160];
+        std::snprintf(note, sizeof note,
+                      "new bucket %s (freeze %.4f, abandoned %lld, "
+                      "stale_episodes %lld)",
+                      bucket.c_str(), outcomes[i].freeze_ratio,
+                      static_cast<long long>(outcomes[i].frames_abandoned),
+                      static_cast<long long>(
+                          outcomes[i].feedback_stale_episodes));
+        cliff.note = note;
+        cliffs.push_back(std::move(cliff));
+      }
+    }
+    log += "mutation: gen " + std::to_string(generation) + " -> " +
+           std::to_string(fresh) + " new buckets (total " +
+           std::to_string(coverage_->size()) + ")\n";
+    ++generation;
+  }
+  return cliffs;
+}
+
+}  // namespace poi360::search

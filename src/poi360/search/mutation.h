@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+#include "poi360/search/driver.h"
+#include "poi360/search/knobs.h"
+
+// Coverage-guided random/mutation search: evaluate a generation of specs,
+// discretize each outcome into a coverage bucket (outcome.h), and keep the
+// specs that reached *new* buckets as parents for the next generation —
+// novelty search over behaviours, not optimization over one metric. Specs
+// whose new bucket indicates real misbehaviour (freeze band >= 2, a
+// watchdog firing, a recovery path engaging) are emitted as cliffs.
+
+namespace poi360::search {
+
+class MutationSearch : public SearchDriver {
+ public:
+  struct Options {
+    std::uint64_t seed = 1000;
+    double duration_s = 20.0;
+    int generation = 8;  // specs evaluated per round
+    core::RateControl rate_control = core::RateControl::kFbcc;
+  };
+
+  /// `coverage` is campaign-owned so buckets found by other strategies
+  /// count as already-covered here.
+  MutationSearch(Options options, CoverageMap* coverage)
+      : options_(options), coverage_(coverage) {}
+
+  std::string name() const override { return "mutation"; }
+
+  std::vector<Cliff> run(Evaluator& evaluator, int budget,
+                         std::string& log) override;
+
+ private:
+  Options options_;
+  CoverageMap* coverage_;
+};
+
+/// A bucket worth committing to the corpus: qualitative misbehaviour, not
+/// just a clean run landing in a new (benign) cell.
+bool bucket_is_cliff(const QoeOutcome& outcome);
+
+}  // namespace poi360::search

@@ -1,0 +1,97 @@
+#include "poi360/search/outcome.h"
+
+namespace poi360::search {
+
+using common::Json;
+
+Json QoeOutcome::to_json() const {
+  Json j = Json::object();
+  j.set("freeze_ratio", freeze_ratio);
+  j.set("mean_roi_psnr", mean_roi_psnr);
+  j.set("p95_delay_ms", p95_delay_ms);
+  j.set("degraded_fraction", degraded_fraction);
+  j.set("fallback_episodes", fallback_episodes);
+  j.set("feedback_stale_episodes", feedback_stale_episodes);
+  j.set("frames_abandoned", frames_abandoned);
+  j.set("assembly_evictions", assembly_evictions);
+  j.set("nack_give_ups", nack_give_ups);
+  j.set("keyframe_requests", keyframe_requests);
+  j.set("sender_frames_dropped", sender_frames_dropped);
+  j.set("skipped_frames", skipped_frames);
+  j.set("displayed_frames", displayed_frames);
+  return j;
+}
+
+QoeOutcome QoeOutcome::from_json(const Json& j) {
+  QoeOutcome o;
+  o.freeze_ratio = j.get_double("freeze_ratio", o.freeze_ratio);
+  o.mean_roi_psnr = j.get_double("mean_roi_psnr", o.mean_roi_psnr);
+  o.p95_delay_ms = j.get_double("p95_delay_ms", o.p95_delay_ms);
+  o.degraded_fraction = j.get_double("degraded_fraction", o.degraded_fraction);
+  o.fallback_episodes = j.get_i64("fallback_episodes", o.fallback_episodes);
+  o.feedback_stale_episodes =
+      j.get_i64("feedback_stale_episodes", o.feedback_stale_episodes);
+  o.frames_abandoned = j.get_i64("frames_abandoned", o.frames_abandoned);
+  o.assembly_evictions = j.get_i64("assembly_evictions", o.assembly_evictions);
+  o.nack_give_ups = j.get_i64("nack_give_ups", o.nack_give_ups);
+  o.keyframe_requests = j.get_i64("keyframe_requests", o.keyframe_requests);
+  o.sender_frames_dropped =
+      j.get_i64("sender_frames_dropped", o.sender_frames_dropped);
+  o.skipped_frames = j.get_i64("skipped_frames", o.skipped_frames);
+  o.displayed_frames = j.get_i64("displayed_frames", o.displayed_frames);
+  return o;
+}
+
+QoeOutcome extract_outcome(const metrics::SessionMetrics& m) {
+  QoeOutcome o;
+  o.freeze_ratio = m.freeze_ratio();
+  o.mean_roi_psnr = m.mean_roi_psnr();
+  const SampleSet delays = m.frame_delays_ms();
+  o.p95_delay_ms = delays.count() > 0 ? delays.percentile(0.95) : 0.0;
+  o.degraded_fraction = m.degraded_sample_fraction();
+
+  const metrics::DiagRobustness diag = m.diag_robustness();
+  o.fallback_episodes = diag.fallback_episodes;
+
+  const metrics::TransportRobustness t = m.transport_robustness();
+  o.feedback_stale_episodes = t.feedback_stale_episodes;
+  o.frames_abandoned = t.frames_abandoned;
+  o.assembly_evictions = t.assembly_evictions;
+  o.nack_give_ups = t.nack_give_ups;
+  o.keyframe_requests = t.keyframe_requests;
+  o.sender_frames_dropped = t.sender_frames_dropped;
+  o.skipped_frames = m.skipped_frames();
+  o.displayed_frames = m.displayed_frames();
+  return o;
+}
+
+namespace {
+
+int freeze_band(double freeze_ratio) {
+  if (freeze_ratio <= 0.0) return 0;
+  if (freeze_ratio <= 0.05) return 1;
+  if (freeze_ratio <= 0.20) return 2;
+  if (freeze_ratio <= 0.50) return 3;
+  return 4;
+}
+
+int episode_band(std::int64_t episodes) {
+  if (episodes <= 0) return 0;
+  return episodes == 1 ? 1 : 2;
+}
+
+}  // namespace
+
+std::string coverage_bucket(const QoeOutcome& o) {
+  std::string b;
+  b += "fz" + std::to_string(freeze_band(o.freeze_ratio));
+  b += ".dg" + std::to_string(episode_band(o.fallback_episodes));
+  b += ".fb" + std::to_string(episode_band(o.feedback_stale_episodes));
+  b += ".ab" + std::to_string(o.frames_abandoned > 0 ? 1 : 0);
+  b += ".gu" + std::to_string(o.nack_give_ups > 0 ? 1 : 0);
+  b += ".pli" + std::to_string(o.keyframe_requests > 0 ? 1 : 0);
+  b += ".sk" + std::to_string(o.skipped_frames > 0 ? 1 : 0);
+  return b;
+}
+
+}  // namespace poi360::search

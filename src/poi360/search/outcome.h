@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "poi360/common/json.h"
+#include "poi360/metrics/session_metrics.h"
+
+// What the search *sees* of a run: a compact QoE/robustness outcome
+// extracted from SessionMetrics, plus the discretized coverage bucket the
+// mutation strategy tracks. Buckets name which qualitative behaviours a run
+// reached (degraded-mode states, recovery paths, watchdog firings), so
+// "coverage" counts distinct behaviours triggered, not parameter points
+// visited.
+
+namespace poi360::search {
+
+/// Perceptual + robustness summary of one session run.
+struct QoeOutcome {
+  // -- perceptual QoE (the axes the paper reports) -------------------------
+  double freeze_ratio = 0.0;
+  double mean_roi_psnr = 0.0;
+  double p95_delay_ms = 0.0;
+  double degraded_fraction = 0.0;  // rate samples in FBCC fallback
+
+  // -- robustness counters (which machinery had to engage) -----------------
+  std::int64_t fallback_episodes = 0;        // diag watchdog firings
+  std::int64_t feedback_stale_episodes = 0;  // feedback watchdog firings
+  std::int64_t frames_abandoned = 0;
+  std::int64_t assembly_evictions = 0;
+  std::int64_t nack_give_ups = 0;
+  std::int64_t keyframe_requests = 0;
+  std::int64_t sender_frames_dropped = 0;
+  std::int64_t skipped_frames = 0;
+  std::int64_t displayed_frames = 0;
+
+  common::Json to_json() const;
+  static QoeOutcome from_json(const common::Json& j);
+};
+
+QoeOutcome extract_outcome(const metrics::SessionMetrics& metrics);
+
+/// Discretized outcome bucket, e.g. "fz2.dg1.fb0.ab1.gu0.pli1.sk0".
+/// Fields, in order: freeze-ratio band (fz0..fz4), diag fallback fired
+/// (dg0/dg1/dg2 = none/once/repeatedly), feedback watchdog fired (fb...),
+/// frames abandoned (ab0/ab1), NACK give-ups (gu0/gu1), PLI issued
+/// (pli0/pli1), sender skipped frames under backlog (sk0/sk1).
+std::string coverage_bucket(const QoeOutcome& outcome);
+
+/// Set of distinct buckets reached by a campaign. insert() returns true
+/// when the bucket is new — the mutation search's novelty signal.
+class CoverageMap {
+ public:
+  bool insert(const std::string& bucket) {
+    return buckets_.insert(bucket).second;
+  }
+  bool contains(const std::string& bucket) const {
+    return buckets_.count(bucket) != 0;
+  }
+  std::size_t size() const { return buckets_.size(); }
+  const std::set<std::string>& buckets() const { return buckets_; }
+
+ private:
+  std::set<std::string> buckets_;
+};
+
+}  // namespace poi360::search

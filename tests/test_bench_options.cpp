@@ -1,0 +1,156 @@
+// FlagParser contract tests: the bench mains' shared CLI loop must bind
+// values in argv order, stop at the first unknown flag / missing value /
+// rejected value (try_parse, the testable seam), and keep the historical
+// behaviour of parse(): print usage to stderr and exit 2 on any error,
+// byte-identical to the hand-rolled loops it replaced.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "util/options.h"
+
+namespace poi360::bench {
+namespace {
+
+// Owns mutable argv storage for a fabricated command line.
+class Argv {
+ public:
+  explicit Argv(std::initializer_list<const char*> args)
+      : strings_(args.begin(), args.end()) {
+    for (std::string& s : strings_) ptrs_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(ptrs_.size()); }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> strings_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(BenchOptions, TryParseBindsEveryFlagKind) {
+  int jobs = 0;
+  std::int64_t count = 0;
+  std::uint64_t seed = 0;
+  double threshold = 0.0;
+  std::string out;
+  SimDuration duration = 0;
+  bool fast = false;
+
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs)
+      .on_i64("--count", "N", &count)
+      .on_u64("--seed", "S", &seed)
+      .on_double("--threshold", "X", &threshold)
+      .on_string("--out", "PATH", &out)
+      .on_seconds("--duration-s", "N", &duration)
+      .on_flag("--fast", &fast);
+
+  Argv args({"prog", "--jobs", "4", "--count", "9000000000", "--seed",
+             "1000", "--threshold", "0.25", "--out", "a.json",
+             "--duration-s", "30", "--fast"});
+  EXPECT_FALSE(parser.try_parse(args.argc(), args.argv()).has_value());
+  EXPECT_EQ(jobs, 4);
+  EXPECT_EQ(count, 9000000000);
+  EXPECT_EQ(seed, 1000u);
+  EXPECT_DOUBLE_EQ(threshold, 0.25);
+  EXPECT_EQ(out, "a.json");
+  EXPECT_EQ(duration, sec(30));
+  EXPECT_TRUE(fast);
+}
+
+TEST(BenchOptions, TryParseReportsUnknownFlag) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs);
+  Argv args({"prog", "--bogus", "--jobs", "4"});
+  const auto err = parser.try_parse(args.argc(), args.argv());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, FlagParser::ParseError::Kind::kUnknownFlag);
+  EXPECT_EQ(err->flag, "--bogus");
+  // Parsing stops at the error: nothing after it is applied.
+  EXPECT_EQ(jobs, 0);
+}
+
+TEST(BenchOptions, TryParseReportsMissingValue) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs);
+  Argv args({"prog", "--jobs"});
+  const auto err = parser.try_parse(args.argc(), args.argv());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, FlagParser::ParseError::Kind::kMissingValue);
+  EXPECT_EQ(err->flag, "--jobs");
+}
+
+TEST(BenchOptions, TryParseReportsRejectedValue) {
+  FlagParser parser;
+  parser.on_value("--mode", "M", [](const char* v) {
+    return std::string(v) == "soak";
+  });
+  Argv args({"prog", "--mode", "warp"});
+  const auto err = parser.try_parse(args.argc(), args.argv());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->kind, FlagParser::ParseError::Kind::kRejectedValue);
+  EXPECT_EQ(err->flag, "--mode");
+}
+
+TEST(BenchOptions, TryParseAppliesBindingsUpToTheFirstError) {
+  int jobs = 0;
+  std::string out;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs).on_string("--out", "PATH", &out);
+  Argv args({"prog", "--jobs", "8", "--oops", "--out", "late.json"});
+  const auto err = parser.try_parse(args.argc(), args.argv());
+  ASSERT_TRUE(err.has_value());
+  EXPECT_EQ(err->flag, "--oops");
+  EXPECT_EQ(jobs, 8);   // bound before the error
+  EXPECT_EQ(out, "");   // never reached
+}
+
+TEST(BenchOptions, UsageIsGeneratedFromRegistrationOrder) {
+  int jobs = 0;
+  bool fast = false;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs).on_flag("--fast", &fast);
+  EXPECT_EQ(parser.usage("prog"), "usage: prog [--jobs N] [--fast]\n");
+}
+
+TEST(BenchOptions, UsageOverrideSubstitutesArgv0) {
+  FlagParser parser;
+  parser.usage_override("usage: %s --only-this\n");
+  EXPECT_EQ(parser.usage("bench_x"), "usage: bench_x --only-this\n");
+}
+
+TEST(BenchOptionsDeathTest, ParseExitsTwoAndPrintsUsageOnUnknownFlag) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs);
+  Argv args({"prog", "--bogus"});
+  EXPECT_EXIT(parser.parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "usage: prog \\[--jobs N\\]");
+}
+
+TEST(BenchOptionsDeathTest, ParseExitsTwoOnMissingValue) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs);
+  Argv args({"prog", "--jobs"});
+  EXPECT_EXIT(parser.parse(args.argc(), args.argv()),
+              ::testing::ExitedWithCode(2), "usage:");
+}
+
+TEST(BenchOptions, ParseAcceptsAValidCommandLine) {
+  int jobs = 0;
+  FlagParser parser;
+  parser.on_int("--jobs", "N", &jobs);
+  Argv args({"prog", "--jobs", "3"});
+  parser.parse(args.argc(), args.argv());
+  EXPECT_EQ(jobs, 3);
+}
+
+}  // namespace
+}  // namespace poi360::bench

@@ -107,6 +107,50 @@ TEST(ChaosTransport, AbandonedFramesArePurgedFromTheSender) {
   EXPECT_LE(t.sender_frames_dropped, t.keyframe_requests);
 }
 
+TEST(ChaosTransport, BlackoutOverNackBackoffReconcilesPliAccounting) {
+  // Media-path blackouts (>= 800 ms) overlap the whole NACK retry budget:
+  // with backoff the 4 retries span roughly 100+200+400+800 ms, so a frame
+  // caught at an outage's onset burns its budget into the void and then
+  // crosses the 600 ms deadline. The receiver must abandon it, fire PLI
+  // exactly once per abandoned frame, and the session metrics must carry
+  // the receiver's counters verbatim.
+  SessionConfig config = presets::cellular_static();
+  config.duration = sec(20);
+  config.seed = 17;
+  config.media_chaos = burst_loss_profile();
+  config.receiver = bounded_receiver();
+  // Lift the assembly cap out of the way: with no cap-driven evictions the
+  // PLI identity collapses to keyframe_requests == frames_abandoned.
+  config.receiver.max_assemblies = 4096;
+  config.receiver.max_outstanding_nacks = 4096;
+
+  Session session(config);
+  session.run();
+  const auto& m = session.metrics();
+  expect_sane(m, config.duration);
+  const auto& rec = session.observers().receiver->recovery_stats();
+  const auto& t = m.transport_robustness();
+
+  // Retries burned out mid-outage and deadlines expired.
+  EXPECT_GT(rec.nack_give_ups, 0);
+  ASSERT_GT(rec.frames_abandoned, 0);
+  EXPECT_EQ(rec.assembly_evictions, 0);
+
+  // PLI fires exactly once per abandoned frame — no double counting when a
+  // frame both exhausts its NACK budget and expires.
+  EXPECT_EQ(rec.keyframe_requests,
+            rec.frames_abandoned + rec.assembly_evictions);
+
+  // The reported robustness block is the receiver's ledger, field by field.
+  EXPECT_EQ(t.frames_abandoned, rec.frames_abandoned);
+  EXPECT_EQ(t.assembly_evictions, rec.assembly_evictions);
+  EXPECT_EQ(t.nack_give_ups, rec.nack_give_ups);
+  EXPECT_EQ(t.nack_evictions, rec.nack_evictions);
+  EXPECT_EQ(t.invalid_packets, rec.invalid_packets);
+  EXPECT_EQ(t.stale_packets, rec.stale_packets);
+  EXPECT_EQ(t.keyframe_requests, rec.keyframe_requests);
+}
+
 TEST(ChaosTransport, FeedbackBlackoutTriggersGuardAndSessionRecovers) {
   SessionConfig config = presets::cellular_static();
   config.duration = sec(25);
