@@ -9,7 +9,12 @@
 //   bench_chaos_search [--budget N] [--seed S] [--duration-s N] [--jobs N]
 //                      [--corpus-dir PATH] [--freeze-threshold X]
 //                      [--out-json PATH]
-//   bench_chaos_search --replay CORPUS_DIR [--jobs N]
+//   bench_chaos_search --replay CORPUS_DIR [--jobs N] [--margin FRAC]
+//
+// --margin FRAC (replay mode) reports each metric's distance to its
+// envelope edge as a fraction of the band width and exits nonzero with a
+// NEAR-EDGE list when any in-band metric sits within FRAC of an edge —
+// catching entries about to flake before they do.
 
 #include <chrono>
 #include <cstdio>
@@ -25,23 +30,40 @@ using namespace poi360;
 
 namespace {
 
-int replay_main(const std::string& dir, int jobs) {
+int replay_main(const std::string& dir, int jobs, double margin) {
   const auto wall_start = std::chrono::steady_clock::now();
   const std::vector<search::ReplayResult> results =
-      search::replay_corpus(dir, jobs);
+      search::replay_corpus(dir, jobs, margin);
   int failed = 0;
+  int near_edge = 0;
   for (const search::ReplayResult& r : results) {
     std::printf("%s %s\n%s", r.ok ? "PASS" : "FAIL", r.name.c_str(),
                 r.detail.c_str());
     if (!r.ok) ++failed;
+    if (r.near_edge) ++near_edge;
   }
   std::printf("replayed %zu entries, %d failed\n", results.size(), failed);
+  if (margin > 0.0) {
+    // Entries whose metrics sit in the outer `margin` of their band: still
+    // passing, but the next intentional retune will likely push them out.
+    std::printf("near-edge margin %g: %d entries flagged\n", margin,
+                near_edge);
+    for (const search::ReplayResult& r : results) {
+      if (!r.near_edge) continue;
+      for (const search::MetricMargin& m : r.margins) {
+        if (!m.near_edge) continue;
+        std::printf("NEAR-EDGE %s %s edge=%g\n", r.name.c_str(),
+                    m.metric.c_str(), m.edge_fraction);
+      }
+    }
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
   std::fprintf(stderr, "bench_chaos_search: wall %.2fs\n", wall_s);
-  return failed == 0 ? 0 : 1;
+  if (failed != 0) return 1;
+  return (margin > 0.0 && near_edge != 0) ? 2 : 0;
 }
 
 }  // namespace
@@ -51,6 +73,7 @@ int main(int argc, char** argv) {
   std::int64_t duration_s = 20;
   std::string replay_dir;
   std::string out_json;
+  double margin = 0.0;
 
   bench::FlagParser parser;
   parser
@@ -58,8 +81,8 @@ int main(int argc, char** argv) {
           "usage: %s [--budget N] [--seed S] [--duration-s N] [--jobs N]\n"
           "          [--corpus-dir PATH] [--freeze-threshold X]\n"
           "          [--out-json PATH]\n"
-          "          [--replay CORPUS_DIR]   (replay mode: re-run a "
-          "committed corpus)\n")
+          "          [--replay CORPUS_DIR] [--margin FRAC]   (replay mode: "
+          "re-run a committed corpus)\n")
       .on_int("--budget", "N", &config.budget)
       .on_u64("--seed", "S", &config.seed)
       .on_i64("--duration-s", "N", &duration_s)
@@ -67,11 +90,12 @@ int main(int argc, char** argv) {
       .on_string("--corpus-dir", "PATH", &config.corpus_dir)
       .on_double("--freeze-threshold", "X", &config.freeze_threshold)
       .on_string("--replay", "CORPUS_DIR", &replay_dir)
+      .on_double("--margin", "FRAC", &margin)
       .on_string("--out-json", "PATH", &out_json);
   parser.parse(argc, argv);
   config.duration_s = static_cast<double>(duration_s);
 
-  if (!replay_dir.empty()) return replay_main(replay_dir, config.jobs);
+  if (!replay_dir.empty()) return replay_main(replay_dir, config.jobs, margin);
 
   const auto wall_start = std::chrono::steady_clock::now();
   const search::CampaignResult result = search::run_campaign(config);

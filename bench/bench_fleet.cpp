@@ -10,12 +10,22 @@
 //   bench_fleet [--cells N] [--sessions N] [--duration-s N] [--seed S]
 //               [--quantum-ms N] [--jobs N] [--ladder fbcc|gcc|mixed|full]
 //               [--out-json PATH]
+//               [--metrics-port P] [--serve-hold-s N]
+//               [--trace-dir DIR] [--trace-sample FRAC] [--trace-budget N]
+//
+// Telemetry flags are strictly additive (stdout stays byte-identical
+// without them). --metrics-port exposes the merged per-(cell,rung) labeled
+// families live; --trace-sample keeps a deterministic, --jobs-independent
+// subset of per-session traces under --trace-dir at a bounded memory
+// budget (--trace-budget live recorders per cell).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "poi360/serve/fleet_driver.h"
 #include "util/options.h"
@@ -26,6 +36,8 @@ int main(int argc, char** argv) {
   serve::FleetConfig config;
   std::string out_json;
   std::int64_t quantum_ms = 0;  // 0 = keep the config default
+  int metrics_port = -1;
+  double hold_s = 0.0;
 
   bench::FlagParser parser;
   parser.on_int("--cells", "N", &config.cells)
@@ -64,13 +76,34 @@ int main(int argc, char** argv) {
                   }
                   return true;
                 })
-      .on_string("--out-json", "PATH", &out_json);
+      .on_string("--out-json", "PATH", &out_json)
+      .on_int("--metrics-port", "P", &metrics_port)
+      .on_double("--serve-hold-s", "N", &hold_s)
+      .on_string("--trace-dir", "DIR", &config.telemetry.trace_dir)
+      .on_double("--trace-sample", "FRAC",
+                 &config.telemetry.trace_sampling.keep_fraction)
+      .on_int("--trace-budget", "N",
+              &config.telemetry.trace_sampling.max_concurrent);
   parser.parse(argc, argv);
   if (quantum_ms > 0) config.advance_quantum = msec(quantum_ms);
+  if (!config.telemetry.trace_dir.empty()) {
+    std::filesystem::create_directories(config.telemetry.trace_dir);
+  }
+  if (metrics_port >= 0) {
+    config.telemetry.metrics_port = metrics_port;
+    config.telemetry.enabled = true;
+  } else if (!config.telemetry.trace_dir.empty()) {
+    // Trace export needs the per-cell telemetry plane even without a socket.
+    config.telemetry.enabled = true;
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   serve::FleetDriver driver(std::move(config));
   const serve::FleetSummary summary = driver.run();
+  if (driver.metrics_port() >= 0) {
+    std::fprintf(stderr, "bench_fleet: serving /metrics on 127.0.0.1:%d\n",
+                 driver.metrics_port());
+  }
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -86,5 +119,10 @@ int main(int argc, char** argv) {
     out << serve::to_json(summary);
   }
   std::fprintf(stderr, "bench_fleet: wall %.2fs\n", wall_s);
+  if (hold_s > 0.0 && driver.metrics_port() >= 0) {
+    // Wall-clock hold for live scraping; never touches stdout.
+    std::fprintf(stderr, "bench_fleet: holding /metrics open %.1fs\n", hold_s);
+    std::this_thread::sleep_for(std::chrono::duration<double>(hold_s));
+  }
   return summary.failed_sessions == 0 ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <iterator>
 #include <string>
 #include <string_view>
@@ -16,6 +17,8 @@
 #include "poi360/core/mismatch.h"
 #include "poi360/gcc/trendline.h"
 #include "poi360/lte/shared_cell.h"
+#include "poi360/obs/metrics_registry.h"
+#include "poi360/obs/sampling.h"
 #include "poi360/obs/trace.h"
 #include "poi360/roi/head_motion.h"
 #include "poi360/serve/fleet_driver.h"
@@ -268,6 +271,45 @@ static void BM_TraceSpanEnabled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_TraceSpanEnabled);
+
+// Labeled-series resolution on a warm registry: the map lookup a driver
+// pays when it has NOT cached the returned reference. Registration caches
+// pointers on the hot path, so this prices the fallback (and the publish
+// loop's per-period lookups) against a registry of fleet-scale cardinality.
+static void BM_LabeledCounterLookup(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  for (int cell = 0; cell < 16; ++cell) {
+    for (const char* rung : {"FBCC/POI360", "GCC/POI360"}) {
+      registry.counter("slo.breach", {{"cell", std::to_string(cell)},
+                                      {"rung", rung},
+                                      {"objective", "freeze_ratio"}});
+    }
+  }
+  const obs::Labels labels{
+      {"cell", "7"}, {"rung", "GCC/POI360"}, {"objective", "freeze_ratio"}};
+  for (auto _ : state) {
+    obs::Counter& c = registry.counter("slo.breach", labels);
+    c.inc();
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_LabeledCounterLookup);
+
+// The pure per-session sampling decision every admission makes when a
+// trace budget is configured: one SplitMix64 mix of the session seed
+// against the keep fraction. Must stay a handful of ns — it sits on the
+// soak/fleet admission path for every arriving session.
+static void BM_TraceSampleDecision(benchmark::State& state) {
+  obs::TraceSampler sampler(
+      obs::TraceSampleConfig{.keep_fraction = 0.25, .max_concurrent = 0});
+  std::uint64_t seed = 0;
+  long kept = 0;
+  for (auto _ : state) {
+    if (sampler.keeps(++seed)) ++kept;
+    benchmark::DoNotOptimize(kept);
+  }
+}
+BENCHMARK(BM_TraceSampleDecision);
 
 // A session's fixed-cadence streams over one simulated second: the 1 ms
 // subframe tick, the 5 ms pacer tick, frame capture (~28 ms), and the

@@ -9,12 +9,22 @@
 //   bench_soak [--duration-s N] [--seed S] [--slots N] [--mean-gap-s N]
 //              [--mean-call-s N] [--policy reject|degrade] [--stuck IDX]
 //              [--out-json PATH]
+//              [--metrics-port P] [--serve-hold-s N]
+//              [--trace-dir DIR] [--trace-sample FRAC] [--trace-budget N]
+//
+// Telemetry flags are strictly additive: without them the run registers no
+// extra metrics, draws no extra RNG, and stdout stays byte-identical.
+// --metrics-port starts the live /metrics endpoint (0 = ephemeral; the
+// chosen port goes to stderr); --serve-hold-s keeps the process (and the
+// endpoint) alive after the run so a scraper can read the final state.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 
 #include "poi360/serve/soak_driver.h"
 #include "util/options.h"
@@ -26,6 +36,8 @@ int main(int argc, char** argv) {
   config.duration = sec(7200);
   config.seed = 1;
   std::string out_json;
+  int metrics_port = -1;
+  double hold_s = 0.0;
 
   bench::FlagParser parser;
   parser
@@ -33,7 +45,10 @@ int main(int argc, char** argv) {
           "usage: %s [--duration-s N] [--seed S] [--slots N]\n"
           "          [--mean-gap-s N] [--mean-call-s N]\n"
           "          [--policy reject|degrade] [--stuck ARRIVAL_IDX]\n"
-          "          [--out-json PATH]\n")
+          "          [--out-json PATH]\n"
+          "          [--metrics-port P] [--serve-hold-s N]\n"
+          "          [--trace-dir DIR] [--trace-sample FRAC]\n"
+          "          [--trace-budget N] [--slo-delay-ms N]\n")
       .on_seconds("--duration-s", "N", &config.duration)
       .on_u64("--seed", "S", &config.seed)
       .on_int("--slots", "N", &config.slots)
@@ -58,11 +73,38 @@ int main(int argc, char** argv) {
                   config.stuck_arrivals.push_back(std::atoll(v));
                   return true;
                 })
-      .on_string("--out-json", "PATH", &out_json);
+      .on_string("--out-json", "PATH", &out_json)
+      .on_int("--metrics-port", "P", &metrics_port)
+      .on_double("--serve-hold-s", "N", &hold_s)
+      .on_string("--trace-dir", "DIR", &config.telemetry.trace_dir)
+      .on_double("--trace-sample", "FRAC",
+                 &config.telemetry.trace_sampling.keep_fraction)
+      .on_int("--trace-budget", "N",
+              &config.telemetry.trace_sampling.max_concurrent)
+      // Tightening the delay objective live-demos the SLO engine: e.g.
+      // --slo-delay-ms 100 pushes most sessions over budget and the breach
+      // counters show up nonzero on /metrics.
+      .on_value("--slo-delay-ms", "N", [&config](const char* v) {
+        const long long ms = std::atoll(v);
+        if (ms <= 0) return false;
+        config.telemetry.slo.delay_target = msec(ms);
+        return true;
+      });
   parser.parse(argc, argv);
+  if (!config.telemetry.trace_dir.empty()) {
+    std::filesystem::create_directories(config.telemetry.trace_dir);
+  }
+  if (metrics_port >= 0) {
+    config.telemetry.metrics_port = metrics_port;
+    config.telemetry.enabled = true;
+  }
 
   const auto wall_start = std::chrono::steady_clock::now();
   serve::SoakDriver driver(std::move(config));
+  if (driver.metrics_port() >= 0) {
+    std::fprintf(stderr, "bench_soak: serving /metrics on 127.0.0.1:%d\n",
+                 driver.metrics_port());
+  }
   const serve::SoakSummary summary = driver.run();
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -79,5 +121,10 @@ int main(int argc, char** argv) {
     out << serve::to_json(summary);
   }
   std::fprintf(stderr, "bench_soak: wall %.2fs\n", wall_s);
+  if (hold_s > 0.0 && driver.metrics_port() >= 0) {
+    // Wall-clock hold for live scraping; never touches stdout.
+    std::fprintf(stderr, "bench_soak: holding /metrics open %.1fs\n", hold_s);
+    std::this_thread::sleep_for(std::chrono::duration<double>(hold_s));
+  }
   return summary.live_at_end == 0 ? 0 : 1;
 }

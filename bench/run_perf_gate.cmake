@@ -24,6 +24,10 @@ endif()
 # per-tile pow loop, so 4x slack still fails the old path), the intra
 # refresh scan must stay a memo probe, and the cold ROI-PSNR bounds the
 # one-off sidecar freeze per (matrix, model).
+# Telemetry-plane ceilings: the labeled-counter lookup is the uncached
+# registry probe (canonical key build + map find) and must stay well under
+# a microsecond at fleet cardinality; the trace-sample decision is one
+# SplitMix64 mix on the admission path and must stay branch-cheap.
 execute_process(
   COMMAND ${PYTHON} ${CHECK_PY} --baseline ${BASELINE} --current ${OUT_JSON}
           --max-ns BM_TraceSpanDisabled=25
@@ -36,6 +40,8 @@ execute_process(
           --max-ns BM_RoiRegionPsnrWarm=180
           --max-ns BM_RoiRegionPsnrCold=16000
           --max-ns BM_IntraRefreshScan=60
+          --max-ns BM_LabeledCounterLookup=1200
+          --max-ns BM_TraceSampleDecision=25
   RESULT_VARIABLE gate_rc)
 if(NOT gate_rc EQUAL 0)
   message(FATAL_ERROR "perf gate failed (rc=${gate_rc})")

@@ -124,6 +124,9 @@ class Session {
   /// The span/event recorder, present only when `config.trace.enabled`
   /// (nullptr otherwise). Read it after run() for export.
   const obs::TraceRecorder* trace() const { return trace_.get(); }
+  /// Writable recorder for external observers (the serving layer's SLO
+  /// engine emits breach/recovery instants into the session's own trace).
+  obs::TraceRecorder* trace() { return trace_.get(); }
 
  private:
   // Sender side.

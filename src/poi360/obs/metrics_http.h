@@ -1,0 +1,70 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+// Minimal blocking HTTP/1.1 endpoint for live metric scraping. One
+// background thread accepts connections and answers
+//   GET /metrics  -> the most recently published exposition text
+//   GET /healthz  -> "ok"
+// from an atomically swapped pre-rendered snapshot, so serving never locks
+// against — or observes partial state of — the simulation thread. The sim
+// side only ever calls publish(); rendering happens on the sim's own
+// schedule (the soak/fleet snapshot tick), never on scrape demand, keeping
+// the determinism contract: the server adds no RNG draws and no timing
+// coupling to the run.
+
+namespace poi360::obs {
+
+class MetricsHttpServer {
+ public:
+  struct Config {
+    /// TCP port to listen on; 0 picks an ephemeral port (see port()).
+    int port = 0;
+    /// Bind address; scraping is a localhost debugging surface by default.
+    std::string bind_address = "127.0.0.1";
+  };
+
+  /// Binds, listens, and starts the accept thread. Throws std::runtime_error
+  /// when the socket cannot be bound.
+  explicit MetricsHttpServer(const Config& config);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Actual bound port (resolves port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Swaps in a new pre-rendered /metrics body. Thread-safe, wait-free for
+  /// concurrent scrapers (shared_ptr swap under a small mutex).
+  void publish(std::string metrics_text);
+
+  /// Scrapes served since construction (any path, including 404s).
+  std::int64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting and joins the thread. Idempotent; the destructor calls
+  /// it too.
+  void stop();
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+  std::shared_ptr<const std::string> current_text() const;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> requests_{0};
+  mutable std::mutex text_mu_;
+  std::shared_ptr<const std::string> text_;
+  std::thread thread_;
+};
+
+}  // namespace poi360::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <stdexcept>
 
 namespace poi360::obs {
 
@@ -18,13 +19,132 @@ std::string prom_name(const std::string& prefix, const std::string& name) {
   return out;
 }
 
+// Label-name charset is the metric charset minus ':'.
+std::string prom_label_name(const std::string& name) {
+  std::string out = name.empty() ? std::string("_") : name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) c = '_';
+  }
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+// Label values escape backslash, double-quote and newline.
+std::string prom_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+// HELP text escapes backslash and newline (quotes are legal there).
+std::string prom_help_text(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 std::string prom_value(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.10g", v);
   return buf;
 }
 
+// `{k1="v1",k2="v2"}` for the series' canonical label set; empty labels
+// render as the bare name. `extra` appends a pre-rendered pair (`le` for
+// bucket rows) after the series labels.
+std::string label_block(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_label_name(k) + "=\"" + prom_label_value(v) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
+
+std::string canonical_label_key(const Labels& labels) {
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key;
+  for (const auto& [k, v] : sorted) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1f';
+  }
+  return key;
+}
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "BucketHistogram bounds must be sorted ascending and unique");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void BucketHistogram::observe(double v) {
+  ++count_;
+  sum_ += v;
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+std::int64_t BucketHistogram::cumulative(std::size_t i) const {
+  std::int64_t total = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) {
+    total += counts_[b];
+  }
+  return total;
+}
+
+void BucketHistogram::merge_from(const BucketHistogram& other) {
+  if (other.bounds_ != bounds_) {
+    throw std::invalid_argument("BucketHistogram bound mismatch in merge_from");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::vector<double> BucketHistogram::latency_ms_bounds() {
+  return {10, 25, 50, 100, 200, 400, 600, 1000, 2000};
+}
+
+std::vector<double> BucketHistogram::ratio_bounds() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75};
+}
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
@@ -42,21 +162,170 @@ const Histogram* MetricsRegistry::find_histogram(
   return it != histograms_.end() ? &it->second : nullptr;
 }
 
+template <typename M>
+M& MetricsRegistry::labeled(FamilyMap<M>& families, const std::string& name,
+                            const Labels& labels) {
+  std::string key = canonical_label_key(labels);
+  auto& family = families[name];
+  const auto it = family.find(key);
+  if (it != family.end()) return it->second.metric;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  auto& series = family[std::move(key)];
+  series.labels = std::move(sorted);
+  return series.metric;
+}
+
+template <typename M>
+const M* MetricsRegistry::find_labeled(const FamilyMap<M>& families,
+                                       const std::string& name,
+                                       const Labels& labels) {
+  const auto fit = families.find(name);
+  if (fit == families.end()) return nullptr;
+  const auto sit = fit->second.find(canonical_label_key(labels));
+  return sit != fit->second.end() ? &sit->second.metric : nullptr;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
+  if (labels.empty()) return counter(name);
+  return labeled(labeled_counters_, name, labels);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return gauge(name);
+  return labeled(labeled_gauges_, name, labels);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels) {
+  if (labels.empty()) return histogram(name);
+  return labeled(labeled_histograms_, name, labels);
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name,
+                                             const Labels& labels) const {
+  if (labels.empty()) return find_counter(name);
+  return find_labeled(labeled_counters_, name, labels);
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name,
+                                         const Labels& labels) const {
+  if (labels.empty()) return find_gauge(name);
+  return find_labeled(labeled_gauges_, name, labels);
+}
+
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 const Labels& labels) const {
+  if (labels.empty()) return find_histogram(name);
+  return find_labeled(labeled_histograms_, name, labels);
+}
+
+BucketHistogram& MetricsRegistry::bucket_histogram(
+    const std::string& name, const std::vector<double>& upper_bounds) {
+  const auto it = buckets_.find(name);
+  if (it != buckets_.end()) return it->second;
+  return buckets_.emplace(name, BucketHistogram(upper_bounds)).first->second;
+}
+
+BucketHistogram& MetricsRegistry::bucket_histogram(
+    const std::string& name, const std::vector<double>& upper_bounds,
+    const Labels& labels) {
+  if (labels.empty()) return bucket_histogram(name, upper_bounds);
+  std::string key = canonical_label_key(labels);
+  auto& family = labeled_buckets_[name];
+  const auto it = family.find(key);
+  if (it != family.end()) return it->second.metric;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  auto& series = family[std::move(key)];
+  series.labels = std::move(sorted);
+  series.metric = BucketHistogram(upper_bounds);
+  return series.metric;
+}
+
+const BucketHistogram* MetricsRegistry::find_bucket_histogram(
+    const std::string& name) const {
+  const auto it = buckets_.find(name);
+  return it != buckets_.end() ? &it->second : nullptr;
+}
+
+const BucketHistogram* MetricsRegistry::find_bucket_histogram(
+    const std::string& name, const Labels& labels) const {
+  if (labels.empty()) return find_bucket_histogram(name);
+  return find_labeled(labeled_buckets_, name, labels);
+}
+
+namespace {
+
+std::string series_name(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+void bucket_entries(std::vector<MetricsRegistry::Entry>& out,
+                    const std::string& name, const BucketHistogram& b) {
+  out.push_back({name + ".count", "buckets", static_cast<double>(b.count())});
+  out.push_back({name + ".sum", "buckets", b.sum()});
+  for (std::size_t i = 0; i < b.bounds().size(); ++i) {
+    out.push_back({name + ".le_" + prom_value(b.bounds()[i]), "buckets",
+                   static_cast<double>(b.cumulative(i))});
+  }
+}
+
+}  // namespace
+
 std::vector<MetricsRegistry::Entry> MetricsRegistry::snapshot() const {
   std::vector<Entry> out;
   out.reserve(counters_.size() + gauges_.size() + 4 * histograms_.size());
   for (const auto& [name, c] : counters_) {
     out.push_back({name, "counter", static_cast<double>(c.value())});
   }
+  for (const auto& [name, family] : labeled_counters_) {
+    for (const auto& [key, s] : family) {
+      out.push_back({series_name(name, s.labels), "counter",
+                     static_cast<double>(s.metric.value())});
+    }
+  }
   for (const auto& [name, g] : gauges_) {
     out.push_back({name, "gauge", g.value()});
   }
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, family] : labeled_gauges_) {
+    for (const auto& [key, s] : family) {
+      out.push_back({series_name(name, s.labels), "gauge", s.metric.value()});
+    }
+  }
+  const auto moment_entries = [&out](const std::string& name,
+                                     const Histogram& h) {
     out.push_back(
         {name + ".count", "histogram", static_cast<double>(h.count())});
     out.push_back({name + ".mean", "histogram", h.mean()});
     out.push_back({name + ".min", "histogram", h.min()});
     out.push_back({name + ".max", "histogram", h.max()});
+  };
+  for (const auto& [name, h] : histograms_) {
+    moment_entries(name, h);
+  }
+  for (const auto& [name, family] : labeled_histograms_) {
+    for (const auto& [key, s] : family) {
+      moment_entries(series_name(name, s.labels), s.metric);
+    }
+  }
+  for (const auto& [name, b] : buckets_) {
+    bucket_entries(out, name, b);
+  }
+  for (const auto& [name, family] : labeled_buckets_) {
+    for (const auto& [key, s] : family) {
+      bucket_entries(out, series_name(name, s.labels), s.metric);
+    }
   }
   std::sort(out.begin(), out.end(),
             [](const Entry& a, const Entry& b) { return a.name < b.name; });
@@ -73,30 +342,201 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
   for (const auto& [name, h] : other.histograms_) {
     histograms_[name].merge_from(h);
   }
+  for (const auto& [name, b] : other.buckets_) {
+    const auto it = buckets_.find(name);
+    if (it == buckets_.end()) {
+      buckets_.emplace(name, b);
+    } else {
+      it->second.merge_from(b);
+    }
+  }
+  const auto merge_family = [](auto& dst_families, const auto& src_families,
+                               const auto& apply) {
+    for (const auto& [name, family] : src_families) {
+      auto& dst = dst_families[name];
+      for (const auto& [key, s] : family) {
+        const auto it = dst.find(key);
+        if (it == dst.end()) {
+          dst[key] = s;
+        } else {
+          apply(it->second.metric, s.metric);
+        }
+      }
+    }
+  };
+  merge_family(labeled_counters_, other.labeled_counters_,
+               [](Counter& d, const Counter& s) { d.inc(s.value()); });
+  merge_family(labeled_gauges_, other.labeled_gauges_,
+               [](Gauge& d, const Gauge& s) { d.set(s.value()); });
+  merge_family(labeled_histograms_, other.labeled_histograms_,
+               [](Histogram& d, const Histogram& s) { d.merge_from(s); });
+  merge_family(
+      labeled_buckets_, other.labeled_buckets_,
+      [](BucketHistogram& d, const BucketHistogram& s) { d.merge_from(s); });
+  for (const auto& [name, help] : other.help_) {
+    help_[name] = help;
+  }
+}
+
+void MetricsRegistry::overwrite_from(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name] = c;
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name] = g;
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name] = h;
+  }
+  for (const auto& [name, b] : other.buckets_) {
+    buckets_.insert_or_assign(name, b);
+  }
+  const auto overwrite_family = [](auto& dst_families,
+                                   const auto& src_families) {
+    for (const auto& [name, family] : src_families) {
+      auto& dst = dst_families[name];
+      for (const auto& [key, s] : family) {
+        dst[key] = s;
+      }
+    }
+  };
+  overwrite_family(labeled_counters_, other.labeled_counters_);
+  overwrite_family(labeled_gauges_, other.labeled_gauges_);
+  overwrite_family(labeled_histograms_, other.labeled_histograms_);
+  overwrite_family(labeled_buckets_, other.labeled_buckets_);
+  for (const auto& [name, help] : other.help_) {
+    help_[name] = help;
+  }
 }
 
 std::string MetricsRegistry::prometheus_text(const std::string& prefix) const {
   std::string out;
-  for (const auto& [name, c] : counters_) {
-    const std::string n = prom_name(prefix, name);
-    out += "# TYPE " + n + " counter\n";
-    out += n + " " + std::to_string(c.value()) + "\n";
-  }
-  for (const auto& [name, g] : gauges_) {
-    const std::string n = prom_name(prefix, name);
-    out += "# TYPE " + n + " gauge\n";
-    out += n + " " + prom_value(g.value()) + "\n";
-  }
-  for (const auto& [name, h] : histograms_) {
-    const std::string n = prom_name(prefix, name);
-    out += "# TYPE " + n + " summary\n";
-    out += n + "_count " + std::to_string(h.count()) + "\n";
-    out += n + "_sum " + prom_value(h.sum()) + "\n";
-    out += "# TYPE " + n + "_min gauge\n";
-    out += n + "_min " + prom_value(h.min()) + "\n";
-    out += "# TYPE " + n + "_max gauge\n";
-    out += n + "_max " + prom_value(h.max()) + "\n";
-  }
+
+  const auto help_line = [&](const std::string& name, const std::string& n) {
+    const auto it = help_.find(name);
+    if (it != help_.end()) {
+      out += "# HELP " + n + " " + prom_help_text(it->second) + "\n";
+    }
+  };
+
+  // Walks the union of a flat map and a labeled family map in name order,
+  // calling emit(name, flat_or_null, family_or_null) once per family.
+  const auto for_each_family = [](const auto& flat, const auto& families,
+                                  const auto& emit) {
+    auto fit = flat.begin();
+    auto lit = families.begin();
+    while (fit != flat.end() || lit != families.end()) {
+      const bool take_flat =
+          lit == families.end() ||
+          (fit != flat.end() && fit->first <= lit->first);
+      const bool take_labeled =
+          fit == flat.end() ||
+          (lit != families.end() && lit->first <= fit->first);
+      const std::string& name = take_flat ? fit->first : lit->first;
+      emit(name, take_flat ? &fit->second : nullptr,
+           take_labeled ? &lit->second : nullptr);
+      if (take_flat) ++fit;
+      if (take_labeled) ++lit;
+    }
+  };
+
+  for_each_family(
+      counters_, labeled_counters_,
+      [&](const std::string& name, const Counter* flat, const auto* family) {
+        const std::string n = prom_name(prefix, name);
+        help_line(name, n);
+        out += "# TYPE " + n + " counter\n";
+        if (flat) out += n + " " + std::to_string(flat->value()) + "\n";
+        if (family) {
+          for (const auto& [key, s] : *family) {
+            out += n + label_block(s.labels) + " " +
+                   std::to_string(s.metric.value()) + "\n";
+          }
+        }
+      });
+
+  for_each_family(
+      gauges_, labeled_gauges_,
+      [&](const std::string& name, const Gauge* flat, const auto* family) {
+        const std::string n = prom_name(prefix, name);
+        help_line(name, n);
+        out += "# TYPE " + n + " gauge\n";
+        if (flat) out += n + " " + prom_value(flat->value()) + "\n";
+        if (family) {
+          for (const auto& [key, s] : *family) {
+            out += n + label_block(s.labels) + " " +
+                   prom_value(s.metric.value()) + "\n";
+          }
+        }
+      });
+
+  // Moment histograms keep the historical summary + _min/_max gauge shape.
+  for_each_family(
+      histograms_, labeled_histograms_,
+      [&](const std::string& name, const Histogram* flat, const auto* family) {
+        const std::string n = prom_name(prefix, name);
+        help_line(name, n);
+        out += "# TYPE " + n + " summary\n";
+        const auto count_sum = [&](const Histogram& h, const std::string& lb) {
+          out += n + "_count" + lb + " " + std::to_string(h.count()) + "\n";
+          out += n + "_sum" + lb + " " + prom_value(h.sum()) + "\n";
+        };
+        if (flat) count_sum(*flat, "");
+        if (family) {
+          for (const auto& [key, s] : *family) {
+            count_sum(s.metric, label_block(s.labels));
+          }
+        }
+        out += "# TYPE " + n + "_min gauge\n";
+        if (flat) out += n + "_min " + prom_value(flat->min()) + "\n";
+        if (family) {
+          for (const auto& [key, s] : *family) {
+            out += n + "_min" + label_block(s.labels) + " " +
+                   prom_value(s.metric.min()) + "\n";
+          }
+        }
+        out += "# TYPE " + n + "_max gauge\n";
+        if (flat) out += n + "_max " + prom_value(flat->max()) + "\n";
+        if (family) {
+          for (const auto& [key, s] : *family) {
+            out += n + "_max" + label_block(s.labels) + " " +
+                   prom_value(s.metric.max()) + "\n";
+          }
+        }
+      });
+
+  for_each_family(
+      buckets_, labeled_buckets_,
+      [&](const std::string& name, const BucketHistogram* flat,
+          const auto* family) {
+        const std::string n = prom_name(prefix, name);
+        help_line(name, n);
+        out += "# TYPE " + n + " histogram\n";
+        const auto series = [&](const BucketHistogram& b,
+                                const Labels& labels) {
+          std::int64_t running = 0;
+          for (std::size_t i = 0; i < b.bounds().size(); ++i) {
+            running += b.bucket_counts()[i];
+            out += n + "_bucket" +
+                   label_block(labels, "le=\"" + prom_value(b.bounds()[i]) +
+                                           "\"") +
+                   " " + std::to_string(running) + "\n";
+          }
+          out += n + "_bucket" + label_block(labels, "le=\"+Inf\"") + " " +
+                 std::to_string(b.count()) + "\n";
+          out += n + "_sum" + label_block(labels) + " " + prom_value(b.sum()) +
+                 "\n";
+          out += n + "_count" + label_block(labels) + " " +
+                 std::to_string(b.count()) + "\n";
+        };
+        if (flat) series(*flat, {});
+        if (family) {
+          for (const auto& [key, s] : *family) {
+            series(s.metric, s.labels);
+          }
+        }
+      });
+
   return out;
 }
 

@@ -196,7 +196,8 @@ std::vector<CorpusEntry> load_corpus(const std::string& dir) {
   return entries;
 }
 
-ReplayResult replay_entry(const CorpusEntry& entry, int jobs) {
+ReplayResult replay_entry(const CorpusEntry& entry, int jobs,
+                          double near_edge_margin) {
   Evaluator evaluator(Evaluator::Options{jobs});
   QoeOutcome primary;
   QoeOutcome baseline;
@@ -216,17 +217,40 @@ ReplayResult replay_entry(const CorpusEntry& entry, int jobs) {
     const double v = metric_value(b.metric, primary, baseline, entry.paired);
     const bool in_band = v >= b.lo && v <= b.hi;
     if (!in_band) result.ok = false;
+
+    MetricMargin m;
+    m.metric = b.metric;
+    m.value = v;
+    m.lo = b.lo;
+    m.hi = b.hi;
+    m.in_band = in_band;
+    const double width = b.hi - b.lo;
+    if (in_band && width > 0.0) {
+      m.edge_fraction = std::min(v - b.lo, b.hi - v) / width;
+    }
+    m.near_edge =
+        in_band && near_edge_margin > 0.0 && m.edge_fraction < near_edge_margin;
+    if (m.near_edge) result.near_edge = true;
+
     result.detail += "  " + b.metric + " " + fmt6(v) + " in [" + fmt6(b.lo) +
-                     ", " + fmt6(b.hi) + "] " + (in_band ? "OK" : "FAIL") +
-                     "\n";
+                     ", " + fmt6(b.hi) + "] " + (in_band ? "OK" : "FAIL");
+    // Margin-off keeps the detail bytes identical to the pre-margin report
+    // (the corpus gate diffs this output).
+    if (near_edge_margin > 0.0) {
+      result.detail += " edge=" + fmt6(m.edge_fraction);
+      if (m.near_edge) result.detail += " NEAR-EDGE";
+    }
+    result.detail += "\n";
+    result.margins.push_back(std::move(m));
   }
   return result;
 }
 
-std::vector<ReplayResult> replay_corpus(const std::string& dir, int jobs) {
+std::vector<ReplayResult> replay_corpus(const std::string& dir, int jobs,
+                                        double near_edge_margin) {
   std::vector<ReplayResult> results;
   for (const CorpusEntry& entry : load_corpus(dir)) {
-    results.push_back(replay_entry(entry, jobs));
+    results.push_back(replay_entry(entry, jobs, near_edge_margin));
   }
   return results;
 }

@@ -53,19 +53,42 @@ void write_corpus(const std::string& dir,
 /// schema errors.
 std::vector<CorpusEntry> load_corpus(const std::string& dir);
 
+/// Distance of one replayed metric to its envelope edge, normalized by the
+/// band width: 0.0 = sitting on an edge (or outside), 0.5 = dead center.
+struct MetricMargin {
+  std::string metric;
+  double value = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  /// min(value - lo, hi - value) / (hi - lo), clamped to [0, 0.5];
+  /// 0.0 for degenerate (hi <= lo) or out-of-band values.
+  double edge_fraction = 0.0;
+  bool in_band = false;
+  bool near_edge = false;  ///< in band but within the requested margin
+};
+
 /// Outcome of replaying one entry.
 struct ReplayResult {
   std::string name;
   bool ok = false;
-  /// Deterministic per-metric report: "metric value [lo, hi] OK|FAIL" lines.
+  /// Deterministic per-metric report: "metric value [lo, hi] OK|FAIL" lines;
+  /// with a margin each line gains " edge=F" and, when flagged, " NEAR-EDGE".
   std::string detail;
+  /// Per-metric distances, in envelope order (always populated).
+  std::vector<MetricMargin> margins;
+  /// Any in-band metric within `near_edge_margin` of a band edge.
+  bool near_edge = false;
 };
 
 /// Re-runs the entry's spec (both controllers for paired entries) and
-/// checks every enveloped metric.
-ReplayResult replay_entry(const CorpusEntry& entry, int jobs = 0);
+/// checks every enveloped metric. `near_edge_margin` is a fraction of the
+/// band width (e.g. 0.1 = flag metrics in the outer 10% of their band);
+/// 0.0 keeps `detail` byte-identical to the pre-margin report.
+ReplayResult replay_entry(const CorpusEntry& entry, int jobs = 0,
+                          double near_edge_margin = 0.0);
 
 /// Replays a whole corpus directory, in filename order.
-std::vector<ReplayResult> replay_corpus(const std::string& dir, int jobs = 0);
+std::vector<ReplayResult> replay_corpus(const std::string& dir, int jobs = 0,
+                                        double near_edge_margin = 0.0);
 
 }  // namespace poi360::search

@@ -7,6 +7,7 @@
 #include "poi360/common/stats.h"
 #include "poi360/runner/batch_runner.h"
 #include "poi360/runner/experiment_spec.h"
+#include "poi360/runner/result_io.h"
 
 namespace poi360::serve {
 
@@ -58,7 +59,8 @@ double jain_index(const std::vector<double>& xs) {
   return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
 }
 
-FleetCell::FleetCell(const FleetConfig& config, int cell_index)
+FleetCell::FleetCell(const FleetConfig& config, int cell_index,
+                     TelemetryPlane* plane)
     : config_(config),
       cell_index_(cell_index),
       cell_(config.cell,
@@ -66,10 +68,13 @@ FleetCell::FleetCell(const FleetConfig& config, int cell_index)
                 .fork(0xF1EE7u + static_cast<std::uint64_t>(cell_index))
                 .engine()()),
       cross_rng_(Rng(config.seed).fork(0xCB05u).fork(
-          static_cast<std::uint64_t>(cell_index))) {
+          static_cast<std::uint64_t>(cell_index))),
+      plane_(plane),
+      sampler_(config.telemetry.trace_sampling) {
   if (config_.ladder.empty()) {
     throw std::invalid_argument("fleet ladder must not be empty");
   }
+  const bool tracing = plane_ && config_.telemetry.tracing_on();
   const int n = std::max(1, config_.sessions_per_cell);
   sessions_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -87,6 +92,15 @@ FleetCell::FleetCell(const FleetConfig& config, int cell_index)
     sc.channel.mean_cell_load = 0.0;
     sc.channel.load_std = 0.0;
     sc.cell_handle = lte::CellHandle(&cell_, cell_.register_ue(1.0));
+    // Trace sampling is a pure function of the session's derived seed — no
+    // RNG draw, so enabling it cannot perturb the simulation stream.
+    bool traced = false;
+    if (tracing && sampler_.admit(sc.seed)) {
+      sc.trace.enabled = true;
+      sc.trace.capacity = config_.telemetry.trace_sampling.ring_capacity;
+      traced = true;
+    }
+    traced_.push_back(traced ? 1 : 0);
     rungs_.push_back(to_string(rung));
     seeds_.push_back(sc.seed);
     errors_.emplace_back();
@@ -94,6 +108,67 @@ FleetCell::FleetCell(const FleetConfig& config, int cell_index)
   }
   add_cross_traffic(config_.voice);
   add_cross_traffic(config_.ftp);
+  if (plane_) register_telemetry();
+}
+
+void FleetCell::register_telemetry() {
+  const std::string cell_label = std::to_string(cell_index_);
+  slo_.assign(sessions_.size(), obs::SloTracker(config_.telemetry.slo));
+  frame_cursor_.assign(sessions_.size(), 0);
+  displayed_seen_.assign(sessions_.size(), 0);
+  frozen_frames_.assign(sessions_.size(), 0);
+  mismatched_.assign(sessions_.size(), 0);
+  over_delay_.assign(sessions_.size(), 0);
+  next_publish_ = std::max<SimDuration>(msec(1), config_.telemetry.publish_period);
+
+  telemetry_.set_help("fleet.freeze_ratio",
+                      "Frozen-frame ratio per (cell, rung) population");
+  telemetry_.set_help("slo.breach",
+                      "SLO objectives newly breached (fast+slow burn over "
+                      "threshold)");
+  // One series per distinct rung label; sessions map onto them cyclically,
+  // so the series count is bounded by the ladder, not the population.
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    // Linear scan over the few distinct rung labels seen so far.
+    int idx = -1;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (rungs_[j] == rungs_[i]) {
+        idx = rung_index_[j];
+        break;
+      }
+    }
+    if (idx < 0) {
+      const obs::Labels labels{{"cell", cell_label}, {"rung", rungs_[i]}};
+      RungSeries series;
+      series.sessions = &telemetry_.gauge("fleet.sessions", labels);
+      series.freeze_ratio = &telemetry_.gauge("fleet.freeze_ratio", labels);
+      series.mismatch_ratio =
+          &telemetry_.gauge("fleet.mismatch_ratio", labels);
+      series.mean_delay_ms = &telemetry_.gauge("fleet.mean_delay_ms", labels);
+      series.displayed = &telemetry_.gauge("fleet.displayed_frames", labels);
+      for (int o = 0; o < obs::kSloObjectives; ++o) {
+        obs::Labels slo_labels = labels;
+        slo_labels.emplace_back(
+            "objective",
+            obs::slo_objective_name(static_cast<obs::SloObjective>(o)));
+        series.slo_breach[o] = &telemetry_.counter("slo.breach", slo_labels);
+        series.slo_recovered[o] =
+            &telemetry_.counter("slo.recovered", slo_labels);
+      }
+      series.delay_hist = &telemetry_.bucket_histogram(
+          "fleet.frame.delay_hist", obs::BucketHistogram::latency_ms_bounds(),
+          labels);
+      idx = static_cast<int>(rung_series_.size());
+      rung_series_.push_back(series);
+    }
+    rung_index_.push_back(idx);
+  }
+  if (config_.telemetry.tracing_on()) {
+    const obs::Labels labels{{"cell", cell_label}};
+    telemetry_.counter("fleet.trace.kept", labels);
+    telemetry_.counter("fleet.trace.sampled_out", labels);
+    telemetry_.counter("fleet.trace.budget_rejected", labels);
+  }
 }
 
 FleetCell::~FleetCell() = default;
@@ -158,6 +233,101 @@ void FleetCell::advance_to(SimTime t) {
     }
   }
   now_ = t;
+  if (plane_ && t >= next_publish_) {
+    publish_telemetry(t);
+    while (next_publish_ <= t) {
+      next_publish_ +=
+          std::max<SimDuration>(msec(1), config_.telemetry.publish_period);
+    }
+  }
+}
+
+void FleetCell::fold_session_frames(std::size_t i) {
+  const metrics::SessionMetrics& m = sessions_[i]->metrics();
+  const auto& frames = m.frames();
+  const SimDuration freeze_threshold = config_.session.freeze_threshold;
+  const SimDuration delay_target = config_.telemetry.slo.delay_target;
+  obs::BucketHistogram* hist = rung_series_[rung_index_[i]].delay_hist;
+  for (; frame_cursor_[i] < frames.size(); ++frame_cursor_[i]) {
+    const metrics::FrameRecord& f = frames[frame_cursor_[i]];
+    ++displayed_seen_[i];
+    if (f.delay > freeze_threshold) ++frozen_frames_[i];
+    if (f.roi_mismatch) ++mismatched_[i];
+    if (f.delay > delay_target) ++over_delay_[i];
+    hist->observe(to_millis(f.delay));
+  }
+}
+
+void FleetCell::publish_telemetry(SimTime t) {
+  const std::string cell_label = std::to_string(cell_index_);
+  struct RungAgg {
+    std::int64_t sessions = 0;
+    std::int64_t displayed = 0;
+    std::int64_t frozen = 0;
+    std::int64_t lost = 0;
+    std::int64_t mismatched = 0;
+    double delay_sum_ms = 0.0;
+  };
+  std::vector<RungAgg> agg(rung_series_.size());
+
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    if (!errors_[i].empty()) continue;
+    fold_session_frames(i);
+    const core::Session& session = *sessions_[i];
+    const obs::MetricsRegistry& reg = session.metrics().registry();
+    const std::int64_t lost =
+        reg.counter_value("sender.skipped_frames") +
+        session.observers().receiver->recovery_stats().frames_abandoned;
+    obs::SloSample sample;
+    sample.total = displayed_seen_[i] + lost;
+    sample.frozen = frozen_frames_[i] + lost;
+    sample.mismatched = mismatched_[i];
+    sample.over_delay = over_delay_[i];
+    RungSeries& series = rung_series_[rung_index_[i]];
+    const obs::SloTransitions tr = slo_[i].observe(
+        t, sample, traced_[i] ? sessions_[i]->trace() : nullptr,
+        static_cast<std::int64_t>(i));
+    for (int o = 0; o < obs::kSloObjectives; ++o) {
+      if (tr.breached_now[o]) series.slo_breach[o]->inc();
+      if (tr.recovered_now[o]) series.slo_recovered[o]->inc();
+    }
+    RungAgg& a = agg[rung_index_[i]];
+    ++a.sessions;
+    a.displayed += displayed_seen_[i];
+    a.frozen += frozen_frames_[i];
+    a.lost += lost;
+    a.mismatched += mismatched_[i];
+    const obs::Histogram* delay_h = reg.find_histogram("frame.delay_ms");
+    if (delay_h) a.delay_sum_ms += delay_h->sum();
+  }
+
+  for (std::size_t r = 0; r < rung_series_.size(); ++r) {
+    const RungAgg& a = agg[r];
+    RungSeries& series = rung_series_[r];
+    series.sessions->set(static_cast<double>(a.sessions));
+    series.displayed->set(static_cast<double>(a.displayed));
+    const std::int64_t handled = a.displayed + a.lost;
+    series.freeze_ratio->set(
+        handled > 0 ? static_cast<double>(a.frozen + a.lost) /
+                          static_cast<double>(handled)
+                    : 0.0);
+    series.mismatch_ratio->set(
+        a.displayed > 0 ? static_cast<double>(a.mismatched) /
+                              static_cast<double>(a.displayed)
+                        : 0.0);
+    series.mean_delay_ms->set(
+        a.displayed > 0 ? a.delay_sum_ms / static_cast<double>(a.displayed)
+                        : 0.0);
+  }
+  if (config_.telemetry.tracing_on()) {
+    const obs::Labels labels{{"cell", cell_label}};
+    telemetry_.counter("fleet.trace.kept", labels).set(sampler_.kept());
+    telemetry_.counter("fleet.trace.sampled_out", labels)
+        .set(sampler_.sampled_out());
+    telemetry_.counter("fleet.trace.budget_rejected", labels)
+        .set(sampler_.budget_rejected());
+  }
+  plane_->publish(telemetry_);
 }
 
 void FleetCell::finish() {
@@ -169,6 +339,28 @@ void FleetCell::finish() {
       errors_[i] = e.what();
     } catch (...) {
       errors_[i] = "unknown exception";
+    }
+  }
+  if (plane_) {
+    publish_telemetry(now_);
+    if (config_.telemetry.tracing_on()) {
+      const int n = std::max(1, config_.sessions_per_cell);
+      for (std::size_t i = 0; i < sessions_.size(); ++i) {
+        if (!traced_[i] || !errors_[i].empty()) continue;
+        const obs::TraceRecorder* trace = sessions_[i]->trace();
+        if (!trace) continue;
+        runner::RunSpec rs;
+        rs.run_id = cell_index_ * n + static_cast<int>(i);
+        rs.experiment = "fleet";
+        rs.params = {{"cell", std::to_string(cell_index_)},
+                     {"slot", std::to_string(i)},
+                     {"rung", rungs_[i]}};
+        rs.seed = seeds_[i];
+        runner::write_trace(
+            config_.telemetry.trace_dir + "/" + runner::trace_file_name(rs),
+            *trace, "fleet/cell=" + std::to_string(cell_index_) +
+                        "/slot=" + std::to_string(i));
+      }
     }
   }
 }
@@ -222,12 +414,18 @@ FleetSummary FleetDriver::run() {
   std::vector<std::vector<FleetSessionResult>> per_cell(
       static_cast<std::size_t>(cells));
 
+  if (config_.telemetry.telemetry_on()) {
+    plane_ = std::make_unique<TelemetryPlane>(config_.telemetry);
+  }
+
   // Each cell is self-contained (own SharedCell, own sessions, own RNG
   // streams derived from (seed, cell index)), so sharding cells across
-  // workers cannot change any cell's results — only the wall clock.
+  // workers cannot change any cell's results — only the wall clock. Cells
+  // publish disjoint label sets into the plane, so the merged master
+  // registry is also identical for every worker count.
   runner::BatchRunner::parallel_for(
       config_.jobs, static_cast<std::size_t>(cells), [&](std::size_t c) {
-        FleetCell cell(config_, static_cast<int>(c));
+        FleetCell cell(config_, static_cast<int>(c), plane_.get());
         cell.start();
         SimTime t = 0;
         while (t < config_.duration) {

@@ -11,6 +11,10 @@
 #include "poi360/core/config.h"
 #include "poi360/core/session.h"
 #include "poi360/lte/shared_cell.h"
+#include "poi360/obs/metrics_registry.h"
+#include "poi360/obs/sampling.h"
+#include "poi360/obs/slo.h"
+#include "poi360/serve/telemetry.h"
 
 // Cell-scale fleet simulation: N first-class POI360 sessions per cell, every
 // one a full sender/receiver stack registered as a demand source on one
@@ -69,6 +73,11 @@ struct FleetConfig {
   lte::SharedCell::Config cell{};
   CrossTrafficSpec voice{2, 0.25, msec(1200), msec(1800)};
   CrossTrafficSpec ftp{1, 1.0, sec(6), sec(10)};
+
+  /// Live telemetry plane (per-(cell,rung) labeled families, SLO burn
+  /// rates, /metrics socket, sampled trace export). Defaults off; when off
+  /// the fleet summary is byte-identical to the pre-telemetry driver.
+  TelemetryConfig telemetry{};
 };
 
 /// Per-session outcome row of the fleet report.
@@ -131,7 +140,12 @@ double jain_index(const std::vector<double>& xs);
 /// the steady-state per-session step cost directly.
 class FleetCell {
  public:
-  FleetCell(const FleetConfig& config, int cell_index);
+  /// `plane`, when non-null, turns the cell's telemetry on: per-(cell,rung)
+  /// labeled families and SLO trackers published to the plane every
+  /// `telemetry.publish_period` of master time, plus deterministic trace
+  /// sampling when a trace_dir is set.
+  FleetCell(const FleetConfig& config, int cell_index,
+            TelemetryPlane* plane = nullptr);
   ~FleetCell();
 
   FleetCell(const FleetCell&) = delete;
@@ -147,6 +161,8 @@ class FleetCell {
   std::vector<FleetSessionResult> results() const;
   lte::SharedCell& shared_cell() { return cell_; }
   int sessions() const { return static_cast<int>(sessions_.size()); }
+  const obs::MetricsRegistry& telemetry_registry() const { return telemetry_; }
+  const obs::TraceSampler& trace_sampler() const { return sampler_; }
 
  private:
   struct CrossSource {
@@ -157,8 +173,25 @@ class FleetCell {
     SimDuration mean_off = 0;
   };
 
+  /// Per-rung cached telemetry series (stable registry references).
+  struct RungSeries {
+    obs::Gauge* sessions = nullptr;
+    obs::Gauge* freeze_ratio = nullptr;
+    obs::Gauge* mismatch_ratio = nullptr;
+    obs::Gauge* mean_delay_ms = nullptr;
+    obs::Gauge* displayed = nullptr;
+    obs::Counter* slo_breach[obs::kSloObjectives] = {};
+    obs::Counter* slo_recovered[obs::kSloObjectives] = {};
+    obs::BucketHistogram* delay_hist = nullptr;
+  };
+
   void add_cross_traffic(const CrossTrafficSpec& spec);
   void step_cross_traffic(SimTime t);
+  void register_telemetry();
+  /// Folds new frames of session `i` into its SLO counts + rung histogram.
+  void fold_session_frames(std::size_t i);
+  /// SLO pass + rung aggregates + publish to the plane.
+  void publish_telemetry(SimTime t);
 
   FleetConfig config_;
   int cell_index_ = 0;
@@ -170,6 +203,21 @@ class FleetCell {
   std::vector<std::string> errors_;  // non-empty = session failed
   std::vector<CrossSource> cross_;
   SimTime now_ = 0;
+
+  // Telemetry plane (all empty/idle when plane_ is null).
+  TelemetryPlane* plane_ = nullptr;
+  obs::MetricsRegistry telemetry_;
+  obs::TraceSampler sampler_;
+  std::vector<int> rung_index_;          ///< session -> rung series index
+  std::vector<RungSeries> rung_series_;  ///< one per distinct rung label
+  std::vector<obs::SloTracker> slo_;
+  std::vector<std::size_t> frame_cursor_;
+  std::vector<std::int64_t> displayed_seen_;
+  std::vector<std::int64_t> frozen_frames_;
+  std::vector<std::int64_t> mismatched_;
+  std::vector<std::int64_t> over_delay_;
+  std::vector<char> traced_;
+  SimTime next_publish_ = 0;
 };
 
 /// Runs the whole fleet: `cells` independent FleetCells sharded across
@@ -184,8 +232,15 @@ class FleetDriver {
 
   const FleetConfig& config() const { return config_; }
 
+  /// Present only when config.telemetry turns the plane on. The plane (and
+  /// its /metrics socket) lives until the driver is destroyed, so scrapes
+  /// after run() still see the final published state.
+  const TelemetryPlane* telemetry_plane() const { return plane_.get(); }
+  int metrics_port() const { return plane_ ? plane_->metrics_port() : -1; }
+
  private:
   FleetConfig config_;
+  std::unique_ptr<TelemetryPlane> plane_;
   bool ran_ = false;
 };
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "poi360/runner/experiment_spec.h"
+#include "poi360/runner/result_io.h"
 
 namespace poi360::serve {
 
@@ -54,6 +55,51 @@ SoakDriver::SoakDriver(SoakConfig config)
                            "serve.session.call_s"}) {
     registry_.histogram(name);
   }
+  register_telemetry();
+}
+
+void SoakDriver::register_telemetry() {
+  const TelemetryConfig& t = config_.telemetry;
+  sampler_ = obs::TraceSampler(t.trace_sampling);
+  if (!t.telemetry_on()) return;
+
+  // Same bounded-memory contract as the serve.* block above: every labeled
+  // series is registered here, once, and the cached references are the only
+  // write path afterwards.
+  plane_ = std::make_unique<TelemetryPlane>(t);
+  registry_.set_help("slo.breach",
+                     "SLO objectives newly breached (fast+slow burn over "
+                     "threshold)");
+  registry_.set_help("slo.recovered",
+                     "SLO objectives recovered (both burn rates back under "
+                     "threshold)");
+  registry_.set_help("serve.frame.delay_hist",
+                     "End-to-end frame delay distribution (ms)");
+  for (int o = 0; o < obs::kSloObjectives; ++o) {
+    const obs::Labels labels{
+        {"objective",
+         obs::slo_objective_name(static_cast<obs::SloObjective>(o))}};
+    slo_breach_[o] = &registry_.counter("slo.breach", labels);
+    slo_recovered_[o] = &registry_.counter("slo.recovered", labels);
+    slo_breached_sessions_[o] =
+        &registry_.gauge("slo.breached_sessions", labels);
+  }
+  slo_evaluations_ = &registry_.counter("slo.evaluations");
+  static constexpr const char* kCloseKinds[] = {"departure", "watchdog",
+                                                "shutdown", "failed"};
+  for (int k = 0; k < 4; ++k) {
+    closed_by_kind_[k] =
+        &registry_.counter("serve.sessions.closed", {{"kind", kCloseKinds[k]}});
+  }
+  delay_hist_ = &registry_.bucket_histogram(
+      "serve.frame.delay_hist", obs::BucketHistogram::latency_ms_bounds());
+  freeze_hist_ = &registry_.bucket_histogram(
+      "serve.session.freeze_ratio_hist", obs::BucketHistogram::ratio_bounds());
+  if (t.tracing_on()) {
+    trace_kept_ = &registry_.counter("serve.trace.kept");
+    trace_sampled_out_ = &registry_.counter("serve.trace.sampled_out");
+    trace_budget_rejected_ = &registry_.counter("serve.trace.budget_rejected");
+  }
 }
 
 SoakSummary SoakDriver::run() {
@@ -82,6 +128,9 @@ SoakSummary SoakDriver::run() {
     close_slot(i, CloseKind::kShutdown);
   }
   update_gauges();
+  // Final publish so a scraper that polls after the horizon sees the
+  // end-of-run state (the server stays up until the driver dies).
+  if (plane_) plane_->publish_rendered(registry_.prometheus_text());
   return summarize();
 }
 
@@ -165,6 +214,32 @@ void SoakDriver::on_arrival() {
   const std::size_t index = free_slots_.back();
   free_slots_.pop_back();
   Slot& slot = slots_[index];
+
+  if (config_.telemetry.tracing_on()) {
+    // Keep/drop is a pure function of the derived per-session seed — the
+    // same contract BatchRunner uses — so the sampled set is identical for
+    // any pool size or arrival interleaving.
+    if (sampler_.admit(
+            runner::derive_seed(config_.seed, static_cast<int>(id)))) {
+      mc.session.trace.enabled = true;
+      mc.session.trace.capacity = config_.telemetry.trace_sampling.ring_capacity;
+      slot.traced = true;
+    }
+    if (trace_kept_) trace_kept_->set(sampler_.kept());
+    if (trace_sampled_out_) trace_sampled_out_->set(sampler_.sampled_out());
+    if (trace_budget_rejected_) {
+      trace_budget_rejected_->set(sampler_.budget_rejected());
+    }
+  }
+  if (config_.telemetry.telemetry_on()) {
+    slot.slo = obs::SloTracker(config_.telemetry.slo);
+    slot.frame_cursor = 0;
+    slot.displayed_seen = 0;
+    slot.frozen_frames = 0;
+    slot.mismatched = 0;
+    slot.over_delay = 0;
+  }
+
   slot.ms.admit(std::move(mc), now);
   admission_.on_admitted(demand);
   ++live_;
@@ -214,9 +289,65 @@ void SoakDriver::on_watchdog_tick() {
 
 void SoakDriver::on_snapshot_tick() {
   update_gauges();
+  observe_slo();
   ++snapshots_taken_;
   registry_.counter("serve.snapshots.taken").inc();
-  snapshots_.push(Snapshot{sim_.now(), registry_.prometheus_text()});
+  std::string text = registry_.prometheus_text();
+  if (plane_) plane_->publish_rendered(text);
+  snapshots_.push(Snapshot{sim_.now(), std::move(text)});
+}
+
+void SoakDriver::fold_slot_frames(Slot& slot) {
+  const core::Session* session = slot.ms.session();
+  if (!session) return;
+  const metrics::SessionMetrics& m = session->metrics();
+  const auto& frames = m.frames();
+  const SimDuration freeze_threshold = slot.ms.config().session.freeze_threshold;
+  const SimDuration delay_target = config_.telemetry.slo.delay_target;
+  for (; slot.frame_cursor < frames.size(); ++slot.frame_cursor) {
+    const metrics::FrameRecord& f = frames[slot.frame_cursor];
+    ++slot.displayed_seen;
+    if (f.delay > freeze_threshold) ++slot.frozen_frames;
+    if (f.roi_mismatch) ++slot.mismatched;
+    if (f.delay > delay_target) ++slot.over_delay;
+    delay_hist_->observe(to_millis(f.delay));
+  }
+}
+
+void SoakDriver::observe_slo() {
+  if (!config_.telemetry.telemetry_on()) return;
+  const SimTime now = sim_.now();
+  int breached[obs::kSloObjectives] = {};
+  for (Slot& slot : slots_) {
+    if (slot.ms.state() != SessionState::kActive) continue;
+    fold_slot_frames(slot);
+    const core::Session* session = slot.ms.session();
+    if (!session) continue;
+    const obs::MetricsRegistry& reg = session->metrics().registry();
+    const std::int64_t lost =
+        reg.counter_value("sender.skipped_frames") +
+        session->observers().receiver->recovery_stats().frames_abandoned;
+    obs::SloSample sample;
+    sample.total = slot.displayed_seen + lost;
+    sample.frozen = slot.frozen_frames + lost;
+    sample.mismatched = slot.mismatched;
+    sample.over_delay = slot.over_delay;
+    slo_evaluations_->inc();
+    // Breach/recovery instants land in the session's own trace when it was
+    // sampled, correlated by arrival id.
+    obs::TraceRecorder* trace =
+        slot.traced ? slot.ms.session()->trace() : nullptr;
+    const obs::SloTransitions tr =
+        slot.slo.observe(now, sample, trace, slot.ms.id());
+    for (int o = 0; o < obs::kSloObjectives; ++o) {
+      if (tr.breached_now[o]) slo_breach_[o]->inc();
+      if (tr.recovered_now[o]) slo_recovered_[o]->inc();
+      if (slot.slo.status().breached[o]) ++breached[o];
+    }
+  }
+  for (int o = 0; o < obs::kSloObjectives; ++o) {
+    slo_breached_sessions_[o]->set(breached[o]);
+  }
 }
 
 void SoakDriver::mark_warmup() {
@@ -252,11 +383,38 @@ void SoakDriver::close_slot(std::size_t slot_index, CloseKind kind) {
   }
 
   harvest(ms);
+  close_slot_telemetry(slot, kind);
   admission_.on_released(config_.session.initial_rate);
   --live_;
   ++slot.generation;  // invalidates the pending departure event, if any
   ms.release();
   free_slots_.push_back(static_cast<std::uint32_t>(slot_index));
+}
+
+void SoakDriver::close_slot_telemetry(Slot& slot, CloseKind kind) {
+  if (config_.telemetry.telemetry_on()) {
+    closed_by_kind_[static_cast<int>(kind)]->inc();
+    fold_slot_frames(slot);  // consume the tail since the last snapshot tick
+    const core::Session* session = slot.ms.session();
+    if (session) {
+      freeze_hist_->observe(session->metrics().freeze_ratio(
+          slot.ms.config().session.freeze_threshold));
+    }
+  }
+  if (slot.traced) {
+    const core::Session* session = slot.ms.session();
+    if (session && session->trace()) {
+      runner::RunSpec rs;
+      rs.run_id = static_cast<int>(slot.ms.id());
+      rs.experiment = "soak";
+      rs.seed = slot.ms.config().session.seed;
+      runner::write_trace(
+          config_.telemetry.trace_dir + "/" + runner::trace_file_name(rs),
+          *session->trace(), "soak#" + std::to_string(slot.ms.id()));
+    }
+    sampler_.release();
+    slot.traced = false;
+  }
 }
 
 void SoakDriver::harvest(const ManagedSession& ms) {

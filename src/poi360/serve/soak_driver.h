@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,8 +10,11 @@
 #include "poi360/common/time.h"
 #include "poi360/core/config.h"
 #include "poi360/obs/metrics_registry.h"
+#include "poi360/obs/sampling.h"
+#include "poi360/obs/slo.h"
 #include "poi360/serve/admission.h"
 #include "poi360/serve/managed_session.h"
+#include "poi360/serve/telemetry.h"
 #include "poi360/sim/simulator.h"
 
 namespace poi360::serve {
@@ -67,6 +71,10 @@ struct SoakConfig {
   /// Arrival indices whose media path is born dead (100% core-link loss):
   /// the injected stuck-session scenario the watchdog must catch.
   std::vector<std::int64_t> stuck_arrivals{};
+
+  /// Live telemetry plane (labeled families, SLO engine, /metrics socket,
+  /// sampled trace export). Everything defaults off; see TelemetryConfig.
+  TelemetryConfig telemetry{};
 };
 
 /// Deterministic end-of-run report: same (config, seed) => byte-identical
@@ -130,6 +138,12 @@ class SoakDriver {
   const obs::MetricsRegistry& registry() const { return registry_; }
   const RingBuffer<Snapshot>& snapshots() const { return snapshots_; }
 
+  /// Present only when the telemetry plane is on (config.telemetry).
+  const TelemetryPlane* telemetry_plane() const { return plane_.get(); }
+  /// Actual /metrics port, or -1 when no server is running.
+  int metrics_port() const { return plane_ ? plane_->metrics_port() : -1; }
+  const obs::TraceSampler& trace_sampler() const { return sampler_; }
+
   int live_sessions() const { return live_; }
   int peak_concurrent() const { return peak_concurrent_; }
   SimTime now() const { return sim_.now(); }
@@ -138,6 +152,14 @@ class SoakDriver {
   struct Slot {
     ManagedSession ms;
     std::uint64_t generation = 0;  ///< guards stale departure events
+    // Telemetry-plane state, touched only when config.telemetry is on.
+    obs::SloTracker slo{};
+    std::size_t frame_cursor = 0;   ///< frames already folded into SLO counts
+    std::int64_t displayed_seen = 0;
+    std::int64_t frozen_frames = 0;
+    std::int64_t mismatched = 0;
+    std::int64_t over_delay = 0;
+    bool traced = false;  ///< sampled: recorder on, exported at close
   };
   enum class CloseKind { kDeparture, kWatchdog, kShutdown, kFailed };
 
@@ -153,6 +175,15 @@ class SoakDriver {
   void harvest(const ManagedSession& ms);
   void update_gauges();
   SoakSummary summarize() const;
+
+  // Telemetry plane (no-ops when config.telemetry is off).
+  void register_telemetry();
+  /// Folds frames past the slot's cursor into its cumulative SLO counts and
+  /// the delay bucket histogram.
+  void fold_slot_frames(Slot& slot);
+  /// Evaluates every active session's SLO trackers (snapshot tick).
+  void observe_slo();
+  void close_slot_telemetry(Slot& slot, CloseKind kind);
 
   SoakConfig config_;
   sim::Simulator sim_;
@@ -172,6 +203,21 @@ class SoakDriver {
   std::size_t registry_entries_warmup_ = 0;
   std::uint64_t snapshots_taken_ = 0;
   bool ran_ = false;
+
+  // Telemetry plane. Cached stable series references (the labeled-family
+  // hot-path contract): never re-looked-up after construction.
+  std::unique_ptr<TelemetryPlane> plane_;
+  obs::TraceSampler sampler_;
+  obs::Counter* slo_breach_[obs::kSloObjectives] = {};
+  obs::Counter* slo_recovered_[obs::kSloObjectives] = {};
+  obs::Gauge* slo_breached_sessions_[obs::kSloObjectives] = {};
+  obs::Counter* slo_evaluations_ = nullptr;
+  obs::Counter* closed_by_kind_[4] = {};  ///< indexed by CloseKind
+  obs::BucketHistogram* delay_hist_ = nullptr;
+  obs::BucketHistogram* freeze_hist_ = nullptr;
+  obs::Counter* trace_kept_ = nullptr;
+  obs::Counter* trace_sampled_out_ = nullptr;
+  obs::Counter* trace_budget_rejected_ = nullptr;
 };
 
 }  // namespace poi360::serve

@@ -1,0 +1,29 @@
+#include "poi360/serve/telemetry.h"
+
+#include <utility>
+
+namespace poi360::serve {
+
+TelemetryPlane::TelemetryPlane(const TelemetryConfig& config)
+    : config_(config) {
+  if (config_.metrics_port >= 0) {
+    obs::MetricsHttpServer::Config sc;
+    sc.port = config_.metrics_port;
+    server_ = std::make_unique<obs::MetricsHttpServer>(sc);
+  }
+}
+
+TelemetryPlane::~TelemetryPlane() = default;
+
+void TelemetryPlane::publish(const obs::MetricsRegistry& src) {
+  std::lock_guard<std::mutex> lock(mu_);
+  master_.overwrite_from(src);
+  if (server_) server_->publish(master_.prometheus_text());
+}
+
+void TelemetryPlane::publish_rendered(std::string text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (server_) server_->publish(std::move(text));
+}
+
+}  // namespace poi360::serve

@@ -1,0 +1,83 @@
+# Helper for the simd_diff_gate ctest target: build a representative figure
+# bench twice — the outer (scalar) build and a nested -DPOI360_SIMD=ON
+# build — run both with identical args, and byte-compare the stdouts.
+# Identical bytes pass immediately; any difference is handed to
+# tools/simd_drift.py, which tolerates last-digit lane-reassociation drift
+# but fails on structural mismatch or excess numeric drift (and prints the
+# full drift report either way). The nested build directory persists
+# between invocations, so after the first configure the gate is an
+# incremental rebuild.
+# Variables: SRC_DIR, OUTER_DIR, GATE_DIR, PYTHON, BENCH (binary name,
+# default bench_fig11_roi_quality), RUN_ARGS (space-separated, default
+# "--jobs 2"), DRIFT_ARGS (extra simd_drift.py flags, optional).
+
+if(NOT BENCH)
+  set(BENCH bench_fig11_roi_quality)
+endif()
+if(NOT RUN_ARGS)
+  set(RUN_ARGS "--jobs 2")
+endif()
+separate_arguments(run_args_list UNIX_COMMAND "${RUN_ARGS}")
+separate_arguments(drift_args_list UNIX_COMMAND "${DRIFT_ARGS}")
+
+if(NOT EXISTS ${GATE_DIR}/CMakeCache.txt)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -S ${SRC_DIR} -B ${GATE_DIR}
+      -DPOI360_SIMD=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+    RESULT_VARIABLE config_rc)
+  if(NOT config_rc EQUAL 0)
+    message(FATAL_ERROR "simd diff gate configure failed (rc=${config_rc})")
+  endif()
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${GATE_DIR} -j 2 --target ${BENCH}
+  RESULT_VARIABLE simd_build_rc)
+if(NOT simd_build_rc EQUAL 0)
+  message(FATAL_ERROR "simd diff gate build failed (rc=${simd_build_rc})")
+endif()
+
+# The outer (scalar) binary is normally already built; make sure.
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${OUTER_DIR} -j 2 --target ${BENCH}
+  RESULT_VARIABLE scalar_build_rc)
+if(NOT scalar_build_rc EQUAL 0)
+  message(FATAL_ERROR "scalar bench build failed (rc=${scalar_build_rc})")
+endif()
+
+set(scalar_out ${GATE_DIR}/${BENCH}.scalar.txt)
+set(simd_out ${GATE_DIR}/${BENCH}.simd.txt)
+
+execute_process(
+  COMMAND ${OUTER_DIR}/bench/${BENCH} ${run_args_list}
+  OUTPUT_FILE ${scalar_out}
+  RESULT_VARIABLE scalar_rc)
+if(NOT scalar_rc EQUAL 0)
+  message(FATAL_ERROR "scalar ${BENCH} failed (rc=${scalar_rc})")
+endif()
+
+execute_process(
+  COMMAND ${GATE_DIR}/bench/${BENCH} ${run_args_list}
+  OUTPUT_FILE ${simd_out}
+  RESULT_VARIABLE simd_rc)
+if(NOT simd_rc EQUAL 0)
+  message(FATAL_ERROR "SIMD ${BENCH} failed (rc=${simd_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${scalar_out} ${simd_out}
+  RESULT_VARIABLE diff_rc)
+if(diff_rc EQUAL 0)
+  message(STATUS "simd diff gate: ${BENCH} stdout byte-identical to scalar")
+  return()
+endif()
+
+message(STATUS "simd diff gate: ${BENCH} stdout differs; checking drift")
+execute_process(
+  COMMAND ${PYTHON} ${SRC_DIR}/tools/simd_drift.py
+          ${scalar_out} ${simd_out} ${drift_args_list}
+  RESULT_VARIABLE drift_rc)
+if(NOT drift_rc EQUAL 0)
+  message(FATAL_ERROR
+          "simd diff gate: ${BENCH} drift beyond tolerance (rc=${drift_rc})")
+endif()

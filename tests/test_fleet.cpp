@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -257,6 +259,88 @@ TEST(Fleet, RunIsSingleShot) {
   serve::FleetDriver driver(config);
   driver.run();
   EXPECT_THROW(driver.run(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet telemetry plane.
+
+// Turning the plane on must not change a byte of the fleet report — the
+// telemetry is an observer, not a participant.
+TEST(FleetTelemetry, PlaneOnKeepsSummaryByteIdentical) {
+  const serve::FleetConfig plain = small_fleet();
+  serve::FleetConfig instrumented = plain;
+  instrumented.telemetry.enabled = true;
+  const serve::FleetSummary a = serve::FleetDriver(plain).run();
+  const serve::FleetSummary b = serve::FleetDriver(instrumented).run();
+  EXPECT_EQ(serve::to_text(a), serve::to_text(b));
+  EXPECT_EQ(serve::to_json(a), serve::to_json(b));
+}
+
+// The merged master registry must be identical for every worker count:
+// cells own disjoint (cell, rung) label sets and publish idempotently.
+TEST(FleetGate, TelemetryMasterIdenticalAcrossJobs) {
+  serve::FleetConfig config = small_fleet();
+  config.telemetry.enabled = true;
+  config.jobs = 1;
+  serve::FleetDriver serial(config);
+  serial.run();
+  config.jobs = 4;
+  serve::FleetDriver sharded(config);
+  sharded.run();
+
+  ASSERT_NE(serial.telemetry_plane(), nullptr);
+  ASSERT_NE(sharded.telemetry_plane(), nullptr);
+  const std::string a = serial.telemetry_plane()->registry().prometheus_text();
+  const std::string b = sharded.telemetry_plane()->registry().prometheus_text();
+  EXPECT_EQ(a, b);
+
+  // Per-(cell,rung) labeled families made it into the master.
+  EXPECT_NE(a.find("poi360_fleet_freeze_ratio{cell=\"0\","
+                   "rung=\"FBCC/POI360\"}"),
+            std::string::npos)
+      << a;
+  EXPECT_NE(a.find("poi360_fleet_freeze_ratio{cell=\"1\","
+                   "rung=\"GCC/POI360\"}"),
+            std::string::npos);
+  EXPECT_NE(a.find("# TYPE poi360_fleet_frame_delay_hist histogram"),
+            std::string::npos);
+  // Both cells' sessions were counted.
+  EXPECT_NE(a.find("poi360_fleet_sessions{cell=\"0\","
+                   "rung=\"FBCC/POI360\"} 2"),
+            std::string::npos);
+}
+
+TEST(FleetTelemetry, TraceSamplingExportsBoundedSubset) {
+  serve::FleetConfig config = small_fleet();
+  config.sessions_per_cell = 6;
+  const std::string dir =
+      std::string(::testing::TempDir()) + "poi360_fleet_traces";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  config.telemetry.trace_dir = dir;
+  config.telemetry.enabled = true;
+  config.telemetry.trace_sampling.keep_fraction = 0.5;
+  config.telemetry.trace_sampling.max_concurrent = 3;  // per cell
+
+  serve::FleetDriver driver(config);
+  const serve::FleetSummary summary = driver.run();
+  EXPECT_EQ(summary.failed_sessions, 0);
+
+  std::size_t files = 0;
+  for (const auto& de : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(de.path().string().find(".trace.json"), std::string::npos);
+    ++files;
+  }
+  // Sampled subset: bounded by the per-cell budget, nonzero for this seed.
+  EXPECT_GT(files, 0u);
+  EXPECT_LE(files, 2u * 3u);  // cells * max_concurrent
+  // Trace accounting surfaced per cell in the master registry.
+  const std::string text =
+      driver.telemetry_plane()->registry().prometheus_text();
+  EXPECT_NE(text.find("poi360_fleet_trace_kept{cell=\"0\"}"),
+            std::string::npos)
+      << text;
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -22,7 +26,10 @@
 
 #include "poi360/core/config.h"
 #include "poi360/core/session.h"
+#include "poi360/obs/metrics_http.h"
 #include "poi360/obs/metrics_registry.h"
+#include "poi360/obs/sampling.h"
+#include "poi360/obs/slo.h"
 #include "poi360/obs/trace.h"
 #include "poi360/obs/trace_export.h"
 #include "poi360/runner/batch_runner.h"
@@ -486,4 +493,498 @@ TEST(RunnerTrace, BatchWritesPerRunTraces) {
     // The wireline session still produces the frame track.
     EXPECT_NE(body.find("\"name\":\"display\""), std::string::npos);
   }
+}
+
+// ---------------------------------------------------- labeled families --
+
+TEST(LabeledMetrics, LabelOrderCanonicalizesToOneSeries) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a =
+      reg.counter("fleet.freeze", {{"cell", "3"}, {"rung", "fbcc"}});
+  obs::Counter& b =
+      reg.counter("fleet.freeze", {{"rung", "fbcc"}, {"cell", "3"}});
+  EXPECT_EQ(&a, &b);  // same series regardless of registration order
+  a.inc(5);
+  EXPECT_EQ(
+      reg.counter_value("fleet.freeze", {{"rung", "fbcc"}, {"cell", "3"}}), 5);
+  // A different label set is a different series of the same family.
+  reg.counter("fleet.freeze", {{"cell", "4"}, {"rung", "fbcc"}}).inc();
+  EXPECT_EQ(
+      reg.counter_value("fleet.freeze", {{"cell", "4"}, {"rung", "fbcc"}}), 1);
+  // The flat series is independent of every labeled one.
+  EXPECT_EQ(reg.counter_value("fleet.freeze"), 0);
+  EXPECT_EQ(reg.find_counter("fleet.freeze", {{"cell", "9"}}), nullptr);
+}
+
+TEST(LabeledMetrics, ReferencesStayStableAcrossGrowth) {
+  obs::MetricsRegistry reg;
+  obs::Counter& first = reg.counter("m", {{"k", "0"}});
+  obs::Gauge& g = reg.gauge("g", {{"k", "0"}});
+  for (int i = 1; i < 200; ++i) {
+    const std::string v = std::to_string(i);
+    reg.counter("m", {{"k", v}}).inc();
+    reg.gauge("g", {{"k", v}}).set(i);
+    reg.counter("other." + v).inc();
+  }
+  first.inc(7);  // cached pointer from before 600 more registrations
+  g.set(3.5);
+  EXPECT_EQ(reg.counter_value("m", {{"k", "0"}}), 7);
+  EXPECT_EQ(reg.gauge_value("g", {{"k", "0"}}), 3.5);
+}
+
+TEST(LabeledMetrics, MergeAndOverwriteAreLabelAware) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.counter("n", {{"cell", "0"}}).set(3);
+  b.counter("n", {{"cell", "0"}}).set(4);
+  b.counter("n", {{"cell", "1"}}).set(10);
+  b.gauge("g", {{"cell", "0"}}).set(2.0);
+
+  a.merge_from(b);
+  EXPECT_EQ(a.counter_value("n", {{"cell", "0"}}), 7);   // add
+  EXPECT_EQ(a.counter_value("n", {{"cell", "1"}}), 10);  // adopted
+  EXPECT_EQ(a.gauge_value("g", {{"cell", "0"}}), 2.0);
+
+  // overwrite_from is idempotent publish: re-applying never double-counts.
+  obs::MetricsRegistry master;
+  master.overwrite_from(b);
+  master.overwrite_from(b);
+  EXPECT_EQ(master.counter_value("n", {{"cell", "0"}}), 4);
+  EXPECT_EQ(master.counter_value("n", {{"cell", "1"}}), 10);
+}
+
+TEST(LabeledMetrics, SnapshotRendersLabeledSeriesNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("m", {{"cell", "1"}, {"rung", "gcc"}}).inc(2);
+  const auto entries = reg.snapshot();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "m{cell=\"1\",rung=\"gcc\"}");
+  EXPECT_EQ(entries[0].kind, "counter");
+  EXPECT_EQ(entries[0].value, 2.0);
+}
+
+// --------------------------------------------------- bucket histograms --
+
+TEST(BucketHistogramTest, BoundaryAssignmentIsLe) {
+  obs::BucketHistogram h({1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.0);  // exactly on a bound counts into that bucket (le)
+  h.observe(1.5);
+  h.observe(99.0);
+  ASSERT_EQ(h.bucket_counts().size(), 3u);
+  EXPECT_EQ(h.bucket_counts()[0], 2);  // 0.5, 1.0
+  EXPECT_EQ(h.bucket_counts()[1], 1);  // 1.5
+  EXPECT_EQ(h.bucket_counts()[2], 1);  // +Inf: 99.0
+  EXPECT_EQ(h.cumulative(0), 2);
+  EXPECT_EQ(h.cumulative(1), 3);
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.sum(), 102.0);
+}
+
+TEST(BucketHistogramTest, RejectsUnsortedBoundsAndMismatchedMerge) {
+  EXPECT_THROW(obs::BucketHistogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::BucketHistogram({1.0, 1.0}), std::invalid_argument);
+  obs::BucketHistogram a({1.0, 2.0});
+  obs::BucketHistogram b({1.0, 3.0});
+  EXPECT_THROW(a.merge_from(b), std::invalid_argument);
+  obs::BucketHistogram c({1.0, 2.0});
+  c.observe(0.5);
+  a.observe(5.0);
+  a.merge_from(c);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_EQ(a.bucket_counts()[0], 1);
+  EXPECT_EQ(a.bucket_counts()[2], 1);
+}
+
+TEST(BucketHistogramTest, RegistryBoundsApplyOnFirstRegistrationOnly) {
+  obs::MetricsRegistry reg;
+  obs::BucketHistogram& h =
+      reg.bucket_histogram("d", obs::BucketHistogram::latency_ms_bounds());
+  obs::BucketHistogram& again = reg.bucket_histogram("d", {1.0});
+  EXPECT_EQ(&h, &again);
+  EXPECT_EQ(again.bounds(), obs::BucketHistogram::latency_ms_bounds());
+  // Labeled variant too.
+  obs::BucketHistogram& lab =
+      reg.bucket_histogram("d", {5.0}, {{"cell", "0"}});
+  EXPECT_EQ(lab.bounds(), std::vector<double>{5.0});
+  EXPECT_EQ(&lab, &reg.bucket_histogram("d", {9.0}, {{"cell", "0"}}));
+}
+
+// ------------------------------------------- Prometheus exposition spec --
+
+namespace {
+
+// Minimal exposition-format checker: every sample parses as
+// `name[{labels}] value`, every sample's family has exactly one preceding
+// `# TYPE`, and histogram bucket series are cumulative with a terminal
+// `+Inf` equal to `_count`.
+void check_exposition_conformance(const std::string& text) {
+  std::map<std::string, std::string> type_of;  // family -> type
+  std::map<std::string, std::vector<double>> bucket_values;  // series -> le
+  std::map<std::string, double> sample_values;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      std::istringstream ls(line);
+      std::string hash, kind, fam, rest;
+      ls >> hash >> kind >> fam;
+      ASSERT_TRUE(kind == "TYPE" || kind == "HELP") << line;
+      if (kind == "TYPE") {
+        ls >> rest;
+        ASSERT_TRUE(rest == "counter" || rest == "gauge" ||
+                    rest == "summary" || rest == "histogram")
+            << line;
+        ASSERT_EQ(type_of.count(fam), 0u) << "duplicate TYPE for " << fam;
+        type_of[fam] = rest;
+      }
+      continue;
+    }
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string series = line.substr(0, space);
+    char* end = nullptr;
+    const double value = std::strtod(line.c_str() + space + 1, &end);
+    ASSERT_EQ(*end, '\0') << "unparsable value in: " << line;
+    sample_values[series] = value;
+
+    std::string name = series.substr(0, series.find('{'));
+    // Metric names must stay in the spec charset.
+    for (char c : name) {
+      ASSERT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << "bad metric name char in " << name;
+    }
+    // Resolve the family: the name itself, or name minus a known suffix.
+    std::string family;
+    if (type_of.count(name)) {
+      family = name;
+    } else {
+      for (const char* suffix : {"_bucket", "_count", "_sum"}) {
+        const std::string s = suffix;
+        if (name.size() > s.size() &&
+            name.compare(name.size() - s.size(), s.size(), s) == 0) {
+          const std::string base = name.substr(0, name.size() - s.size());
+          if (type_of.count(base)) family = base;
+        }
+      }
+    }
+    ASSERT_FALSE(family.empty()) << "sample without TYPE: " << name;
+
+    if (type_of[family] == "histogram" && name == family + "_bucket") {
+      const auto le = series.find("le=\"");
+      ASSERT_NE(le, std::string::npos) << series;
+      const std::string le_val =
+          series.substr(le + 4, series.find('"', le + 4) - le - 4);
+      const std::string key =
+          family;  // per-family check is enough for our single-series tests
+      bucket_values[key].push_back(value);
+      if (le_val == "+Inf") {
+        // Terminal bucket equals _count for the same (flat) series.
+        const auto count_it = sample_values.find(family + "_count");
+        if (count_it != sample_values.end()) {
+          EXPECT_EQ(value, count_it->second) << family;
+        }
+      }
+    }
+  }
+  for (const auto& [family, values] : bucket_values) {
+    for (std::size_t i = 1; i < values.size(); ++i) {
+      EXPECT_LE(values[i - 1], values[i])
+          << family << " bucket series not cumulative";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(PrometheusConformance, SanitizesNamesAndLabelNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve arrivals!").inc(3);
+  reg.gauge("m", {{"cell-id", "a"}, {"3gpp", "b"}}).set(1.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE poi360_serve_arrivals_ counter\n"
+                      "poi360_serve_arrivals_ 3\n"),
+            std::string::npos)
+      << text;
+  // Label names sanitize to [a-zA-Z0-9_] with a '_' guard for digit starts.
+  EXPECT_NE(text.find("poi360_m{_3gpp=\"b\",cell_id=\"a\"} 1\n"),
+            std::string::npos)
+      << text;
+  check_exposition_conformance(text);
+}
+
+TEST(PrometheusConformance, HelpPrecedesTypeAndEscapes) {
+  obs::MetricsRegistry reg;
+  reg.set_help("x", "freeze line1\nline2 with \\slash");
+  reg.counter("x").inc();
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP poi360_x freeze line1\\nline2 with \\\\slash\n"
+                      "# TYPE poi360_x counter\n"
+                      "poi360_x 1\n"),
+            std::string::npos)
+      << text;
+  // No HELP line for families without set_help.
+  obs::MetricsRegistry bare;
+  bare.counter("y").inc();
+  EXPECT_EQ(bare.prometheus_text().find("# HELP"), std::string::npos);
+}
+
+TEST(PrometheusConformance, LabelValuesEscapeQuotesBackslashesNewlines) {
+  obs::MetricsRegistry reg;
+  reg.counter("m", {{"l", "a\"b\\c\nd"}}).inc();
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("poi360_m{l=\"a\\\"b\\\\c\\nd\"} 1\n"),
+            std::string::npos)
+      << text;
+}
+
+TEST(PrometheusConformance, BucketHistogramExposition) {
+  obs::MetricsRegistry reg;
+  obs::BucketHistogram& h = reg.bucket_histogram("h", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.5);
+  h.observe(99.0);
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# TYPE poi360_h histogram\n"
+                      "poi360_h_bucket{le=\"1\"} 1\n"
+                      "poi360_h_bucket{le=\"2\"} 3\n"
+                      "poi360_h_bucket{le=\"+Inf\"} 4\n"
+                      "poi360_h_sum 102.5\n"
+                      "poi360_h_count 4\n"),
+            std::string::npos)
+      << text;
+  check_exposition_conformance(text);
+}
+
+TEST(PrometheusConformance, FullRegistryPassesMiniParser) {
+  obs::MetricsRegistry reg;
+  reg.set_help("serve.arrivals", "sessions admitted");
+  reg.counter("serve.arrivals").inc(3);
+  reg.counter("fleet.freeze", {{"cell", "0"}, {"rung", "FBCC/POI360"}}).inc();
+  reg.counter("fleet.freeze", {{"cell", "1"}, {"rung", "GCC/POI360"}}).inc(2);
+  reg.gauge("serve.live").set(4);
+  reg.gauge("fleet.rate", {{"cell", "0"}}).set(2.5e6);
+  reg.histogram("frame.delay_ms").observe(12.0);
+  reg.histogram("frame.delay_ms").observe(200.0);
+  reg.histogram("fleet.delay", {{"cell", "0"}}).observe(5.0);
+  reg.bucket_histogram("serve.delay_hist",
+                       obs::BucketHistogram::latency_ms_bounds())
+      .observe(42.0);
+  reg.bucket_histogram("fleet.delay_hist",
+                       obs::BucketHistogram::ratio_bounds(), {{"cell", "0"}})
+      .observe(0.3);
+  const std::string text = reg.prometheus_text();
+  check_exposition_conformance(text);
+  // Flat and labeled series of one family share a single TYPE line.
+  reg.counter("fleet.freeze").inc(9);
+  const std::string mixed = reg.prometheus_text();
+  check_exposition_conformance(mixed);
+  EXPECT_NE(mixed.find("# TYPE poi360_fleet_freeze counter\n"
+                       "poi360_fleet_freeze 9\n"
+                       "poi360_fleet_freeze{cell=\"0\",rung=\"FBCC/POI360\"} "
+                       "1\n"),
+            std::string::npos)
+      << mixed;
+}
+
+// --------------------------------------------------- /metrics endpoint --
+
+namespace {
+
+// Minimal blocking HTTP/1.1 GET against 127.0.0.1:<port>; returns the full
+// response (headers + body).
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace
+
+TEST(MetricsHttpServerTest, ScrapeRoundTripOnEphemeralPort) {
+  obs::MetricsRegistry reg;
+  reg.counter("serve.arrivals").inc(3);
+  reg.counter("fleet.freeze", {{"cell", "0"}, {"rung", "fbcc"}}).inc();
+  reg.bucket_histogram("d", {10.0, 100.0}).observe(42.0);
+  const std::string published = reg.prometheus_text();
+
+  obs::MetricsHttpServer server(obs::MetricsHttpServer::Config{0, "127.0.0.1"});
+  ASSERT_GT(server.port(), 0);
+  server.publish(published);
+
+  const std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u) << resp;
+  EXPECT_NE(resp.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << resp;
+  const auto body_at = resp.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const std::string body = resp.substr(body_at + 4);
+  EXPECT_EQ(body, published);  // byte-exact round trip
+  check_exposition_conformance(body);
+
+  EXPECT_NE(http_get(server.port(), "/healthz").find("ok\n"),
+            std::string::npos);
+  EXPECT_EQ(http_get(server.port(), "/nope").rfind("HTTP/1.1 404", 0), 0u);
+  EXPECT_EQ(server.requests_served(), 3u);
+
+  // Re-publish swaps atomically; next scrape sees the new text.
+  reg.counter("serve.arrivals").inc();
+  server.publish(reg.prometheus_text());
+  const std::string resp2 = http_get(server.port(), "/metrics");
+  EXPECT_NE(resp2.find("poi360_serve_arrivals 4\n"), std::string::npos);
+  server.stop();
+  EXPECT_EQ(server.requests_served(), 4u);
+}
+
+TEST(MetricsHttpServerTest, EmptyUntilFirstPublishAndStopIsIdempotent) {
+  obs::MetricsHttpServer server(obs::MetricsHttpServer::Config{0, "127.0.0.1"});
+  const std::string resp = http_get(server.port(), "/metrics");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("Content-Length: 0\r\n"), std::string::npos) << resp;
+  server.stop();
+  server.stop();  // safe to call twice; dtor will call it again
+}
+
+// ------------------------------------------------------ trace sampling --
+
+TEST(TraceSamplerTest, DecisionsAreDeterministicAndUnbiased) {
+  obs::TraceSampleConfig config;
+  config.keep_fraction = 0.25;
+  config.max_concurrent = 0;  // unlimited
+  obs::TraceSampler a(config);
+  obs::TraceSampler b(config);
+  int kept = 0;
+  for (std::uint64_t s = 0; s < 4000; ++s) {
+    ASSERT_EQ(a.keeps(s), b.keeps(s));  // pure function of the seed
+    if (a.keeps(s)) ++kept;
+  }
+  // SplitMix64-mixed uniform: expect ~1000 keeps out of 4000.
+  EXPECT_GT(kept, 800);
+  EXPECT_LT(kept, 1200);
+  // Edge fractions are exact, not probabilistic.
+  obs::TraceSampler all(obs::TraceSampleConfig{1.0, 0, 1});
+  obs::TraceSampler none(obs::TraceSampleConfig{0.0, 0, 1});
+  EXPECT_TRUE(all.keeps(123));
+  EXPECT_FALSE(none.keeps(123));
+}
+
+TEST(TraceSamplerTest, BudgetBoundsLiveRecordersAndCountsExactly) {
+  obs::TraceSampleConfig config;
+  config.keep_fraction = 1.0;
+  config.max_concurrent = 2;
+  obs::TraceSampler s(config);
+  EXPECT_TRUE(s.admit(1));
+  EXPECT_TRUE(s.admit(2));
+  EXPECT_FALSE(s.admit(3));  // over budget, not sampled out
+  EXPECT_EQ(s.budget_rejected(), 1);
+  EXPECT_EQ(s.kept(), 2);
+  EXPECT_EQ(s.live(), 2);
+  s.release();
+  EXPECT_TRUE(s.admit(4));
+  EXPECT_EQ(s.decisions(), 4);
+  EXPECT_EQ(s.kept() + s.sampled_out() + s.budget_rejected(), s.decisions());
+}
+
+// ---------------------------------------------------------- SLO engine --
+
+namespace {
+
+obs::SloConfig fast_slo() {
+  obs::SloConfig config;
+  config.freeze_budget = 0.05;
+  config.fast_window = sec(60);
+  config.slow_window = sec(300);
+  config.fast_burn_threshold = 6.0;
+  config.slow_burn_threshold = 1.0;
+  return config;
+}
+
+}  // namespace
+
+TEST(SloTrackerTest, BreachesOnBurnAndRecoversWithHysteresis) {
+  obs::SloTracker slo(fast_slo());
+  obs::TraceRecorder trace;
+
+  // First observation only anchors the windows.
+  auto t0 = slo.observe(sec(0), {0, 0, 0, 0}, &trace, 7);
+  EXPECT_EQ(t0.breaches, 0);
+
+  // 50% frozen over a minute: burn 10x on both windows -> breach.
+  auto t1 = slo.observe(sec(60), {1000, 500, 0, 0}, &trace, 7);
+  EXPECT_EQ(t1.breaches, 1);
+  EXPECT_TRUE(t1.breached_now[0]);
+  EXPECT_TRUE(slo.any_breached());
+  EXPECT_GE(slo.status().burn_fast[0], 6.0);
+
+  // Clean frames for long enough that both windows drop below threshold.
+  auto t2 = slo.observe(sec(400), {10000, 500, 0, 0}, &trace, 7);
+  EXPECT_EQ(t2.recoveries, 1);
+  EXPECT_TRUE(t2.recovered_now[0]);
+  EXPECT_FALSE(slo.any_breached());
+
+  // Both transitions landed in the trace with burn rates attached.
+  int breach_events = 0;
+  int recover_events = 0;
+  for (const obs::TraceEvent& e : trace.snapshot()) {
+    if (std::string_view(e.name) == "slo.breach") ++breach_events;
+    if (std::string_view(e.name) == "slo.recovered") ++recover_events;
+    if (std::string_view(e.name) == "slo.breach") {
+      ASSERT_GE(e.n_args, 2);
+      EXPECT_STREQ(e.args[0].key, "objective");
+      EXPECT_EQ(e.id, 7);
+    }
+  }
+  EXPECT_EQ(breach_events, 1);
+  EXPECT_EQ(recover_events, 1);
+}
+
+TEST(SloTrackerTest, SlowWindowFiltersShortBlips) {
+  obs::SloConfig config = fast_slo();
+  // A short spike must clear the slow threshold too before breaching.
+  config.fast_window = sec(10);
+  config.slow_burn_threshold = 3.0;
+  obs::SloTracker slo(config);
+  slo.observe(sec(0), {0, 0, 0, 0});
+  // Long clean history...
+  slo.observe(sec(240), {24000, 0, 0, 0});
+  // ...then a sharp 10-second spike: fast burn is huge, but the slow window
+  // still averages over the clean 4 minutes.
+  auto t = slo.observe(sec(250), {24100, 90, 0, 0});
+  EXPECT_GE(slo.status().burn_fast[0], 6.0);
+  EXPECT_LT(slo.status().burn_slow[0], 3.0);
+  EXPECT_EQ(t.breaches, 0);
+  EXPECT_FALSE(slo.any_breached());
+}
+
+TEST(SloTrackerTest, ResetForgetsHistoryForSlotReuse) {
+  obs::SloTracker slo(fast_slo());
+  slo.observe(sec(0), {0, 0, 0, 0});
+  slo.observe(sec(60), {1000, 500, 0, 0});
+  EXPECT_TRUE(slo.any_breached());
+  slo.reset();
+  EXPECT_FALSE(slo.any_breached());
+  // Post-reset, the first observation anchors again instead of rating.
+  auto t = slo.observe(sec(120), {5000, 5000, 0, 0});
+  EXPECT_EQ(t.breaches, 0);
 }

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <string>
@@ -487,6 +488,75 @@ TEST(CorpusReplay, CommittedCorpusStaysWithinEnvelopes) {
 
   for (const ReplayResult& r : replay_corpus(dir, /*jobs=*/0)) {
     EXPECT_TRUE(r.ok) << r.name << "\n" << r.detail;
+  }
+}
+
+// ------------------------------------------------- near-edge margin report
+
+// margin = 0 (the CI default) must leave the replay detail byte-identical
+// to the pre-margin format: the committed-corpus gate diffs this text.
+TEST(CorpusReplay, ZeroMarginKeepsDetailBytesAndPopulatesMargins) {
+  const std::string dir = POI360_CORPUS_DIR;
+  const std::vector<ReplayResult> plain = replay_corpus(dir, /*jobs=*/0);
+  const std::vector<ReplayResult> zero =
+      replay_corpus(dir, /*jobs=*/0, /*near_edge_margin=*/0.0);
+  ASSERT_EQ(plain.size(), zero.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].detail, zero[i].detail);
+    EXPECT_FALSE(zero[i].near_edge);
+    // Margins are computed regardless so callers can rank tightness.
+    EXPECT_FALSE(zero[i].margins.empty());
+    for (const MetricMargin& m : zero[i].margins) {
+      EXPECT_FALSE(m.near_edge);
+      if (m.in_band) {
+        EXPECT_GE(m.edge_fraction, 0.0);
+        EXPECT_LE(m.edge_fraction, 0.5);
+      }
+    }
+  }
+}
+
+// An absurdly wide margin flags every in-band metric as near-edge and the
+// detail text carries the edge= annotation; replay still PASSes (exit-code
+// semantics live in the bench, not here).
+TEST(CorpusReplay, WideMarginFlagsNearEdgeMetrics) {
+  const std::string dir = POI360_CORPUS_DIR;
+  const std::vector<ReplayResult> wide =
+      replay_corpus(dir, /*jobs=*/0, /*near_edge_margin=*/0.51);
+  ASSERT_FALSE(wide.empty());
+  for (const ReplayResult& r : wide) {
+    EXPECT_TRUE(r.ok) << r.name << "\n" << r.detail;
+    EXPECT_TRUE(r.near_edge) << r.name;
+    EXPECT_NE(r.detail.find(" edge="), std::string::npos);
+    EXPECT_NE(r.detail.find(" NEAR-EDGE"), std::string::npos);
+    bool any_flagged = false;
+    for (const MetricMargin& m : r.margins) {
+      if (m.in_band) {
+        EXPECT_TRUE(m.near_edge) << r.name << " " << m.metric;
+        any_flagged = true;
+      }
+    }
+    EXPECT_TRUE(any_flagged) << r.name;
+  }
+}
+
+// Edge fractions are exact: distance to the nearer bound over the band
+// width, clamped to [0, 0.5], and the flag respects strict inequality.
+TEST(CorpusReplay, EdgeFractionMatchesHandComputation) {
+  const std::string dir = POI360_CORPUS_DIR;
+  const std::vector<CorpusEntry> entries = load_corpus(dir);
+  ASSERT_FALSE(entries.empty());
+  const ReplayResult r =
+      replay_entry(entries.front(), /*jobs=*/0, /*near_edge_margin=*/0.25);
+  for (const MetricMargin& m : r.margins) {
+    if (!m.in_band) continue;
+    const double width = m.hi - m.lo;
+    ASSERT_GT(width, 0.0) << m.metric;
+    const double expect =
+        std::min(m.value - m.lo, m.hi - m.value) / width;
+    EXPECT_NEAR(m.edge_fraction, std::min(0.5, std::max(0.0, expect)), 1e-12)
+        << m.metric;
+    EXPECT_EQ(m.near_edge, m.edge_fraction < 0.25) << m.metric;
   }
 }
 

@@ -5,6 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <filesystem>
 #include <string>
 
 #include "poi360/core/config.h"
@@ -336,6 +342,166 @@ TEST(SoakSummaryJson, CarriesTheFullSchema) {
     EXPECT_NE(json.find("\"" + std::string(key) + "\": "), std::string::npos)
         << "missing key " << key;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry plane: labeled SLO families, trace sampling, live /metrics.
+
+std::string telemetry_scratch(const std::string& name) {
+  const std::string dir = std::string(::testing::TempDir()) + "poi360_" +
+                          name + "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// --trace-dir alone must not perturb the run: no registry growth (the
+// summary prints entry counts), no RNG draws, byte-identical stdout.
+TEST(SoakTelemetry, TraceDirAloneKeepsSummaryByteIdentical) {
+  const SoakConfig plain = small_soak(21);
+  SoakConfig traced = plain;
+  traced.telemetry.trace_dir = telemetry_scratch("soak_trace_identity");
+  traced.telemetry.trace_sampling.keep_fraction = 0.5;
+  traced.telemetry.trace_sampling.max_concurrent = 4;
+
+  SoakDriver a(plain);
+  SoakDriver b(traced);
+  const std::string sa = to_text(a.run());
+  const std::string sb = to_text(b.run());
+  EXPECT_EQ(sa, sb);
+
+  // Every admitted arrival got exactly one decision; every kept session
+  // wrote exactly one trace file.
+  const obs::TraceSampler& sampler = b.trace_sampler();
+  EXPECT_GT(sampler.decisions(), 0);
+  EXPECT_EQ(sampler.decisions(),
+            sampler.kept() + sampler.sampled_out() + sampler.budget_rejected());
+  EXPECT_GT(sampler.kept(), 0);
+  EXPECT_GT(sampler.sampled_out(), 0);
+  std::size_t files = 0;
+  for (const auto& de :
+       std::filesystem::directory_iterator(traced.telemetry.trace_dir)) {
+    (void)de;
+    ++files;
+  }
+  EXPECT_EQ(files, static_cast<std::size_t>(sampler.kept()));
+  std::filesystem::remove_all(traced.telemetry.trace_dir);
+}
+
+TEST(SoakTelemetry, SamplingDecisionsAreJobsAndOrderIndependent) {
+  SoakConfig config = small_soak(21);
+  config.telemetry.trace_dir = telemetry_scratch("soak_trace_det");
+  config.telemetry.trace_sampling.keep_fraction = 0.4;
+  SoakDriver a(config);
+  a.run();
+  SoakDriver b(config);
+  b.run();
+  EXPECT_EQ(a.trace_sampler().kept(), b.trace_sampler().kept());
+  EXPECT_EQ(a.trace_sampler().sampled_out(), b.trace_sampler().sampled_out());
+  std::filesystem::remove_all(config.telemetry.trace_dir);
+}
+
+// With telemetry on and an aggressive delay objective, the SLO engine must
+// breach and the labeled counters must land in the exposition.
+TEST(SoakTelemetry, SloBreachCountersFireUnderTightObjective) {
+  SoakConfig config = small_soak(7);
+  config.telemetry.enabled = true;
+  // Every displayed frame counts as over-delay: burn = 1/budget >> both
+  // thresholds at the first post-anchor evaluation.
+  config.telemetry.slo.delay_target = 0;
+  config.telemetry.slo.over_delay_budget = 0.01;
+
+  SoakDriver driver(config);
+  driver.run();
+
+  const obs::MetricsRegistry& reg = driver.registry();
+  EXPECT_GT(reg.counter_value("slo.evaluations"), 0);
+  EXPECT_GT(
+      reg.counter_value("slo.breach", {{"objective", "over_delay"}}), 0);
+  // Close accounting: every departure kind is labeled.
+  EXPECT_GT(
+      reg.counter_value("serve.sessions.closed", {{"kind", "departure"}}), 0);
+  // The bucketed delay histogram ingested the displayed frames.
+  const obs::BucketHistogram* h =
+      reg.find_bucket_histogram("serve.frame.delay_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GT(h->count(), 0);
+
+  // All of it shows up in spec-valid exposition with labels intact.
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("poi360_slo_breach{objective=\"over_delay\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE poi360_serve_frame_delay_hist histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("poi360_serve_frame_delay_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+}
+
+TEST(SoakTelemetry, TelemetryRunIsDeterministic) {
+  SoakConfig config = small_soak(13);
+  config.telemetry.enabled = true;
+  config.telemetry.slo.delay_target = 0;
+  SoakDriver a(config);
+  SoakDriver b(config);
+  const std::string ta = to_text(a.run());
+  const std::string tb = to_text(b.run());
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a.registry().prometheus_text(), b.registry().prometheus_text());
+}
+
+namespace {
+
+// Minimal blocking GET against the driver's live endpoint.
+std::string soak_http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string req =
+      "GET " + path + " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+}  // namespace
+
+// The acceptance path: --metrics-port 0 starts a real socket, and a scrape
+// after the run sees the final published state — labeled families, bucket
+// histograms, nonzero slo_* counters under the injected objective.
+TEST(SoakTelemetry, LiveScrapeSeesFinalPublishedState) {
+  SoakConfig config = small_soak(7);
+  config.telemetry.metrics_port = 0;  // ephemeral
+  config.telemetry.slo.delay_target = 0;
+  config.telemetry.slo.over_delay_budget = 0.01;
+
+  SoakDriver driver(config);
+  ASSERT_GT(driver.metrics_port(), 0);
+  driver.run();
+
+  const std::string resp =
+      soak_http_get(driver.metrics_port(), "/metrics");
+  EXPECT_EQ(resp.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(resp.find("poi360_slo_breach{objective=\"over_delay\"} "),
+            std::string::npos);
+  EXPECT_NE(resp.find("poi360_serve_frame_delay_hist_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(resp.find("poi360_serve_arrivals "), std::string::npos);
+  EXPECT_NE(
+      soak_http_get(driver.metrics_port(), "/healthz").find("ok\n"),
+      std::string::npos);
+  EXPECT_GE(driver.telemetry_plane()->scrapes_served(), 2);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Poll a live POI360 /metrics endpoint and report what is moving.
+
+Stdlib-only companion to `bench_soak --metrics-port` / `bench_fleet
+--metrics-port`: scrapes the Prometheus text exposition N times, parses
+every sample (flat and labeled), and prints the top movers — the series
+with the largest absolute delta between the first and last poll — plus
+any series that appeared or disappeared mid-run.
+
+Usage:
+  scrape_metrics.py --url http://127.0.0.1:9464/metrics \
+                    [--polls N] [--interval S] [--top K]
+
+Exit codes: 0 on success, 1 when a poll fails or the endpoint never
+returns a parsable sample.
+"""
+
+import argparse
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def parse_exposition(text):
+    """Prometheus text exposition -> {series_key: float_value}.
+
+    The series key keeps the rendered label block (`name{k="v"}`) so
+    distinct label sets stay distinct. Comment lines (# HELP / # TYPE) and
+    blanks are skipped; unparsable sample lines raise ValueError."""
+    samples = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        # The value is the last space-separated token; the series key is
+        # everything before it (label values may themselves contain spaces).
+        key, _, value = line.rpartition(" ")
+        if not key:
+            raise ValueError("unparsable sample line: %r" % raw)
+        samples[key] = float(value)
+    return samples
+
+
+def scrape(url, timeout):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return parse_exposition(resp.read().decode("utf-8"))
+
+
+def report(first, last, top, out=None):
+    """Prints appeared/vanished series and the top-K absolute movers."""
+    out = out if out is not None else sys.stdout
+    appeared = sorted(set(last) - set(first))
+    vanished = sorted(set(first) - set(last))
+    for key in appeared:
+        print("APPEARED %s = %.10g" % (key, last[key]), file=out)
+    for key in vanished:
+        print("VANISHED %s (was %.10g)" % (key, first[key]), file=out)
+
+    deltas = [
+        (abs(last[k] - first[k]), k)
+        for k in set(first) & set(last)
+        if last[k] != first[k]
+    ]
+    deltas.sort(key=lambda pair: (-pair[0], pair[1]))
+    print(
+        "%d series, %d moved, %d appeared, %d vanished"
+        % (len(last), len(deltas), len(appeared), len(vanished)),
+        file=out,
+    )
+    for _, key in deltas[:top]:
+        print(
+            "MOVER %s: %.10g -> %.10g (delta %+.10g)"
+            % (key, first[key], last[key], last[key] - first[key]),
+            file=out,
+        )
+    return len(deltas)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Poll a /metrics endpoint and print the top movers."
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:9464/metrics",
+        help="exposition endpoint (default %(default)s)",
+    )
+    parser.add_argument(
+        "--polls", type=int, default=2, help="number of scrapes (default 2)"
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between scrapes (default 1.0)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10, help="movers to print (default 10)"
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=5.0, help="per-scrape timeout"
+    )
+    args = parser.parse_args(argv)
+    if args.polls < 2:
+        parser.error("--polls must be >= 2 to diff anything")
+
+    polls = []
+    for i in range(args.polls):
+        if i:
+            time.sleep(args.interval)
+        try:
+            polls.append(scrape(args.url, args.timeout))
+        except (urllib.error.URLError, OSError, ValueError) as e:
+            print("scrape %d failed: %s" % (i + 1, e), file=sys.stderr)
+            return 1
+        print("poll %d: %d series" % (i + 1, len(polls[-1])))
+
+    if not polls[-1]:
+        print("endpoint returned no samples", file=sys.stderr)
+        return 1
+    report(polls[0], polls[-1], args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Compare a scalar-build bench stdout against the SIMD-build stdout.
+
+The encoder-path kernels behind -DPOI360_SIMD=ON are pinned to the scalar
+reference by the differential unit suite, but lane-reassociated reductions
+may legally drift in the last printed digit. This tool pairs the two
+transcripts line by line and token by token:
+
+  * non-numeric tokens must match exactly (a changed label, a missing row,
+    or a different line count is a structural mismatch -> exit 1);
+  * numeric tokens may differ within --max-abs OR --max-rel (exceeding
+    both on any token -> exit 1);
+  * every numeric difference is reported, so a passing run still documents
+    exactly how much the SIMD build drifts.
+
+Usage: simd_drift.py SCALAR_FILE SIMD_FILE [--max-abs X] [--max-rel X]
+"""
+
+import argparse
+import sys
+
+
+def parse_number(token):
+    """Float value of `token`, tolerating trailing punctuation (e.g. '3.2,'
+    or '45%'), or None when it is not numeric."""
+    stripped = token.rstrip(",;%)]").lstrip("([")
+    if not stripped:
+        return None
+    try:
+        return float(stripped)
+    except ValueError:
+        return None
+
+
+def compare(scalar_lines, simd_lines, max_abs, max_rel, out=sys.stdout):
+    """Returns (ok, report_lines). Structural mismatch or excess drift ->
+    ok=False."""
+    ok = True
+    differing_lines = 0
+    worst_abs = 0.0
+    worst_rel = 0.0
+    worst_where = ""
+
+    if len(scalar_lines) != len(simd_lines):
+        print(
+            "STRUCTURAL: line count differs: scalar=%d simd=%d"
+            % (len(scalar_lines), len(simd_lines)),
+            file=out,
+        )
+        ok = False
+
+    for i, (a, b) in enumerate(zip(scalar_lines, simd_lines), start=1):
+        if a == b:
+            continue
+        differing_lines += 1
+        ta, tb = a.split(), b.split()
+        if len(ta) != len(tb):
+            print("STRUCTURAL: line %d token count differs" % i, file=out)
+            print("  scalar: %s" % a.rstrip("\n"), file=out)
+            print("  simd:   %s" % b.rstrip("\n"), file=out)
+            ok = False
+            continue
+        for x, y in zip(ta, tb):
+            if x == y:
+                continue
+            vx, vy = parse_number(x), parse_number(y)
+            if vx is None or vy is None:
+                print(
+                    "STRUCTURAL: line %d non-numeric token differs: "
+                    "%r vs %r" % (i, x, y),
+                    file=out,
+                )
+                ok = False
+                continue
+            abs_d = abs(vx - vy)
+            rel_d = abs_d / max(abs(vx), abs(vy), 1e-300)
+            print(
+                "DRIFT line %d: %s vs %s (abs %.3g, rel %.3g)"
+                % (i, x, y, abs_d, rel_d),
+                file=out,
+            )
+            if abs_d > worst_abs:
+                worst_abs, worst_where = abs_d, "line %d" % i
+            worst_rel = max(worst_rel, rel_d)
+            if abs_d > max_abs and rel_d > max_rel:
+                print(
+                    "EXCESS: line %d drift exceeds --max-abs %g and "
+                    "--max-rel %g" % (i, max_abs, max_rel),
+                    file=out,
+                )
+                ok = False
+
+    print(
+        "simd_drift: %d/%d lines differ, max abs drift %.3g%s, "
+        "max rel drift %.3g"
+        % (
+            differing_lines,
+            max(len(scalar_lines), len(simd_lines)),
+            worst_abs,
+            " (%s)" % worst_where if worst_where else "",
+            worst_rel,
+        ),
+        file=out,
+    )
+    print("simd_drift: %s" % ("OK" if ok else "MISMATCH"), file=out)
+    return ok
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Report numeric drift between scalar and SIMD bench "
+        "stdout transcripts."
+    )
+    parser.add_argument("scalar", help="stdout of the scalar (default) build")
+    parser.add_argument("simd", help="stdout of the -DPOI360_SIMD=ON build")
+    parser.add_argument(
+        "--max-abs",
+        type=float,
+        default=0.05,
+        help="allowed absolute drift per numeric token (default 0.05)",
+    )
+    parser.add_argument(
+        "--max-rel",
+        type=float,
+        default=5e-3,
+        help="allowed relative drift per numeric token (default 5e-3)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.scalar) as f:
+        scalar_lines = f.readlines()
+    with open(args.simd) as f:
+        simd_lines = f.readlines()
+    ok = compare(scalar_lines, simd_lines, args.max_abs, args.max_rel)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Selftest for scrape_metrics.py: parses exposition text, diffs polls
+against a stdlib fake endpoint, and reports movers/appearances."""
+
+import contextlib
+import http.server
+import io
+import os
+import sys
+import threading
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import scrape_metrics  # noqa: E402
+
+POLL_BODIES = [
+    (
+        "# HELP poi360_serve_arrivals arrivals\n"
+        "# TYPE poi360_serve_arrivals counter\n"
+        "poi360_serve_arrivals 3\n"
+        'poi360_fleet_freeze_ratio{cell="0",rung="FBCC/POI360"} 0.01\n'
+    ),
+    (
+        "# TYPE poi360_serve_arrivals counter\n"
+        "poi360_serve_arrivals 9\n"
+        'poi360_fleet_freeze_ratio{cell="0",rung="FBCC/POI360"} 0.04\n'
+        'poi360_slo_breach{objective="freeze_ratio"} 2\n'
+    ),
+]
+
+
+class FakeMetricsHandler(http.server.BaseHTTPRequestHandler):
+    hits = 0
+
+    def do_GET(self):
+        body = POLL_BODIES[min(FakeMetricsHandler.hits,
+                               len(POLL_BODIES) - 1)].encode()
+        FakeMetricsHandler.hits += 1
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass
+
+
+class ParseTest(unittest.TestCase):
+    def test_parses_flat_and_labeled_samples(self):
+        samples = scrape_metrics.parse_exposition(POLL_BODIES[0])
+        self.assertEqual(samples["poi360_serve_arrivals"], 3.0)
+        self.assertEqual(
+            samples['poi360_fleet_freeze_ratio{cell="0",rung="FBCC/POI360"}'],
+            0.01,
+        )
+        self.assertEqual(len(samples), 2)
+
+    def test_rejects_garbage(self):
+        with self.assertRaises(ValueError):
+            scrape_metrics.parse_exposition("no_value_here\n")
+
+    def test_report_lists_movers_and_appearances(self):
+        first = scrape_metrics.parse_exposition(POLL_BODIES[0])
+        last = scrape_metrics.parse_exposition(POLL_BODIES[1])
+        out = io.StringIO()
+        moved = scrape_metrics.report(first, last, top=10, out=out)
+        text = out.getvalue()
+        self.assertEqual(moved, 2)
+        self.assertIn("APPEARED poi360_slo_breach", text)
+        self.assertIn("MOVER poi360_serve_arrivals: 3 -> 9", text)
+
+
+class EndToEndTest(unittest.TestCase):
+    def test_polls_fake_endpoint(self):
+        FakeMetricsHandler.hits = 0
+        server = http.server.HTTPServer(("127.0.0.1", 0), FakeMetricsHandler)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            url = "http://127.0.0.1:%d/metrics" % server.server_address[1]
+            stdout = io.StringIO()
+            with contextlib.redirect_stdout(stdout):
+                rc = scrape_metrics.main(
+                    ["--url", url, "--polls", "2", "--interval", "0.01"]
+                )
+            self.assertEqual(rc, 0)
+            text = stdout.getvalue()
+            self.assertIn("poll 2: 3 series", text)
+            self.assertIn("MOVER poi360_serve_arrivals", text)
+        finally:
+            server.shutdown()
+            thread.join()
+            server.server_close()
+
+    def test_unreachable_endpoint_fails(self):
+        stderr = io.StringIO()
+        with contextlib.redirect_stderr(stderr):
+            rc = scrape_metrics.main(
+                ["--url", "http://127.0.0.1:1/metrics", "--polls", "2",
+                 "--interval", "0.01", "--timeout", "0.5"]
+            )
+        self.assertEqual(rc, 1)
+        self.assertIn("scrape 1 failed", stderr.getvalue())
+
+
+if __name__ == "__main__":
+    unittest.main()

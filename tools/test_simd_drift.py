@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Selftest for simd_drift.py: identical transcripts pass, last-digit
+numeric drift passes with a report, structural or excess drift fails."""
+
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import simd_drift  # noqa: E402
+
+
+def run_compare(scalar, simd, **kw):
+    out = io.StringIO()
+    ok = simd_drift.compare(
+        scalar.splitlines(True),
+        simd.splitlines(True),
+        kw.get("max_abs", 0.05),
+        kw.get("max_rel", 5e-3),
+        out=out,
+    )
+    return ok, out.getvalue()
+
+
+class SimdDriftTest(unittest.TestCase):
+    def test_identical_passes(self):
+        text = "mean PSNR 38.52 dB\nfreeze 0.012\n"
+        ok, report = run_compare(text, text)
+        self.assertTrue(ok)
+        self.assertIn("0/2 lines differ", report)
+
+    def test_last_digit_drift_passes_and_is_reported(self):
+        ok, report = run_compare(
+            "mean PSNR 38.52 dB\n", "mean PSNR 38.53 dB\n"
+        )
+        self.assertTrue(ok)
+        self.assertIn("DRIFT line 1", report)
+        self.assertIn("1/1 lines differ", report)
+
+    def test_excess_drift_fails(self):
+        ok, report = run_compare("psnr 38.52\n", "psnr 12.00\n")
+        self.assertFalse(ok)
+        self.assertIn("EXCESS", report)
+
+    def test_small_relative_drift_on_large_value_passes(self):
+        # abs 0.4 > max_abs, but rel ~= 4e-5 clears --max-rel: the OR rule
+        # lets large magnitudes drift proportionally.
+        ok, _ = run_compare("bytes 10000.0\n", "bytes 10000.4\n")
+        self.assertTrue(ok)
+
+    def test_label_change_is_structural(self):
+        ok, report = run_compare("mean 38.52\n", "meen 38.52\n")
+        self.assertFalse(ok)
+        self.assertIn("STRUCTURAL", report)
+
+    def test_line_count_mismatch_is_structural(self):
+        ok, report = run_compare("a 1\nb 2\n", "a 1\n")
+        self.assertFalse(ok)
+        self.assertIn("line count differs", report)
+
+    def test_token_count_mismatch_is_structural(self):
+        ok, report = run_compare("a 1 2\n", "a 1\n")
+        self.assertFalse(ok)
+        self.assertIn("token count differs", report)
+
+    def test_trailing_punctuation_parses(self):
+        ok, _ = run_compare("p50 3.20, p95 9.1\n", "p50 3.21, p95 9.1\n")
+        self.assertTrue(ok)
+
+    def test_main_end_to_end(self):
+        with tempfile.TemporaryDirectory() as d:
+            a = os.path.join(d, "a.txt")
+            b = os.path.join(d, "b.txt")
+            with open(a, "w") as f:
+                f.write("x 1.00\n")
+            with open(b, "w") as f:
+                f.write("x 1.01\n")
+            self.assertEqual(simd_drift.main([a, b]), 0)
+            self.assertEqual(
+                simd_drift.main([a, b, "--max-abs", "0.001",
+                                 "--max-rel", "0.001"]),
+                1,
+            )
+
+
+if __name__ == "__main__":
+    unittest.main()
